@@ -1,0 +1,371 @@
+// Benchmarks that regenerate the workload of every table and figure in the
+// paper's evaluation (Sec. 5). Each benchmark drives the real threshold
+// engine over the synthetic 64³ MHD dataset on the simulated 4-node
+// cluster; wall-clock ns/op measures this host's execution of the engine,
+// while the custom metric sim-ms/query reports the modeled cluster time
+// that corresponds to the paper's published measurements (shapes, not
+// absolute values, are comparable — see EXPERIMENTS.md).
+//
+// The full table/figure renderings are produced by cmd/turbdb-bench.
+package turbdb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/cluster"
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/experiments"
+	"github.com/turbdb/turbdb/internal/fof"
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+
+	benchClusters   = map[string]*cluster.Cluster{}
+	benchLevels     = map[string][3]experiments.Level{}
+	benchClustersMu sync.Mutex
+)
+
+// env builds the shared benchmark environment once.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(experiments.Setup{
+			GridN: 64, Steps: 2, Nodes: 4, Processes: 4,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// clusterFor builds (and caches) a cluster configuration.
+func clusterFor(b *testing.B, key string, opts experiments.ClusterOpts) *cluster.Cluster {
+	b.Helper()
+	e := env(b)
+	benchClustersMu.Lock()
+	defer benchClustersMu.Unlock()
+	if c, ok := benchClusters[key]; ok {
+		return c
+	}
+	c, err := e.Cluster(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchClusters[key] = c
+	return c
+}
+
+// levelsFor picks (and caches) the paper-fraction threshold levels.
+func levelsFor(b *testing.B, c *cluster.Cluster, field string) [3]experiments.Level {
+	b.Helper()
+	benchClustersMu.Lock()
+	defer benchClustersMu.Unlock()
+	if lv, ok := benchLevels[field]; ok {
+		return lv
+	}
+	lv, err := env(b).Levels(c, field, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchLevels[field] = lv
+	return lv
+}
+
+// reportSim attaches the virtual cluster time as a benchmark metric.
+func reportSim(b *testing.B, total time.Duration, n int) {
+	b.ReportMetric(float64(total)/float64(n)/1e6, "sim-ms/query")
+}
+
+// levelIdx maps level names to indices.
+var levelIdx = map[string]int{"high": 0, "medium": 1, "low": 2}
+
+// BenchmarkFig6Table1_NoCache measures threshold queries evaluated from the
+// raw data on a cacheless cluster (the blue bars of Fig. 6 / column 1 of
+// Table 1), per threshold level.
+func BenchmarkFig6Table1_NoCache(b *testing.B) {
+	for name, idx := range levelIdx {
+		b.Run(name, func(b *testing.B) {
+			e := env(b)
+			c := clusterFor(b, "nocache", experiments.ClusterOpts{})
+			lv := levelsFor(b, c, derived.Vorticity)[idx]
+			q := query.Threshold{Dataset: e.Dataset(), Field: derived.Vorticity, Threshold: lv.Threshold}
+			var sim time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := experiments.RunThreshold(c, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim += stats.Total
+			}
+			reportSim(b, sim, b.N)
+		})
+	}
+}
+
+// BenchmarkFig6Table1_CacheMiss measures queries that interrogate the cache
+// first but find their entry dropped (the red bars of Fig. 6).
+func BenchmarkFig6Table1_CacheMiss(b *testing.B) {
+	for name, idx := range levelIdx {
+		b.Run(name, func(b *testing.B) {
+			e := env(b)
+			c := clusterFor(b, "cache", experiments.ClusterOpts{WithCache: true})
+			lv := levelsFor(b, c, derived.Vorticity)[idx]
+			q := query.Threshold{Dataset: e.Dataset(), Field: derived.Vorticity, Threshold: lv.Threshold}
+			var sim time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := c.Mediator.DropCache(derived.Vorticity, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				_, stats, err := experiments.RunThreshold(c, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim += stats.Total
+			}
+			reportSim(b, sim, b.N)
+		})
+	}
+}
+
+// BenchmarkFig6Table1_CacheHit measures queries answered from the semantic
+// cache (the green bars of Fig. 6 — over an order of magnitude faster).
+func BenchmarkFig6Table1_CacheHit(b *testing.B) {
+	for name, idx := range levelIdx {
+		b.Run(name, func(b *testing.B) {
+			e := env(b)
+			c := clusterFor(b, "cache", experiments.ClusterOpts{WithCache: true})
+			lv := levelsFor(b, c, derived.Vorticity)[idx]
+			q := query.Threshold{Dataset: e.Dataset(), Field: derived.Vorticity, Threshold: lv.Threshold}
+			// warm
+			if _, _, err := experiments.RunThreshold(c, q); err != nil {
+				b.Fatal(err)
+			}
+			var sim time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := experiments.RunThreshold(c, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.CacheHits != 4 {
+					b.Fatalf("not a full hit: %d/4", stats.CacheHits)
+				}
+				sim += stats.Total
+			}
+			reportSim(b, sim, b.N)
+		})
+	}
+}
+
+// BenchmarkFig7a_ScaleUp measures the medium-threshold query at 1–8 worker
+// processes per node (Fig. 7a).
+func BenchmarkFig7a_ScaleUp(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			e := env(b)
+			c := clusterFor(b, "nocache", experiments.ClusterOpts{})
+			lv := levelsFor(b, c, derived.Vorticity)[1]
+			if err := c.Mediator.SetProcesses(procs); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				_ = c.Mediator.SetProcesses(4)
+			}()
+			q := query.Threshold{Dataset: e.Dataset(), Field: derived.Vorticity, Threshold: lv.Threshold}
+			var sim time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := experiments.RunThreshold(c, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim += stats.Total
+			}
+			reportSim(b, sim, b.N)
+		})
+	}
+}
+
+// BenchmarkFig7b_ScaleOut measures the medium-threshold query on clusters
+// of 1–8 nodes at one process per node (Fig. 7b).
+func BenchmarkFig7b_ScaleOut(b *testing.B) {
+	for _, nodes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nodes-%d", nodes), func(b *testing.B) {
+			e := env(b)
+			ref := clusterFor(b, "nocache", experiments.ClusterOpts{})
+			lv := levelsFor(b, ref, derived.Vorticity)[1]
+			c := clusterFor(b, fmt.Sprintf("scaleout-%d", nodes),
+				experiments.ClusterOpts{Nodes: nodes, Processes: 1})
+			q := query.Threshold{Dataset: e.Dataset(), Field: derived.Vorticity, Threshold: lv.Threshold}
+			var sim time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := experiments.RunThreshold(c, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim += stats.Total
+			}
+			reportSim(b, sim, b.N)
+		})
+	}
+}
+
+// BenchmarkFig8_IOOnly reports the I/O phase alongside the total for the
+// medium-threshold query (Fig. 8's two series) at 1 and 8 processes.
+func BenchmarkFig8_IOOnly(b *testing.B) {
+	for _, procs := range []int{1, 8} {
+		b.Run(fmt.Sprintf("procs-%d", procs), func(b *testing.B) {
+			e := env(b)
+			c := clusterFor(b, "nocache", experiments.ClusterOpts{})
+			lv := levelsFor(b, c, derived.Vorticity)[1]
+			if err := c.Mediator.SetProcesses(procs); err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = c.Mediator.SetProcesses(4) }()
+			q := query.Threshold{Dataset: e.Dataset(), Field: derived.Vorticity, Threshold: lv.Threshold}
+			var sim, io time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, stats, err := experiments.RunThreshold(c, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim += stats.Total
+				io += stats.NodeCritical.IO
+			}
+			reportSim(b, sim, b.N)
+			b.ReportMetric(float64(io)/float64(b.N)/1e6, "sim-io-ms/query")
+		})
+	}
+}
+
+// BenchmarkFig9_Breakdown measures the cold-cache query per field (Fig. 9
+// a–c) at the medium level, reporting the phase metrics.
+func BenchmarkFig9_Breakdown(b *testing.B) {
+	for _, fieldName := range []string{derived.Vorticity, derived.QCriterion, derived.Magnetic} {
+		b.Run(fieldName, func(b *testing.B) {
+			e := env(b)
+			c := clusterFor(b, "cache", experiments.ClusterOpts{WithCache: true})
+			lv := levelsFor(b, c, fieldName)[1]
+			q := query.Threshold{Dataset: e.Dataset(), Field: fieldName, Threshold: lv.Threshold}
+			var sim, io, compute time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := c.Mediator.DropCache(fieldName, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				_, stats, err := experiments.RunThreshold(c, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim += stats.Total
+				io += stats.NodeCritical.IO
+				compute += stats.NodeCritical.Compute
+			}
+			reportSim(b, sim, b.N)
+			b.ReportMetric(float64(io)/float64(b.N)/1e6, "sim-io-ms/query")
+			b.ReportMetric(float64(compute)/float64(b.N)/1e6, "sim-compute-ms/query")
+		})
+	}
+}
+
+// BenchmarkFig2_VorticityPDF measures the PDF query that generates Fig. 2.
+func BenchmarkFig2_VorticityPDF(b *testing.B) {
+	e := env(b)
+	c := clusterFor(b, "nocache", experiments.ClusterOpts{})
+	q := query.PDF{Dataset: e.Dataset(), Field: derived.Vorticity, Bins: 10, Width: 5}
+	var sim time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := experiments.RunPDF(c, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim += stats.Total
+	}
+	reportSim(b, sim, b.N)
+}
+
+// BenchmarkFig4_SevenRMS measures the 7×RMS vorticity threshold query of
+// Fig. 4.
+func BenchmarkFig4_SevenRMS(b *testing.B) {
+	e := env(b)
+	c := clusterFor(b, "nocache", experiments.ClusterOpts{})
+	rms, err := e.NormRMS(c, derived.Vorticity, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := query.Threshold{Dataset: e.Dataset(), Field: derived.Vorticity, Threshold: 7 * rms}
+	var sim time.Duration
+	var points int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, stats, err := experiments.RunThreshold(c, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim += stats.Total
+		points = len(pts)
+	}
+	reportSim(b, sim, b.N)
+	b.ReportMetric(float64(points), "points")
+}
+
+// BenchmarkFig3_FoFClustering measures 4-D friends-of-friends clustering of
+// thresholded points across time-steps (the Fig. 3 analysis).
+func BenchmarkFig3_FoFClustering(b *testing.B) {
+	e := env(b)
+	c := clusterFor(b, "nocache", experiments.ClusterOpts{})
+	lv := levelsFor(b, c, derived.Vorticity)[2]
+	var pts []fof.Point
+	for step := 0; step < 2; step++ {
+		stepPts, _, err := experiments.RunThreshold(c, query.Threshold{
+			Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step, Threshold: lv.Threshold,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range stepPts {
+			coords := p.Coords()
+			pts = append(pts, fof.Point{X: coords.X, Y: coords.Y, Z: coords.Z, T: step, Value: p.Value})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fof.FindClusters(pts, fof.Params{LinkLength: 2, TimeLink: 1, Periodic: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pts)), "points")
+}
+
+// BenchmarkSec53_LocalVsIntegrated measures the integrated cold evaluation
+// and reports the modeled speedup over the local client-side workflow.
+func BenchmarkSec53_LocalVsIntegrated(b *testing.B) {
+	e := env(b)
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.LocalVsIntegrated(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r.Speedup
+	}
+	b.ReportMetric(speedup, "integrated-speedup-x")
+}

@@ -1,0 +1,54 @@
+// Command turbdb-mediator runs the front-end Web-server of the analysis
+// cluster: it fans user queries out to the database nodes, assembles the
+// distributed results, and serves the user-facing API (the role of the
+// mediator in the paper's Fig. 1).
+//
+// Usage:
+//
+//	turbdb-mediator -addr :7080 \
+//	    -nodes http://127.0.0.1:7070,http://127.0.0.1:7071
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/turbdb/turbdb/internal/mediator"
+	"github.com/turbdb/turbdb/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("turbdb-mediator: ")
+
+	var (
+		addr  = flag.String("addr", ":7080", "listen address")
+		nodes = flag.String("nodes", "", "comma-separated URLs of the node services (required)")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var clients []mediator.NodeClient
+	for _, url := range strings.Split(*nodes, ",") {
+		c := wire.NewClient(strings.TrimSpace(url))
+		if _, err := c.Info(); err != nil {
+			log.Fatalf("node %s unreachable: %v", url, err)
+		}
+		clients = append(clients, c)
+	}
+
+	m, err := mediator.New(mediator.Config{Nodes: clients})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mediator for %s (%d nodes, %d³ grid) on %s\n",
+		m.Dataset(), len(clients), m.Grid().N, *addr)
+	log.Fatal(http.ListenAndServe(*addr, wire.NewMediatorServer(m).Handler()))
+}

@@ -1,0 +1,85 @@
+// Command turbdb-server runs one database node of an analysis cluster: it
+// loads the node's shard from a turbdb-gen deployment directory and serves
+// the node API (threshold / PDF / top-k evaluation, halo-atom fetches,
+// cache control) over HTTP.
+//
+// Usage (node 0 of a 2-node deployment):
+//
+//	turbdb-server -data ./deploy -node 0 -addr :7070 \
+//	    -peers http://127.0.0.1:7070,http://127.0.0.1:7071 -cache
+//
+// -peers lists ALL node URLs in node order (including this node, which is
+// skipped); peers supply the halo band for derived-field kernels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"github.com/turbdb/turbdb/internal/cache"
+	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/store"
+	"github.com/turbdb/turbdb/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("turbdb-server: ")
+
+	var (
+		data      = flag.String("data", "", "deployment directory written by turbdb-gen (required)")
+		nodeID    = flag.Int("node", 0, "node index within the deployment")
+		addr      = flag.String("addr", ":7070", "listen address")
+		peers     = flag.String("peers", "", "comma-separated URLs of all node services, in node order")
+		withCache = flag.Bool("cache", true, "enable the semantic query-result cache")
+		cacheCap  = flag.Int64("cache-capacity", 0, "cache capacity in bytes (0 = unlimited)")
+		processes = flag.Int("processes", 1, "worker processes per query")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	manifest, err := store.ReadManifest(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := store.OpenShard(*data, manifest, *nodeID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ca *cache.Cache
+	if *withCache {
+		ca, err = cache.New(cache.Config{CapacityBytes: *cacheCap})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var fetcher node.PeerFetcher
+	if *peers != "" {
+		var clients []*wire.Client
+		for _, url := range strings.Split(*peers, ",") {
+			clients = append(clients, wire.NewClient(strings.TrimSpace(url)))
+		}
+		fetcher = wire.NewPeerSet(clients, *nodeID)
+	}
+
+	n, err := node.New(node.Config{
+		ID: *nodeID, Dataset: manifest.Dataset, Store: st, Cache: ca,
+		Peers: fetcher, Processes: *processes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("node %d serving %s shard %v on %s (cache=%v, %d processes)\n",
+		*nodeID, manifest.Dataset, st.Owned(), *addr, *withCache, *processes)
+	log.Fatal(http.ListenAndServe(*addr, wire.NewNodeServer(n).Handler()))
+}

@@ -1,0 +1,45 @@
+// Package turbdb is a numerical-simulation analysis database with efficient
+// evaluation of threshold queries of derived fields — a from-scratch Go
+// implementation of the system described in "Efficient evaluation of
+// threshold queries of derived fields in a numerical simulation database"
+// (Kanov, Burns, Lalescu; EDBT 2015), the threshold-query engine of the
+// Johns Hopkins Turbulence Databases.
+//
+// A turbdb database stores the raw fields of a turbulence simulation
+// (velocity, pressure, and for MHD datasets the magnetic field) as small
+// Morton-ordered cubic atoms sharded across the nodes of an analysis
+// cluster. Threshold queries of fields *derived* from the raw data —
+// vorticity, electric current, Q-criterion, velocity-gradient invariants —
+// are evaluated data-parallel on the nodes where the data live: each node
+// reads its shard plus a halo band, computes the derived field at every
+// grid point with centered finite differences, and returns the locations
+// whose norm exceeds the threshold. Results are stored in a per-node
+// application-aware semantic cache (snapshot-isolation tables, LRU,
+// SSD-resident); subsequent queries over the same region at the same or a
+// higher threshold are answered from the cache an order of magnitude
+// faster.
+//
+// # Quick start
+//
+//	db, err := turbdb.Open(turbdb.Config{
+//		Kind:  turbdb.MHD,
+//		GridN: 64,
+//		Steps: 4,
+//		Nodes: 4,
+//		Cache: true,
+//	})
+//	if err != nil { ... }
+//	rms, _ := db.NormRMS("vorticity", 0)
+//	points, stats, err := db.Threshold(turbdb.ThresholdQuery{
+//		Field:     "vorticity",
+//		Timestep:  0,
+//		Threshold: 7 * rms,
+//	})
+//
+// Open synthesizes a deterministic spectral turbulence dataset (the stand-in
+// for the JHU production data, which is hundreds of terabytes) and ingests
+// it into an in-process cluster. Set Config.Simulate to run the cluster on
+// a discrete-event simulation with modeled disks, cores and links — the
+// mode used to regenerate the paper's scaling and breakdown experiments.
+// Query a remote deployment instead with OpenRemote.
+package turbdb

@@ -1,0 +1,118 @@
+// Worms: the paper's Sec. 3 / Fig. 3 analysis. Threshold the vorticity
+// near its extreme tail in every stored time-step, cluster the qualifying
+// locations in 4-D with friends-of-friends, and follow the most intense
+// vortex ("worm") as it develops and decays across time.
+//
+//	go run ./examples/worms
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	turbdb "github.com/turbdb/turbdb"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const steps = 6
+	db, err := turbdb.Open(turbdb.Config{
+		Kind:  turbdb.Isotropic,
+		GridN: 32,
+		Steps: steps,
+		Nodes: 4,
+		Seed:  42,
+		Cache: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick one threshold from step 0's distribution — the 99.5th percentile
+	// of the vorticity norm — and apply it to every step, as a scientist
+	// comparing time-steps would.
+	threshold, err := db.NormQuantile(turbdb.FieldVorticity, 0, 0.995)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thresholding ‖ω‖ ≥ %.3f (99.5th percentile) across %d time-steps\n\n", threshold, steps)
+
+	var all []turbdb.TimePoint
+	for step := 0; step < steps; step++ {
+		pts, stats, err := db.Threshold(turbdb.ThresholdQuery{
+			Field:     turbdb.FieldVorticity,
+			Timestep:  step,
+			Threshold: threshold,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("step %d: %4d intense points (%v)\n", step, len(pts), stats.Total)
+		all = append(all, turbdb.TimePointsOf(pts, step)...)
+	}
+
+	// 4-D friends-of-friends: link within 2 grid cells and 1 time-step.
+	clusters, err := turbdb.FindClusters(all, turbdb.FoFParams{
+		LinkLength: 2.0,
+		TimeLink:   1,
+		Periodic:   db.GridN(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d clusters from %d points; the five most intense events:\n", len(clusters), len(all))
+	for i, c := range clusters {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  #%d: peak ‖ω‖ = %.3f at (%d,%d,%d) t=%d; %d points, alive t=%d..%d\n",
+			i+1, c.Peak.Value, c.Peak.X, c.Peak.Y, c.Peak.Z, c.Peak.Timestep,
+			c.Size(), c.FirstStep, c.LastStep)
+	}
+
+	// Follow the most intense event through time, as Fig. 3 does: per-step
+	// membership shows the worm growing and decaying ("the cluster
+	// containing the most intense event develops from nothing").
+	most := clusters[0]
+	perStep := map[int]int{}
+	peakPerStep := map[int]float64{}
+	for _, p := range most.Points {
+		perStep[p.Timestep]++
+		if p.Value > peakPerStep[p.Timestep] {
+			peakPerStep[p.Timestep] = p.Value
+		}
+	}
+	fmt.Printf("\nmost intense event's evolution:\n")
+	var stepsAlive []int
+	for s := range perStep {
+		stepsAlive = append(stepsAlive, s)
+	}
+	sort.Ints(stepsAlive)
+	for _, s := range stepsAlive {
+		bar := ""
+		for i := 0; i < perStep[s]; i += 2 {
+			bar += "#"
+		}
+		fmt.Printf("  t=%d: %3d points, peak %.3f %s\n", s, perStep[s], peakPerStep[s], bar)
+	}
+	if most.FirstStep > 0 {
+		fmt.Printf("\nthe event develops from nothing at t=%d — exactly the behaviour Fig. 3 shows\n", most.FirstStep)
+	}
+
+	// Persist the events as a landmark database (the paper's future-work
+	// proposal): statistics queryable by intensity, region and time without
+	// touching the raw data again.
+	ldb, err := db.BuildLandmarks(turbdb.FieldVorticity, turbdb.LandmarkOptions{MinSize: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	strong, err := ldb.Find(turbdb.LandmarkFilter{MinSize: 10, Step: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlandmark database: %d events recorded, %d with ≥10 points; strongest peak %.3f\n",
+		ldb.Count(), len(strong), strong[0].Peak.Value)
+}

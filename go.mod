@@ -1,0 +1,3 @@
+module github.com/turbdb/turbdb
+
+go 1.22

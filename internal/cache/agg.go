@@ -1,0 +1,160 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/turbdb/turbdb/internal/sim"
+	"github.com/turbdb/turbdb/internal/txn"
+)
+
+// TableAgg is the aggregate-result cache table — the extension the paper
+// sketches ("the cache ... can easily be extended to cache the results of
+// other query types as well if that becomes advantageous"). PDF histograms
+// are aggregates, so unlike threshold results they match on an exact key
+// rather than by threshold dominance.
+const TableAgg = "cacheAgg"
+
+// AggRow is the schema of the aggregate cache table.
+type AggRow struct {
+	Dataset  string
+	Field    string
+	Timestep int
+	// Key encodes the remaining query parameters (region, bins, width, …).
+	Key      string
+	Counts   []int64
+	LastUsed uint64
+}
+
+// aggDiskSize models the SSD footprint of an aggregate entry.
+func aggDiskSize(bins int) int64 { return infoDiskSize + int64(bins)*16 }
+
+// LookupAgg returns a cached aggregate for the exact key, if present.
+func (c *Cache) LookupAgg(p *sim.Proc, dataset, fieldName string, step int, key string) ([]int64, bool, error) {
+	if c.aggEntries <= 0 {
+		return nil, false, nil
+	}
+	tx := c.db.Begin()
+	defer tx.Abort()
+	c.chargeRead(p, infoDiskSize)
+	var hitID txn.RowID
+	var hit AggRow
+	found := false
+	err := tx.Scan(TableAgg, func(id txn.RowID, data interface{}) bool {
+		row := data.(AggRow)
+		if row.Dataset == dataset && row.Field == fieldName && row.Timestep == step && row.Key == key {
+			hitID, hit, found = id, row, true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !found {
+		c.misses.Add(1)
+		return nil, false, nil
+	}
+	c.chargeRead(p, aggDiskSize(len(hit.Counts)))
+	c.hits.Add(1)
+	c.touchAgg(hitID)
+	out := make([]int64, len(hit.Counts))
+	copy(out, hit.Counts)
+	return out, true, nil
+}
+
+// touchAgg bumps an aggregate entry's LRU clock (best effort).
+func (c *Cache) touchAgg(id txn.RowID) {
+	now := c.lruClock.Add(1)
+	tx := c.db.Begin()
+	defer tx.Abort()
+	data, ok, err := tx.Get(TableAgg, id)
+	if err != nil || !ok {
+		return
+	}
+	row := data.(AggRow)
+	row.LastUsed = now
+	if tx.Update(TableAgg, id, row) == nil {
+		_ = tx.Commit()
+	}
+}
+
+// StoreAgg records an aggregate result under its exact key, replacing any
+// previous entry and evicting the least recently used aggregates beyond the
+// configured entry budget.
+func (c *Cache) StoreAgg(p *sim.Proc, dataset, fieldName string, step int, key string, counts []int64) error {
+	if c.aggEntries <= 0 {
+		return nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxStoreRetries; attempt++ {
+		err := c.tryStoreAgg(dataset, fieldName, step, key, counts)
+		if err == nil {
+			c.stores.Add(1)
+			c.chargeWrite(p, aggDiskSize(len(counts)))
+			return nil
+		}
+		if !errors.Is(err, txn.ErrConflict) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("cache: aggregate store kept conflicting: %w", lastErr)
+}
+
+func (c *Cache) tryStoreAgg(dataset, fieldName string, step int, key string, counts []int64) error {
+	tx := c.db.Begin()
+	defer tx.Abort()
+	type entry struct {
+		id  txn.RowID
+		row AggRow
+	}
+	var all []entry
+	if err := tx.Scan(TableAgg, func(id txn.RowID, data interface{}) bool {
+		all = append(all, entry{id, data.(AggRow)})
+		return true
+	}); err != nil {
+		return err
+	}
+	live := 0
+	for _, e := range all {
+		r := e.row
+		if r.Dataset == dataset && r.Field == fieldName && r.Timestep == step && r.Key == key {
+			if err := tx.Delete(TableAgg, e.id); err != nil {
+				return err
+			}
+			continue
+		}
+		live++
+	}
+	// LRU-evict beyond the entry budget (leave room for the new entry)
+	for live >= c.aggEntries {
+		victim := -1
+		for i, e := range all {
+			if _, ok, _ := tx.Get(TableAgg, e.id); !ok {
+				continue
+			}
+			if victim == -1 || e.row.LastUsed < all[victim].row.LastUsed {
+				victim = i
+			}
+		}
+		if victim == -1 {
+			break
+		}
+		if err := tx.Delete(TableAgg, all[victim].id); err != nil {
+			return err
+		}
+		all[victim].row.LastUsed = ^uint64(0)
+		live--
+		c.evictions.Add(1)
+	}
+	stored := make([]int64, len(counts))
+	copy(stored, counts)
+	if _, err := tx.Insert(TableAgg, AggRow{
+		Dataset: dataset, Field: fieldName, Timestep: step, Key: key,
+		Counts: stored, LastUsed: c.lruClock.Add(1),
+	}); err != nil {
+		return err
+	}
+	return tx.Commit()
+}

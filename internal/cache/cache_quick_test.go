@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+// Property (semantic-cache soundness): for any stored result set at
+// threshold k over a region, any lookup with threshold k' ≥ k over any
+// sub-box returns exactly the stored points with value ≥ k' inside the
+// sub-box — never more, never fewer.
+func TestQuickThresholdDominanceSoundness(t *testing.T) {
+	f := func(seed int64, kRaw, kPrimeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := New(Config{})
+		if err != nil {
+			return false
+		}
+		k := float64(kRaw % 50)
+		kPrime := k + float64(kPrimeRaw%50) // k' ≥ k
+		region := grid.Box{Hi: grid.Point{X: 16, Y: 16, Z: 16}}
+
+		// random result set with values ≥ k
+		var pts []query.ResultPoint
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			p := grid.Point{X: rng.Intn(16), Y: rng.Intn(16), Z: rng.Intn(16)}
+			pts = append(pts, query.PointFor(p, k+rng.Float64()*100))
+		}
+		if err := c.Store(nil, "d", "f", 0, k, region, pts); err != nil {
+			return false
+		}
+
+		// random sub-box
+		lo := grid.Point{X: rng.Intn(16), Y: rng.Intn(16), Z: rng.Intn(16)}
+		sub := grid.Box{Lo: lo, Hi: lo.Add(1+rng.Intn(16-lo.X), 1+rng.Intn(16-lo.Y), 1+rng.Intn(16-lo.Z))}
+
+		got, ok, err := c.Lookup(nil, "d", "f", 0, kPrime, sub)
+		if err != nil || !ok {
+			return false
+		}
+		want := map[uint64]float32{}
+		for _, p := range pts {
+			if float64(p.Value) >= kPrime && sub.Contains(p.Coords()) {
+				// duplicates by code: keep any; compare as multiset by count
+				want[uint64(p.Code)] = p.Value
+			}
+		}
+		// compare sets by code (points were generated with unique-ish codes;
+		// duplicates collapse identically on both sides)
+		gotSet := map[uint64]float32{}
+		for _, p := range got {
+			gotSet[uint64(p.Code)] = p.Value
+		}
+		if len(gotSet) != len(want) {
+			return false
+		}
+		for code := range want {
+			if _, ok := gotSet[code]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a lookup below the stored threshold never hits (no silent
+// incompleteness).
+func TestQuickBelowThresholdNeverHits(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := New(Config{})
+		k := 1 + float64(kRaw%100)
+		region := grid.Box{Hi: grid.Point{X: 8, Y: 8, Z: 8}}
+		if err := c.Store(nil, "d", "f", 0, k, region, nil); err != nil {
+			return false
+		}
+		below := k * (0.1 + 0.8*rng.Float64())
+		_, ok, err := c.Lookup(nil, "d", "f", 0, below, region)
+		return err == nil && !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cache never exceeds its capacity, whatever the store
+// sequence.
+func TestQuickCapacityInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int64(4096 + rng.Intn(8192))
+		c, err := New(Config{CapacityBytes: capacity})
+		if err != nil {
+			return false
+		}
+		region := grid.Box{Hi: grid.Point{X: 8, Y: 8, Z: 8}}
+		for i := 0; i < 30; i++ {
+			n := rng.Intn(60)
+			var pts []query.ResultPoint
+			for j := 0; j < n; j++ {
+				pts = append(pts, query.PointFor(grid.Point{X: j % 8, Y: (j / 8) % 8, Z: 0}, 5+float64(j)))
+			}
+			err := c.Store(nil, "d", "f", rng.Intn(6), 5, region, pts)
+			if err != nil && !isTooLarge(err) {
+				return false
+			}
+			if c.SizeBytes() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isTooLarge(err error) bool {
+	return errors.Is(err, ErrEntryTooLarge)
+}

@@ -1,0 +1,363 @@
+// Package cluster assembles complete analysis clusters: N database nodes
+// with their stores, caches, disk and network models, halo-exchange peer
+// fetchers and a mediator — in either of two modes:
+//
+//   - simulation mode, the configuration used to regenerate the paper's
+//     experiments: all nodes share one discrete-event kernel, disks, CPUs
+//     and links are modeled resources, and query timings are virtual;
+//   - real mode, used by the HTTP services, the examples and the unit
+//     tests: plain goroutines and wall-clock time.
+//
+// The data are partitioned across nodes along contiguous ranges of the
+// Morton z-order curve, as in the JHTDB (paper Sec. 2).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/cache"
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/diskmodel"
+	"github.com/turbdb/turbdb/internal/field"
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/mediator"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/netmodel"
+	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/sim"
+	"github.com/turbdb/turbdb/internal/store"
+	"github.com/turbdb/turbdb/internal/synth"
+)
+
+// Source supplies a dataset to ingest: geometry, schema and whole-domain
+// blocks per (field, time-step). *synth.Generator implements it; wrappers
+// can memoize generated blocks when building many clusters from one
+// dataset.
+type Source interface {
+	Grid() grid.Grid
+	RawFields() []synth.RawField
+	Steps() int
+	Name() string
+	Field(name string, step int) (*field.Block, error)
+}
+
+// Config configures cluster assembly.
+type Config struct {
+	// Nodes is the number of database nodes (the paper's MHD dataset is
+	// partitioned across 4; scale-out experiments use 1–8). Defaults to 4.
+	Nodes int
+	// Processes is the initial per-query worker count per node. Defaults
+	// to 1.
+	Processes int
+	// WithCache enables the per-node semantic cache.
+	WithCache bool
+	// CacheCapacity bounds each node's cache in modeled SSD bytes; 0 =
+	// unlimited.
+	CacheCapacity int64
+	// CachePDF enables the aggregate-cache extension with an LRU budget of
+	// that many PDF entries per node; 0 disables it.
+	CachePDF int
+	// Simulate builds the cluster on a DES kernel with modeled resources.
+	Simulate bool
+	// Cores is the simulated CPU core count per node (paper nodes are dual
+	// quad-core → 8). Defaults to 8. Ignored in real mode.
+	Cores int
+	// HDD, SSD, NodeLink, UserLink override the default device/link models;
+	// zero values use the defaults. Ignored in real mode.
+	HDD      diskmodel.Spec
+	SSD      diskmodel.Spec
+	NodeLink netmodel.Spec
+	UserLink netmodel.Spec
+	// Costs is the per-point compute cost model for simulation charging; a
+	// zero model with Simulate=true triggers calibration on this host.
+	Costs node.CostModel
+	// Registry resolves field names; nil uses the standard catalog.
+	Registry *derived.Registry
+}
+
+// Cluster is an assembled analysis cluster over one synthetic dataset.
+type Cluster struct {
+	Kernel   *sim.Kernel // nil in real mode
+	Mediator *mediator.Mediator
+
+	gen       Source
+	nodes     []*node.Node
+	hdds      []*diskmodel.Device
+	ssds      []*diskmodel.Device
+	peerLinks []*netmodel.Link
+	user      *netmodel.Link
+}
+
+// peerFetcher routes halo-atom requests to the owning nodes, charging the
+// owner's disks and the inter-node link for the transfer.
+type peerFetcher struct {
+	c    *Cluster
+	self int
+}
+
+// FetchAtoms implements node.PeerFetcher.
+func (f *peerFetcher) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	byOwner := make(map[int][]morton.Code)
+	for _, code := range codes {
+		owner := -1
+		for i, n := range f.c.nodes {
+			if i != f.self && n.Owned().Contains(code) {
+				owner = i
+				break
+			}
+		}
+		if owner == -1 {
+			return nil, fmt.Errorf("cluster: atom %v owned by no peer of node %d", code, f.self)
+		}
+		byOwner[owner] = append(byOwner[owner], code)
+	}
+	// Requests to different owners are issued asynchronously, as the
+	// production system submits its boundary requests.
+	owners := make([]int, 0, len(byOwner))
+	for owner := range byOwner {
+		owners = append(owners, owner)
+	}
+	sort.Ints(owners)
+	results := make([]map[morton.Code][]byte, len(owners))
+	errs := make([]error, len(owners))
+	fetchOne := func(i int, fp *sim.Proc) {
+		owner := owners[i]
+		blobs, err := f.c.nodes[owner].FetchAtoms(fp, rawField, step, byOwner[owner])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		total := 0
+		for _, b := range blobs {
+			total += len(b)
+		}
+		if f.c.Kernel != nil && fp != nil {
+			f.c.peerLink(owner).Transfer(fp, total)
+		}
+		results[i] = blobs
+	}
+	if f.c.Kernel != nil && p != nil {
+		l := f.c.Kernel.NewLatch(0)
+		for i := range owners {
+			i := i
+			l.Add(1)
+			f.c.Kernel.Go("halo-fetch", func(fp *sim.Proc) {
+				fetchOne(i, fp)
+				l.Done()
+			})
+		}
+		p.Wait(l)
+	} else {
+		for i := range owners {
+			fetchOne(i, nil)
+		}
+	}
+	out := make(map[morton.Code][]byte, len(codes))
+	for i, blobs := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		for c, b := range blobs {
+			out[c] = b
+		}
+	}
+	return out, nil
+}
+
+// peerLinks are created lazily per owner node.
+func (c *Cluster) peerLink(owner int) *netmodel.Link { return c.peerLinks[owner] }
+
+// Build assembles a cluster over the source's dataset and ingests every
+// raw field at every time-step into the node stores.
+func Build(gen Source, cfg Config) (*Cluster, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: nodes must be ≥ 1")
+	}
+	if cfg.Processes == 0 {
+		cfg.Processes = 1
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = 8
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = derived.Standard()
+	}
+	if cfg.HDD.Name == "" {
+		cfg.HDD = diskmodel.HDDRaid()
+	}
+	if cfg.SSD.Name == "" {
+		cfg.SSD = diskmodel.SSD()
+	}
+	if cfg.NodeLink.Name == "" {
+		cfg.NodeLink = netmodel.ClusterLink("fabric")
+	}
+	if cfg.UserLink.Name == "" {
+		cfg.UserLink = netmodel.UserLink("user-wan")
+	}
+
+	c := &Cluster{gen: gen}
+	g := gen.Grid()
+	ranges := g.AtomRange().Split(cfg.Nodes, 1)
+
+	if cfg.Simulate {
+		c.Kernel = sim.New()
+		if cfg.Costs.PerPoint == nil {
+			costs, err := node.Calibrate(cfg.Registry, 4)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Costs = costs
+		}
+	}
+
+	var nodeLinks []*netmodel.Link
+	for i := 0; i < cfg.Nodes; i++ {
+		var hdd, ssd *diskmodel.Device
+		var kernel *sim.Kernel
+		exec := node.RealExec()
+		if cfg.Simulate {
+			kernel = c.Kernel
+			var err error
+			hdd, err = diskmodel.New(kernel, namedDisk(cfg.HDD, fmt.Sprintf("hdd%d", i)))
+			if err != nil {
+				return nil, err
+			}
+			ssd, err = diskmodel.New(kernel, namedDisk(cfg.SSD, fmt.Sprintf("ssd%d", i)))
+			if err != nil {
+				return nil, err
+			}
+			exec = node.SimExec(kernel, cfg.Cores)
+		}
+		st, err := store.New(store.Config{
+			Grid: g, Owned: ranges[i], Kernel: kernel, Device: hdd,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, rf := range gen.RawFields() {
+			if err := st.CreateField(store.FieldMeta{Name: rf.Name, NComp: rf.NComp}); err != nil {
+				return nil, err
+			}
+		}
+		var ca *cache.Cache
+		if cfg.WithCache {
+			ca, err = cache.New(cache.Config{
+				CapacityBytes: cfg.CacheCapacity, Kernel: kernel, SSD: ssd,
+				AggEntries: cfg.CachePDF,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		nd, err := node.New(node.Config{
+			ID: i, Dataset: gen.Name(),
+			Store: st, Cache: ca, Registry: cfg.Registry,
+			Processes: cfg.Processes, Exec: exec, Costs: cfg.Costs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, nd)
+		c.hdds = append(c.hdds, hdd)
+		c.ssds = append(c.ssds, ssd)
+		if cfg.Simulate {
+			link, err := netmodel.New(c.Kernel, namedLink(cfg.NodeLink, fmt.Sprintf("fabric%d", i)))
+			if err != nil {
+				return nil, err
+			}
+			nodeLinks = append(nodeLinks, link)
+			plink, err := netmodel.New(c.Kernel, namedLink(cfg.NodeLink, fmt.Sprintf("peer%d", i)))
+			if err != nil {
+				return nil, err
+			}
+			c.peerLinks = append(c.peerLinks, plink)
+		}
+	}
+
+	// wire peer fetchers
+	for i, nd := range c.nodes {
+		nd.SetPeers(&peerFetcher{c: c, self: i})
+	}
+
+	// ingest the dataset
+	for _, rf := range gen.RawFields() {
+		for step := 0; step < gen.Steps(); step++ {
+			bl, err := gen.Field(rf.Name, step)
+			if err != nil {
+				return nil, err
+			}
+			for _, nd := range c.nodes {
+				if _, err := nd.Store().IngestBlock(rf.Name, step, bl); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	if cfg.Simulate {
+		var err error
+		c.user, err = netmodel.New(c.Kernel, cfg.UserLink)
+		if err != nil {
+			return nil, err
+		}
+	}
+	clients := make([]mediator.NodeClient, len(c.nodes))
+	for i, nd := range c.nodes {
+		clients[i] = nd
+	}
+	med, err := mediator.New(mediator.Config{
+		Nodes: clients, Kernel: c.Kernel, NodeLinks: nodeLinks, UserLink: c.user,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Mediator = med
+	return c, nil
+}
+
+// namedDisk copies a disk spec with a new name.
+func namedDisk(s diskmodel.Spec, name string) diskmodel.Spec {
+	s.Name = name
+	return s
+}
+
+// namedLink copies a link spec with a new name.
+func namedLink(s netmodel.Spec, name string) netmodel.Spec {
+	s.Name = name
+	return s
+}
+
+// Generator returns the dataset source the cluster was built from.
+func (c *Cluster) Generator() Source { return c.gen }
+
+// Nodes returns the cluster's database nodes.
+func (c *Cluster) Nodes() []*node.Node { return c.nodes }
+
+// HDD returns node i's data device (nil in real mode).
+func (c *Cluster) HDD(i int) *diskmodel.Device { return c.hdds[i] }
+
+// SSD returns node i's cache device (nil in real mode).
+func (c *Cluster) SSD(i int) *diskmodel.Device { return c.ssds[i] }
+
+// RunQuery executes fn as a simulated user process and returns the virtual
+// time it took; in real mode fn runs inline (p == nil) and wall time is
+// returned.
+func (c *Cluster) RunQuery(fn func(p *sim.Proc) error) (time.Duration, error) {
+	if c.Kernel == nil {
+		start := time.Now()
+		err := fn(nil)
+		return time.Since(start), err
+	}
+	start := c.Kernel.Now()
+	var qerr error
+	c.Kernel.Go("user-query", func(p *sim.Proc) { qerr = fn(p) })
+	if err := c.Kernel.Run(); err != nil {
+		return 0, err
+	}
+	return c.Kernel.Now() - start, qerr
+}

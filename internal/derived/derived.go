@@ -1,0 +1,249 @@
+// Package derived defines the catalog of fields that threshold queries can
+// request: the raw stored fields (velocity, pressure, magnetic) and the
+// fields derived from them on demand (vorticity, electric current,
+// Q-criterion, R invariant, velocity-gradient norm).
+//
+// Each derived field has a localized kernel of computation: its value at a
+// grid node depends on the stored field at neighboring nodes within the
+// kernel half-width (the finite-difference stencil half-width). Raw fields
+// have half-width zero — the paper's magnetic-field experiments exploit
+// exactly this (no halo I/O, no compute).
+//
+// The registry is extensible: deployments register additional fields with
+// Register, mirroring how the JHTDB adds stored procedures per field.
+package derived
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/turbdb/turbdb/internal/field"
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/mathx"
+	"github.com/turbdb/turbdb/internal/stencil"
+)
+
+// RawInput names one stored field a derived field reads.
+type RawInput struct {
+	Name  string
+	NComp int
+}
+
+// EvalFunc computes the derived value at point p from the halo-extended raw
+// blocks bls — one per entry of Field.Raws, in order, each guaranteed to
+// contain p with the field's kernel half-width margin — and writes OutComp
+// values into out. dx is the grid spacing, st the finite-difference stencil
+// to use.
+type EvalFunc func(st stencil.Stencil, bls []*field.Block, p grid.Point, dx float64, out []float64)
+
+// Field describes one queryable field.
+type Field struct {
+	// Name is the public field name used in queries ("vorticity", …).
+	Name string
+	// Raws are the stored fields this one derives from (most fields read
+	// one; cross-field quantities such as the MHD cross-helicity read two).
+	// For raw fields Raws[0].Name == Name.
+	Raws []RawInput
+	// OutComp is the component count of the derived value (the threshold
+	// compares its Euclidean norm, or absolute value when OutComp == 1).
+	OutComp int
+	// NeedsStencil reports whether the kernel uses finite differences; if
+	// false the kernel half-width is zero regardless of FD order.
+	NeedsStencil bool
+	// HalfWidthFn overrides the kernel half-width when set — composed
+	// expressions (nested differential operators) need multiples of the
+	// stencil half-width.
+	HalfWidthFn func(order int) (int, error)
+	// Eval computes the derived value (see EvalFunc).
+	Eval EvalFunc
+}
+
+// IsRaw reports whether the field is stored directly (kernel of a single
+// point).
+func (f *Field) IsRaw() bool { return !f.NeedsStencil }
+
+// HalfWidth returns the kernel half-width in grid points for the given
+// finite-difference order.
+func (f *Field) HalfWidth(order int) (int, error) {
+	if f.HalfWidthFn != nil {
+		return f.HalfWidthFn(order)
+	}
+	if !f.NeedsStencil {
+		return 0, nil
+	}
+	st, err := stencil.Get(order)
+	if err != nil {
+		return 0, err
+	}
+	return st.HalfWidth, nil
+}
+
+// Norm evaluates the field at p and returns the Euclidean norm (or absolute
+// value for scalars). scratch must have length ≥ OutComp.
+func (f *Field) Norm(st stencil.Stencil, bls []*field.Block, p grid.Point, dx float64, scratch []float64) float64 {
+	f.Eval(st, bls, p, dx, scratch)
+	switch f.OutComp {
+	case 1:
+		v := scratch[0]
+		if v < 0 {
+			return -v
+		}
+		return v
+	case 3:
+		return mathx.Vec3{X: scratch[0], Y: scratch[1], Z: scratch[2]}.Norm()
+	default:
+		var s float64
+		for c := 0; c < f.OutComp; c++ {
+			s += scratch[c] * scratch[c]
+		}
+		return math.Sqrt(s)
+	}
+}
+
+// Registry maps field names to definitions. The zero value is unusable; use
+// NewRegistry (which pre-populates the standard catalog) or Standard().
+type Registry struct {
+	mu     sync.RWMutex
+	fields map[string]*Field
+}
+
+// NewRegistry returns a registry pre-populated with the standard catalog.
+func NewRegistry() *Registry {
+	r := &Registry{fields: make(map[string]*Field)}
+	for _, f := range standardCatalog() {
+		r.fields[f.Name] = f
+	}
+	return r
+}
+
+var std = NewRegistry()
+
+// Standard returns the shared standard registry.
+func Standard() *Registry { return std }
+
+// Register adds or replaces a field definition.
+func (r *Registry) Register(f *Field) error {
+	if f == nil || f.Name == "" || f.Eval == nil || f.OutComp <= 0 || len(f.Raws) == 0 {
+		return fmt.Errorf("derived: invalid field definition %+v", f)
+	}
+	for _, raw := range f.Raws {
+		if raw.Name == "" || raw.NComp <= 0 {
+			return fmt.Errorf("derived: invalid raw input %+v in field %q", raw, f.Name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fields[f.Name] = f
+	return nil
+}
+
+// Lookup returns the field definition by name.
+func (r *Registry) Lookup(name string) (*Field, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.fields[name]
+	if !ok {
+		return nil, fmt.Errorf("derived: unknown field %q", name)
+	}
+	return f, nil
+}
+
+// Names lists the registered field names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.fields))
+	for n := range r.fields {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Standard field names.
+const (
+	Velocity   = "velocity"
+	Pressure   = "pressure"
+	Magnetic   = "magnetic"
+	Vorticity  = "vorticity"
+	Current    = "current"
+	QCriterion = "qcriterion"
+	RInvariant = "rinvariant"
+	GradNorm   = "gradnorm"
+)
+
+// rawEval copies the stored components through unchanged.
+func rawEval(nc int) EvalFunc {
+	return func(_ stencil.Stencil, bls []*field.Block, p grid.Point, _ float64, out []float64) {
+		for c := 0; c < nc; c++ {
+			out[c] = bls[0].At(p, c)
+		}
+	}
+}
+
+// curlEval computes ∇×(raw field) per the paper's Eq. (1).
+func curlEval(st stencil.Stencil, bls []*field.Block, p grid.Point, dx float64, out []float64) {
+	bl := bls[0]
+	// (∇×u)_x = ∂u_z/∂y − ∂u_y/∂z, and cyclic permutations.
+	out[0] = st.Deriv(bl, p, 2, stencil.AxisY, dx) - st.Deriv(bl, p, 1, stencil.AxisZ, dx)
+	out[1] = st.Deriv(bl, p, 0, stencil.AxisZ, dx) - st.Deriv(bl, p, 2, stencil.AxisX, dx)
+	out[2] = st.Deriv(bl, p, 1, stencil.AxisX, dx) - st.Deriv(bl, p, 0, stencil.AxisY, dx)
+}
+
+// standardCatalog builds the built-in field definitions.
+func standardCatalog() []*Field {
+	return []*Field{
+		{
+			Name: Velocity, Raws: []RawInput{{Velocity, 3}}, OutComp: 3,
+			Eval: rawEval(3),
+		},
+		{
+			Name: Pressure, Raws: []RawInput{{Pressure, 1}}, OutComp: 1,
+			Eval: rawEval(1),
+		},
+		{
+			Name: Magnetic, Raws: []RawInput{{Magnetic, 3}}, OutComp: 3,
+			Eval: rawEval(3),
+		},
+		{
+			// Vorticity ω = ∇×v: 3 components, examines 6 of the 9 gradient
+			// components in pairs (paper Sec. 5.4).
+			Name: Vorticity, Raws: []RawInput{{Velocity, 3}}, OutComp: 3, NeedsStencil: true,
+			Eval: curlEval,
+		},
+		{
+			// Electric current j = ∇×B (MHD datasets).
+			Name: Current, Raws: []RawInput{{Magnetic, 3}}, OutComp: 3, NeedsStencil: true,
+			Eval: curlEval,
+		},
+		{
+			// Q-criterion: non-linear combination of all 9 gradient
+			// components — the full velocity gradient is computed first,
+			// which is why its compute time exceeds the vorticity's.
+			Name: QCriterion, Raws: []RawInput{{Velocity, 3}}, OutComp: 1, NeedsStencil: true,
+			Eval: func(st stencil.Stencil, bls []*field.Block, p grid.Point, dx float64, out []float64) {
+				g := mathx.Mat3(st.Gradient(bls[0], p, dx))
+				out[0] = g.QCriterion()
+			},
+		},
+		{
+			// Third velocity-gradient invariant R = −det(∇v).
+			Name: RInvariant, Raws: []RawInput{{Velocity, 3}}, OutComp: 1, NeedsStencil: true,
+			Eval: func(st stencil.Stencil, bls []*field.Block, p grid.Point, dx float64, out []float64) {
+				g := mathx.Mat3(st.Gradient(bls[0], p, dx))
+				_, _, r := g.Invariants()
+				out[0] = r
+			},
+		},
+		{
+			// Frobenius norm of the velocity gradient tensor.
+			Name: GradNorm, Raws: []RawInput{{Velocity, 3}}, OutComp: 1, NeedsStencil: true,
+			Eval: func(st stencil.Stencil, bls []*field.Block, p grid.Point, dx float64, out []float64) {
+				g := mathx.Mat3(st.Gradient(bls[0], p, dx))
+				out[0] = g.FrobeniusNorm()
+			},
+		},
+	}
+}

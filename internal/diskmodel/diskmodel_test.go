@@ -1,0 +1,118 @@
+package diskmodel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Name: "x", Arrays: 0, Bandwidth: 1}).Validate(); err == nil {
+		t.Error("accepted zero arrays")
+	}
+	if err := (Spec{Name: "x", Arrays: 1, Bandwidth: 0}).Validate(); err == nil {
+		t.Error("accepted zero bandwidth")
+	}
+	if err := (Spec{Name: "x", Arrays: 1, Bandwidth: 1, Seek: -1}).Validate(); err == nil {
+		t.Error("accepted negative seek")
+	}
+	if err := HDDRaid().Validate(); err != nil {
+		t.Errorf("HDDRaid invalid: %v", err)
+	}
+	if err := SSD().Validate(); err != nil {
+		t.Errorf("SSD invalid: %v", err)
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	k := sim.New()
+	d, err := New(k, Spec{Name: "d", Arrays: 1, Seek: time.Millisecond, Bandwidth: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 ms seek + 1000 bytes / 1e6 B/s = 1ms + 1ms = 2ms
+	if got := d.ServiceTime(1000); got != 2*time.Millisecond {
+		t.Errorf("ServiceTime = %v, want 2ms", got)
+	}
+	if got := d.ServiceTime(0); got != time.Millisecond {
+		t.Errorf("ServiceTime(0) = %v, want 1ms (seek only)", got)
+	}
+}
+
+func TestSingleArraySerializesReads(t *testing.T) {
+	k := sim.New()
+	d, _ := New(k, Spec{Name: "d", Arrays: 1, Seek: time.Millisecond, Bandwidth: 1e9})
+	for i := 0; i < 4; i++ {
+		k.Go("reader", func(p *sim.Proc) { d.Read(p, 0, 0) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 4*time.Millisecond {
+		t.Errorf("4 serialized seeks took %v, want 4ms", k.Now())
+	}
+}
+
+func TestStripingParallelizesAcrossArrays(t *testing.T) {
+	k := sim.New()
+	d, _ := New(k, Spec{Name: "d", Arrays: 4, Seek: time.Millisecond, Bandwidth: 1e9})
+	// 8 reads striped over 4 arrays → 2 rounds → 2ms makespan
+	for i := 0; i < 8; i++ {
+		stripe := uint64(i)
+		k.Go("reader", func(p *sim.Proc) { d.Read(p, stripe, 0) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 2*time.Millisecond {
+		t.Errorf("striped reads took %v, want 2ms", k.Now())
+	}
+}
+
+func TestHotArrayContention(t *testing.T) {
+	// All reads on the same stripe must serialize even with many arrays —
+	// the phenomenon behind redundant halo reads hurting scale-up.
+	k := sim.New()
+	d, _ := New(k, Spec{Name: "d", Arrays: 4, Seek: time.Millisecond, Bandwidth: 1e9})
+	for i := 0; i < 4; i++ {
+		k.Go("reader", func(p *sim.Proc) { d.Read(p, 8, 0) }) // same array
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 4*time.Millisecond {
+		t.Errorf("hot-array reads took %v, want 4ms", k.Now())
+	}
+}
+
+func TestStatsAndBusyTime(t *testing.T) {
+	k := sim.New()
+	d, _ := New(k, Spec{Name: "d", Arrays: 2, Seek: time.Millisecond, Bandwidth: 1e6})
+	k.Go("r", func(p *sim.Proc) {
+		d.Read(p, 0, 500)
+		d.Write(p, 1, 1500)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reads, bytes := d.Stats()
+	if reads != 2 || bytes != 2000 {
+		t.Errorf("stats = %d reads, %d bytes", reads, bytes)
+	}
+	// busy: (1ms+0.5ms) + (1ms+1.5ms) = 4ms
+	if bt := d.BusyTime(); bt != 4*time.Millisecond {
+		t.Errorf("busy time %v, want 4ms", bt)
+	}
+}
+
+func TestSSDFasterThanHDDForSmallReads(t *testing.T) {
+	k := sim.New()
+	hdd, _ := New(k, HDDRaid())
+	ssd, _ := New(k, SSD())
+	n := 6144 // one 8³ vector atom
+	if ssd.ServiceTime(n) >= hdd.ServiceTime(n) {
+		t.Errorf("SSD read (%v) not faster than HDD read (%v)",
+			ssd.ServiceTime(n), hdd.ServiceTime(n))
+	}
+}

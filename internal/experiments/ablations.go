@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/workload"
+)
+
+// The ablations below probe design choices the paper fixes implicitly: the
+// finite-difference order (kernel half-width ↔ halo I/O), the atom size
+// (record count ↔ read amplification), the cache capacity (LRU behaviour)
+// and the workload structure (hit ratio sensitivity).
+
+// FDOrderRow is one finite-difference order's cost profile.
+type FDOrderRow struct {
+	Order     int
+	HaloAtoms int
+	IO        time.Duration
+	Compute   time.Duration
+	Total     time.Duration
+}
+
+// FDOrderResult sweeps the stencil order for a cold vorticity query.
+type FDOrderResult struct {
+	Level Level
+	Rows  []FDOrderRow
+}
+
+// String renders the sweep.
+func (r *FDOrderResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — finite-difference order vs halo traffic (cold vorticity query)\n")
+	fmt.Fprintf(&b, "%6s %10s %12s %12s %12s\n", "order", "halo atoms", "I/O (ms)", "compute", "total")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %10d %12s %12s %12s\n",
+			row.Order, row.HaloAtoms,
+			strings.TrimSpace(ms(row.IO)), strings.TrimSpace(ms(row.Compute)), strings.TrimSpace(ms(row.Total)))
+	}
+	return b.String()
+}
+
+// FDOrderSweep measures halo traffic and times for stencil orders 2–8.
+func (e *Env) FDOrderSweep(step int) (*FDOrderResult, error) {
+	c, err := e.Cluster(ClusterOpts{})
+	if err != nil {
+		return nil, err
+	}
+	levels, err := e.Levels(c, derived.Vorticity, step)
+	if err != nil {
+		return nil, err
+	}
+	medium := levels[1]
+	res := &FDOrderResult{Level: medium}
+	for _, order := range []int{2, 4, 6, 8} {
+		_, stats, err := RunThreshold(c, query.Threshold{
+			Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step,
+			Threshold: medium.Threshold, FDOrder: order,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, FDOrderRow{
+			Order:     order,
+			HaloAtoms: stats.NodeCritical.HaloAtoms,
+			IO:        stats.NodeCritical.IO,
+			Compute:   stats.NodeCritical.Compute,
+			Total:     stats.Total,
+		})
+	}
+	return res, nil
+}
+
+// AtomSizeRow is one atom side's cost profile.
+type AtomSizeRow struct {
+	AtomSide  int
+	Atoms     int // records per time-step
+	AtomsRead int
+	IO        time.Duration
+	Total     time.Duration
+}
+
+// AtomSizeResult sweeps the database atom side.
+type AtomSizeResult struct {
+	Rows []AtomSizeRow
+}
+
+// String renders the sweep.
+func (r *AtomSizeResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — atom size vs record count and I/O (cold vorticity query)\n")
+	fmt.Fprintf(&b, "%6s %10s %12s %12s %12s\n", "side", "records", "reads", "I/O (ms)", "total")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %10d %12d %12s %12s\n",
+			row.AtomSide, row.Atoms, row.AtomsRead,
+			strings.TrimSpace(ms(row.IO)), strings.TrimSpace(ms(row.Total)))
+	}
+	return b.String()
+}
+
+// AtomSizeSweep rebuilds the cluster with 4³, 8³ and 16³ atoms and measures
+// a cold vorticity query. Smaller atoms mean more records (seek-bound);
+// larger atoms mean fatter halo reads.
+func (e *Env) AtomSizeSweep(step int) (*AtomSizeResult, error) {
+	res := &AtomSizeResult{}
+	var thr float64
+	for _, side := range []int{4, 8, 16} {
+		c, err := e.Cluster(ClusterOpts{AtomSide: side})
+		if err != nil {
+			return nil, err
+		}
+		if thr == 0 {
+			levels, err := e.Levels(c, derived.Vorticity, step)
+			if err != nil {
+				return nil, err
+			}
+			thr = levels[1].Threshold
+		}
+		_, stats, err := RunThreshold(c, query.Threshold{
+			Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step,
+			Threshold: thr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n := e.Setup.GridN / side
+		res.Rows = append(res.Rows, AtomSizeRow{
+			AtomSide: side, Atoms: n * n * n,
+			AtomsRead: stats.NodeCritical.AtomsRead,
+			IO:        stats.NodeCritical.IO, Total: stats.Total,
+		})
+	}
+	return res, nil
+}
+
+// WorkloadRow is one configuration of the structured-workload ablation.
+type WorkloadRow struct {
+	Revisit   float64
+	HitRatio  float64
+	MeanTotal time.Duration
+	TooLow    int // queries rejected by the point limit
+}
+
+// WorkloadResult measures cache hit ratios and mean latency under
+// structured query streams of varying locality.
+type WorkloadResult struct {
+	Queries int
+	Rows    []WorkloadRow
+}
+
+// String renders the table.
+func (r *WorkloadResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — structured workload locality vs cache effectiveness (%d queries each)\n", r.Queries)
+	fmt.Fprintf(&b, "%9s %10s %14s\n", "revisit", "hit ratio", "mean time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8.0f%% %9.0f%% %12sms\n",
+			100*row.Revisit, 100*row.HitRatio, strings.TrimSpace(ms(row.MeanTotal)))
+	}
+	return b.String()
+}
+
+// WorkloadSweep runs structured query streams with increasing revisit
+// probability against a cached cluster, reporting the full-cache-hit ratio
+// and the mean query time — the mechanism behind the paper's "fairly high
+// cache-hit ratios" observation.
+func (e *Env) WorkloadSweep(queries int) (*WorkloadResult, error) {
+	if queries <= 0 {
+		queries = 60
+	}
+	res := &WorkloadResult{Queries: queries}
+	fields := []string{derived.Vorticity, derived.Current, derived.QCriterion}
+	for _, revisit := range []float64{0, 0.5, 0.8} {
+		c, err := e.Cluster(ClusterOpts{WithCache: true})
+		if err != nil {
+			return nil, err
+		}
+		thresholds := make(map[string][]float64, len(fields))
+		for _, f := range fields {
+			levels, err := e.Levels(c, f, 0)
+			if err != nil {
+				return nil, err
+			}
+			thresholds[f] = []float64{levels[2].Threshold, levels[1].Threshold, levels[0].Threshold}
+		}
+		stream, err := workload.Generate(workload.Params{
+			Seed: 99, Queries: queries, Dataset: e.Dataset(),
+			Fields: fields, Steps: e.Setup.Steps,
+			Revisit:    revisit,
+			Thresholds: thresholds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var hits, tooLow int
+		var total time.Duration
+		var counted int
+		for _, wq := range stream {
+			_, stats, err := RunThreshold(c, wq.Threshold)
+			if err != nil {
+				if errors.Is(err, query.ErrThresholdTooLow) {
+					tooLow++
+					continue
+				}
+				return nil, err
+			}
+			counted++
+			total += stats.Total
+			if stats.CacheHits == e.Setup.Nodes {
+				hits++
+			}
+		}
+		row := WorkloadRow{Revisit: revisit, TooLow: tooLow}
+		if counted > 0 {
+			row.HitRatio = float64(hits) / float64(counted)
+			row.MeanTotal = total / time.Duration(counted)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// CapacityRow is one cache-capacity configuration.
+type CapacityRow struct {
+	CapacityBytes int64
+	HitRatio      float64
+	Evictions     int64
+}
+
+// CapacityResult measures LRU behaviour as the per-node cache shrinks.
+type CapacityResult struct {
+	Rows []CapacityRow
+}
+
+// String renders the table.
+func (r *CapacityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — cache capacity vs hit ratio (structured workload)\n")
+	fmt.Fprintf(&b, "%14s %10s %10s\n", "capacity", "hit ratio", "evictions")
+	for _, row := range r.Rows {
+		cap := "unbounded"
+		if row.CapacityBytes > 0 {
+			cap = fmt.Sprintf("%d KB", row.CapacityBytes/1024)
+		}
+		fmt.Fprintf(&b, "%14s %9.0f%% %10d\n", cap, 100*row.HitRatio, row.Evictions)
+	}
+	return b.String()
+}
+
+// CapacitySweep replays one structured workload against caches of shrinking
+// capacity.
+func (e *Env) CapacitySweep(queries int) (*CapacityResult, error) {
+	if queries <= 0 {
+		queries = 60
+	}
+	// size one entry roughly: low-threshold result per node
+	ref, err := e.Cluster(ClusterOpts{WithCache: true})
+	if err != nil {
+		return nil, err
+	}
+	levels, err := e.Levels(ref, derived.Vorticity, 0)
+	if err != nil {
+		return nil, err
+	}
+	perNodeEntry := int64(levels[2].Points/e.Setup.Nodes)*40 + 512
+	res := &CapacityResult{}
+	// capacities: unbounded; room for several entries; room for barely one
+	// entry (every second store must evict)
+	for _, capBytes := range []int64{0, 8 * perNodeEntry, perNodeEntry + 100} {
+		c, err := e.Cluster(ClusterOpts{WithCache: true, CacheCap: capBytes})
+		if err != nil {
+			return nil, err
+		}
+		stream, err := workload.Generate(workload.Params{
+			Seed: 99, Queries: queries, Dataset: e.Dataset(),
+			Fields: []string{derived.Vorticity}, Steps: e.Setup.Steps,
+			Revisit: 0.8,
+			Thresholds: map[string][]float64{
+				derived.Vorticity: {levels[2].Threshold, levels[1].Threshold, levels[0].Threshold},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		var hits, counted int
+		for _, wq := range stream {
+			_, stats, err := RunThreshold(c, wq.Threshold)
+			if err != nil {
+				if errors.Is(err, query.ErrThresholdTooLow) {
+					continue
+				}
+				return nil, err
+			}
+			counted++
+			if stats.CacheHits == e.Setup.Nodes {
+				hits++
+			}
+		}
+		var evictions int64
+		for _, nd := range c.Nodes() {
+			if nd.Cache() != nil {
+				evictions += nd.Cache().Stats().Evictions
+			}
+		}
+		row := CapacityRow{CapacityBytes: capBytes, Evictions: evictions}
+		if counted > 0 {
+			row.HitRatio = float64(hits) / float64(counted)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testEnv is shared across tests: dataset synthesis and calibration happen
+// once (tests use a small grid so the whole file stays fast).
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(Setup{GridN: 64, Steps: 2, Nodes: 4, Processes: 4})
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestLevelsMatchPaperFractions(t *testing.T) {
+	e := testEnv(t)
+	c, err := e.Cluster(ClusterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := e.Levels(c, "vorticity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(levels[0].Threshold > levels[1].Threshold && levels[1].Threshold > levels[2].Threshold) {
+		t.Errorf("thresholds not descending: %+v", levels)
+	}
+	if !(levels[0].Points < levels[1].Points && levels[1].Points < levels[2].Points) {
+		t.Errorf("points not ascending: %+v", levels)
+	}
+	for _, lv := range levels {
+		target := lv.PaperPoints * e.Points() / paperTotal
+		if target < 1 {
+			target = 1
+		}
+		// ties in float32 norms can add a few extra points
+		if lv.Points < target || lv.Points > target*2+8 {
+			t.Errorf("level %s: %d points, target ≈ %d", lv.Name, lv.Points, target)
+		}
+	}
+}
+
+func TestFig2PDFShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.Fig2PDF(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RMS <= 0 {
+		t.Fatalf("RMS = %g", r.RMS)
+	}
+	if got := r.Histogram.Total(); got != int64(e.Points()) {
+		t.Errorf("histogram total %d, want %d", got, e.Points())
+	}
+	// Fig 2 shape: counts beyond the peak decay monotonically (heavy tail
+	// on a log axis). Find the max bin, then require decay after it.
+	counts := r.Histogram.Counts
+	maxI := 0
+	for i, c := range counts {
+		if c > counts[maxI] {
+			maxI = i
+		}
+	}
+	// the final bin is open-ended (collects the whole extreme tail, like
+	// the paper's [90,..) bucket), so it is excluded from the decay check
+	for i := maxI + 1; i < len(counts)-1; i++ {
+		if counts[i] > counts[i-1] {
+			t.Errorf("tail not decaying at bin %d: %v", i, counts)
+		}
+	}
+	if !strings.Contains(r.String(), "Fig 2") {
+		t.Error("missing render header")
+	}
+}
+
+func TestFig4Fractions(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.Fig4Count(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// counts must decay with the RMS multiple
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Points > r.Rows[i-1].Points {
+			t.Errorf("count grew with multiple: %+v", r.Rows)
+		}
+	}
+	// the 7×RMS set is a small fraction, as in the paper (2.2e-4)
+	if r.Rows[1].Fraction > 0.01 {
+		t.Errorf("7×RMS fraction %g too large", r.Rows[1].Fraction)
+	}
+	_ = r.String()
+}
+
+func TestFig3Worms(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.Fig3Worms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clusters == 0 || r.TotalPoints == 0 {
+		t.Fatalf("empty result: %+v", r)
+	}
+	if r.MostIntense.Size() < 1 {
+		t.Error("most intense cluster empty")
+	}
+	if r.LifespanSteps < 1 || r.LifespanSteps > e.Setup.Steps {
+		t.Errorf("lifespan %d", r.LifespanSteps)
+	}
+	_ = r.String()
+}
+
+func TestTable1Shapes(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.Table1CacheEffectiveness(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// paper: hits are ≥ an order of magnitude faster; at this small test
+		// grid require ≥ 3×
+		if row.HitRatio < 3 {
+			t.Errorf("level %s: hit speedup %.2f too small (no-cache %v, hit %v)",
+				row.Level.Name, row.HitRatio, row.NoCache, row.Hit)
+		}
+		// paper: cache-interrogation overhead is minimal (<3%); allow 10%
+		if row.Overhead > 0.10 || row.Overhead < -0.10 {
+			t.Errorf("level %s: miss overhead %.1f%%", row.Level.Name, 100*row.Overhead)
+		}
+	}
+	_ = r.String()
+}
+
+func TestFig7aScaleUpShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.Fig7aScaleUp(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("series %s has %d points", s.Level.Name, len(s.Points))
+		}
+		// speedup at 2 procs close to 2×; at 4 procs clearly above 2-proc;
+		// diminishing returns after (paper: ~2 at 2, ~2.6 at 4, little at 8)
+		sp := map[int]float64{}
+		for _, p := range s.Points {
+			sp[p.Parallelism] = p.Speedup
+		}
+		if sp[1] != 1 {
+			t.Errorf("base speedup %v", sp[1])
+		}
+		if sp[2] < 1.3 {
+			t.Errorf("level %s: 2-proc speedup %.2f too low", s.Level.Name, sp[2])
+		}
+		if sp[4] < sp[2] {
+			t.Errorf("level %s: speedup fell from 2→4 procs (%.2f → %.2f)", s.Level.Name, sp[2], sp[4])
+		}
+		// saturation: 8 procs gains little over 4 (not superlinear)
+		if sp[8] > 2*sp[4] {
+			t.Errorf("level %s: 8-proc speedup %.2f implausible vs 4-proc %.2f", s.Level.Name, sp[8], sp[4])
+		}
+	}
+	_ = r.String()
+}
+
+func TestFig7bScaleOutShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.Fig7bScaleOut(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range r.Series {
+		sp := map[int]float64{}
+		for _, p := range s.Points {
+			sp[p.Parallelism] = p.Speedup
+		}
+		// paper: nearly perfect linear scale-out; small grids cost halo
+		// overhead, so require monotone growth and ≥ half-linear at 4 nodes
+		if !(sp[2] > 1.2 && sp[4] > sp[2] && sp[8] >= sp[4]*0.9) {
+			t.Errorf("level %s: scale-out speedups %v not increasing", s.Level.Name, sp)
+		}
+		if sp[4] < 2.0 {
+			t.Errorf("level %s: 4-node speedup %.2f below 2", s.Level.Name, sp[4])
+		}
+	}
+	_ = r.String()
+}
+
+func TestFig8IOShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.Fig8IOBreakdown(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	first := r.Rows[0]
+	// paper: I/O is roughly half the single-process total
+	frac := float64(first.IOOnly) / float64(first.Total)
+	if frac < 0.2 || frac > 0.9 {
+		t.Errorf("I/O fraction at 1 proc = %.2f", frac)
+	}
+	// paper: total at 4–8 procs approaches the 1-proc I/O-only time
+	last := r.Rows[len(r.Rows)-1]
+	if last.Total > first.Total {
+		t.Error("total grew with processes")
+	}
+	if float64(last.Total) > 1.6*float64(first.IOOnly) {
+		t.Errorf("8-proc total %v not near 1-proc I/O %v", last.Total, first.IOOnly)
+	}
+	_ = r.String()
+}
+
+func TestFig9Shapes(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.Fig9Breakdown(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Panels) != 6 {
+		t.Fatalf("panels = %d", len(r.Panels))
+	}
+	byKey := map[string]Fig9Panel{}
+	for _, p := range r.Panels {
+		key := p.Field
+		if p.Hit {
+			key += "/hit"
+		}
+		byKey[key] = p
+	}
+	// Q-criterion compute > vorticity compute (all 9 gradient components)
+	if byKey["qcriterion"].Bars[1].Compute <= byKey["vorticity"].Bars[1].Compute {
+		t.Errorf("Q compute %v not above vorticity %v",
+			byKey["qcriterion"].Bars[1].Compute, byKey["vorticity"].Bars[1].Compute)
+	}
+	// magnetic (raw) compute and I/O below vorticity's
+	if byKey["magnetic"].Bars[1].Compute >= byKey["vorticity"].Bars[1].Compute {
+		t.Error("raw magnetic compute not below vorticity")
+	}
+	if byKey["magnetic"].Bars[1].IO >= byKey["vorticity"].Bars[1].IO {
+		t.Error("raw magnetic I/O not below vorticity (no halo)")
+	}
+	// hits: no I/O or compute; total dominated by comm + lookup
+	for _, f := range fig9Fields() {
+		hit := byKey[f+"/hit"]
+		for _, bar := range hit.Bars {
+			if bar.IO != 0 || bar.Compute != 0 {
+				t.Errorf("%s hit bar has I/O %v compute %v", f, bar.IO, bar.Compute)
+			}
+			if bar.Total >= byKey[f].Bars[1].Total && bar.Level.Name == "medium" {
+				t.Errorf("%s: hit total %v not below cold %v", f, bar.Total, byKey[f].Bars[1].Total)
+			}
+		}
+	}
+	_ = r.String()
+}
+
+func TestLocalVsIntegrated(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.LocalVsIntegrated(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the paper's headline: orders of magnitude faster integrated
+	if r.Speedup < 20 {
+		t.Errorf("integrated speedup %.1f too small", r.Speedup)
+	}
+	if r.IntegratedHit >= r.Integrated {
+		t.Error("hit not faster than cold")
+	}
+	if r.LocalTransfer <= 0 || r.LocalBytes <= 0 {
+		t.Error("local model empty")
+	}
+	_ = r.String()
+}
+
+func TestFDOrderSweep(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.FDOrderSweep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// halo traffic must not decrease with the order
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].HaloAtoms < r.Rows[i-1].HaloAtoms {
+			t.Errorf("halo atoms fell with order: %+v", r.Rows)
+		}
+	}
+	_ = r.String()
+}
+
+func TestAtomSizeSweep(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.AtomSizeSweep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// record count falls 8× per doubling of the side
+	if r.Rows[0].Atoms != 8*r.Rows[1].Atoms || r.Rows[1].Atoms != 8*r.Rows[2].Atoms {
+		t.Errorf("record counts: %+v", r.Rows)
+	}
+	// tiny atoms are seek-bound: 4³ I/O above 8³ I/O
+	if r.Rows[0].IO <= r.Rows[1].IO {
+		t.Errorf("4³ I/O %v not above 8³ I/O %v", r.Rows[0].IO, r.Rows[1].IO)
+	}
+	_ = r.String()
+}
+
+func TestWorkloadSweep(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.WorkloadSweep(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// higher revisit probability → higher hit ratio, lower mean time
+	if !(r.Rows[2].HitRatio > r.Rows[0].HitRatio) {
+		t.Errorf("hit ratio not increasing with locality: %+v", r.Rows)
+	}
+	if r.Rows[2].MeanTotal >= r.Rows[0].MeanTotal {
+		t.Errorf("mean time not falling with locality: %+v", r.Rows)
+	}
+	_ = r.String()
+}
+
+func TestCapacitySweep(t *testing.T) {
+	e := testEnv(t)
+	r, err := e.CapacitySweep(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	unbounded, tight := r.Rows[0], r.Rows[2]
+	if unbounded.Evictions != 0 {
+		t.Errorf("unbounded cache evicted %d entries", unbounded.Evictions)
+	}
+	if tight.Evictions == 0 {
+		t.Error("tight cache never evicted")
+	}
+	if tight.HitRatio > unbounded.HitRatio {
+		t.Errorf("tight cache hit ratio %.2f above unbounded %.2f", tight.HitRatio, unbounded.HitRatio)
+	}
+	_ = r.String()
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+// Fig9Bar is one stacked bar of the execution-time breakdown.
+type Fig9Bar struct {
+	Level        Level
+	CacheLookup  time.Duration
+	IO           time.Duration
+	Compute      time.Duration
+	MediatorDB   time.Duration
+	MediatorUser time.Duration
+	Total        time.Duration
+}
+
+// Fig9Panel is one field's set of bars (one per threshold level).
+type Fig9Panel struct {
+	Field string
+	Hit   bool
+	Bars  []Fig9Bar
+}
+
+// Fig9Result reproduces Fig. 9: breakdowns of the execution time for
+// threshold queries of the vorticity, Q-criterion and magnetic field at
+// three threshold levels, from a cold cache (panels a–c) and on cache hits
+// (panels d–f).
+type Fig9Result struct {
+	Panels []Fig9Panel
+}
+
+// String renders all panels.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 9 — breakdown of threshold-query execution time\n")
+	for _, p := range r.Panels {
+		mode := "cold cache"
+		if p.Hit {
+			mode = "cache hit"
+		}
+		fmt.Fprintf(&b, "  %s (%s)\n", p.Field, mode)
+		fmt.Fprintf(&b, "  %8s %9s | %9s %9s %9s %9s %9s | %9s\n",
+			"level", "points", "lookup", "I/O", "compute", "med+DB", "med-user", "total")
+		for _, bar := range p.Bars {
+			fmt.Fprintf(&b, "  %8s %9d | %s %s %s %s %s | %s  (ms)\n",
+				bar.Level.Name, bar.Level.Points,
+				ms(bar.CacheLookup), ms(bar.IO), ms(bar.Compute),
+				ms(bar.MediatorDB), ms(bar.MediatorUser), ms(bar.Total))
+		}
+	}
+	return b.String()
+}
+
+// fig9Fields are the three fields of the paper's Fig. 9: a derived vector
+// field, a derived non-linear scalar, and a raw stored field.
+func fig9Fields() []string {
+	return []string{derived.Vorticity, derived.QCriterion, derived.Magnetic}
+}
+
+// Fig9Breakdown measures the per-phase breakdown for each field and level,
+// cold and warm.
+func (e *Env) Fig9Breakdown(step int) (*Fig9Result, error) {
+	c, err := e.Cluster(ClusterOpts{WithCache: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{}
+	// cold panels (a–c) then hit panels (d–f), in the paper's order
+	for _, hit := range []bool{false, true} {
+		for _, fieldName := range fig9Fields() {
+			levels, err := e.Levels(c, fieldName, step)
+			if err != nil {
+				return nil, err
+			}
+			panel := Fig9Panel{Field: fieldName, Hit: hit}
+			for _, lv := range levels {
+				q := query.Threshold{
+					Dataset: e.Dataset(), Field: fieldName, Timestep: step,
+					Threshold: lv.Threshold,
+				}
+				if !hit {
+					// cold: drop this entry first
+					if err := c.Mediator.DropCache(fieldName, 0, step); err != nil {
+						return nil, err
+					}
+				} else {
+					// warm: ensure the entry exists (lowest threshold covers
+					// all), then pollute with other steps
+					if _, _, err := RunThreshold(c, query.Threshold{
+						Dataset: e.Dataset(), Field: fieldName, Timestep: step,
+						Threshold: levels[2].Threshold,
+					}); err != nil {
+						return nil, err
+					}
+					if err := e.pollute(c, fieldName, step, levels); err != nil {
+						return nil, err
+					}
+				}
+				_, stats, err := RunThreshold(c, q)
+				if err != nil {
+					return nil, err
+				}
+				if hit && stats.CacheHits != e.Setup.Nodes {
+					return nil, fmt.Errorf("fig9: warm run missed (%d/%d hits)", stats.CacheHits, e.Setup.Nodes)
+				}
+				panel.Bars = append(panel.Bars, Fig9Bar{
+					Level:        lv,
+					CacheLookup:  stats.NodeCritical.CacheLookup,
+					IO:           stats.NodeCritical.IO,
+					Compute:      stats.NodeCritical.Compute,
+					MediatorDB:   stats.MediatorDBComm,
+					MediatorUser: stats.MediatorUserComm,
+					Total:        stats.Total,
+				})
+			}
+			res.Panels = append(res.Panels, panel)
+		}
+	}
+	return res, nil
+}

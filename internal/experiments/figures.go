@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/cluster"
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/fof"
+	"github.com/turbdb/turbdb/internal/hist"
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+// ms renders a duration in milliseconds for tables.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%8.2f", float64(d)/float64(time.Millisecond))
+}
+
+// Fig2Result is the vorticity-norm PDF (paper Fig. 2: 10 decade-style bins
+// on a log count axis).
+type Fig2Result struct {
+	RMS       float64
+	Histogram *hist.Histogram
+}
+
+// String renders the figure.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 2 — PDF of the vorticity norm (one time-step; bin width = RMS = %.3f)\n", r.RMS)
+	b.WriteString(r.Histogram.String())
+	return b.String()
+}
+
+// Fig2PDF histograms the vorticity norm over one time-step with 10 bins of
+// width RMS — the analogue of the paper's 10 bins of width 10 (their
+// vorticity RMS ≈ 10).
+func (e *Env) Fig2PDF(step int) (*Fig2Result, error) {
+	c, err := e.Cluster(ClusterOpts{})
+	if err != nil {
+		return nil, err
+	}
+	rms, err := e.NormRMS(c, derived.Vorticity, step)
+	if err != nil {
+		return nil, err
+	}
+	counts, _, err := RunPDF(c, query.PDF{
+		Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step,
+		Bins: 10, Min: 0, Width: rms,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h, err := hist.FromCounts(0, rms, counts)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{RMS: rms, Histogram: h}, nil
+}
+
+// NormRMS computes the RMS of a field's norm at a step from a fine PDF.
+func (e *Env) NormRMS(c *cluster.Cluster, fieldName string, step int) (float64, error) {
+	top, _, err := RunTopK(c, query.TopK{
+		Dataset: e.Dataset(), Field: fieldName, Timestep: step, K: 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	maxV := float64(top[0].Value)
+	if maxV <= 0 {
+		return 0, nil
+	}
+	bins := 2048
+	width := maxV / float64(bins-1)
+	counts, _, err := RunPDF(c, query.PDF{
+		Dataset: e.Dataset(), Field: fieldName, Timestep: step,
+		Bins: bins, Min: 0, Width: width,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum2, total float64
+	for i, cnt := range counts {
+		center := (float64(i) + 0.5) * width
+		sum2 += float64(cnt) * center * center
+		total += float64(cnt)
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return sqrt(sum2 / total), nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations are plenty for table output precision.
+	z := x
+	for i := 0; i < 40; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}
+
+// Fig4Result reports points above k×RMS of the vorticity (paper Fig. 4:
+// 2.4×10⁵ points above 7×RMS at 1024³; Sec. 4 also quotes 2.6×10⁵ above
+// 8×RMS).
+type Fig4Result struct {
+	RMS  float64
+	Rows []Fig4Row
+}
+
+// Fig4Row is one RMS multiple.
+type Fig4Row struct {
+	Multiple      float64
+	Points        int
+	Fraction      float64
+	PaperFraction float64
+}
+
+// String renders the table.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 4 — points above k×RMS of the vorticity (RMS = %.3f)\n", r.RMS)
+	fmt.Fprintf(&b, "%6s %10s %12s %14s\n", "k", "points", "fraction", "paper frac")
+	for _, row := range r.Rows {
+		paper := "-"
+		if row.PaperFraction > 0 {
+			paper = fmt.Sprintf("%.2e", row.PaperFraction)
+		}
+		fmt.Fprintf(&b, "%6.1f %10d %12.2e %14s\n", row.Multiple, row.Points, row.Fraction, paper)
+	}
+	return b.String()
+}
+
+// Fig4Count counts vorticity points above 7×RMS and 8×RMS.
+func (e *Env) Fig4Count(step int) (*Fig4Result, error) {
+	c, err := e.Cluster(ClusterOpts{})
+	if err != nil {
+		return nil, err
+	}
+	rms, err := e.NormRMS(c, derived.Vorticity, step)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{RMS: rms}
+	paperFrac := map[float64]float64{
+		7: 2.4e5 / float64(paperTotal),
+		8: 2.6e5 / float64(paperTotal),
+	}
+	for _, mult := range []float64{6, 7, 8} {
+		pts, _, err := RunThreshold(c, query.Threshold{
+			Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step,
+			Threshold: mult * rms,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig4Row{
+			Multiple: mult, Points: len(pts),
+			Fraction:      float64(len(pts)) / float64(e.Points()),
+			PaperFraction: paperFrac[mult],
+		})
+	}
+	return res, nil
+}
+
+// Fig3Result summarizes 4-D friends-of-friends clustering of high-vorticity
+// points across all time-steps (paper Fig. 3).
+type Fig3Result struct {
+	Threshold     float64
+	TotalPoints   int
+	Clusters      int
+	MostIntense   fof.Cluster
+	LifespanSteps int
+}
+
+// String renders the summary.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 3 — 4-D FoF clustering of high-vorticity points (threshold %.3f)\n", r.Threshold)
+	fmt.Fprintf(&b, "  points across all steps: %d\n", r.TotalPoints)
+	fmt.Fprintf(&b, "  clusters found:          %d\n", r.Clusters)
+	fmt.Fprintf(&b, "  most intense event:      peak %.3f at (%d,%d,%d) t=%d, cluster size %d, lifespan %d steps\n",
+		r.MostIntense.Peak.Value, r.MostIntense.Peak.X, r.MostIntense.Peak.Y, r.MostIntense.Peak.Z,
+		r.MostIntense.Peak.T, r.MostIntense.Size(), r.LifespanSteps)
+	return b.String()
+}
+
+// Fig3Worms thresholds the vorticity at the 99.8th percentile in every
+// time-step and clusters the result in 4-D.
+func (e *Env) Fig3Worms() (*Fig3Result, error) {
+	c, err := e.Cluster(ClusterOpts{WithCache: true})
+	if err != nil {
+		return nil, err
+	}
+	// pick the threshold on step 0 and reuse it for all steps, as a
+	// scientist comparing time-steps would
+	count := e.Points() / 500
+	if count < 8 {
+		count = 8
+	}
+	top, _, err := RunTopK(c, query.TopK{
+		Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: 0, K: count,
+	})
+	if err != nil {
+		return nil, err
+	}
+	thr := float64(top[len(top)-1].Value)
+
+	var pts []fof.Point
+	for step := 0; step < e.Setup.Steps; step++ {
+		stepPts, _, err := RunThreshold(c, query.Threshold{
+			Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step, Threshold: thr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range stepPts {
+			coords := p.Coords()
+			pts = append(pts, fof.Point{
+				X: coords.X, Y: coords.Y, Z: coords.Z, T: step, Value: p.Value,
+			})
+		}
+	}
+	clusters, err := fof.FindClusters(pts, fof.Params{
+		LinkLength: 2.0, TimeLink: 1, Periodic: e.Setup.GridN,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("fig3: no clusters found")
+	}
+	most := clusters[0]
+	return &Fig3Result{
+		Threshold: thr, TotalPoints: len(pts), Clusters: len(clusters),
+		MostIntense: most, LifespanSteps: most.MaxT - most.MinT + 1,
+	}, nil
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+// ScalePoint is one (parallelism, time) sample of a scaling sweep.
+type ScalePoint struct {
+	Parallelism int
+	Total       time.Duration
+	IO          time.Duration
+	Compute     time.Duration
+	Speedup     float64
+}
+
+// ScaleSeries is one threshold level's scaling curve.
+type ScaleSeries struct {
+	Level  Level
+	Points []ScalePoint
+}
+
+// Fig7Result reproduces Fig. 7(a) (scale-up: processes per node on a fixed
+// cluster) or Fig. 7(b) (scale-out: node count at one process per node).
+type Fig7Result struct {
+	Kind   string // "scale-up" or "scale-out"
+	Series []ScaleSeries
+}
+
+// String renders the speedup table.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7 (%s) — speedup of threshold queries (cold cache)\n", r.Kind)
+	fmt.Fprintf(&b, "%8s", "level")
+	for _, p := range r.Series[0].Points {
+		fmt.Fprintf(&b, " %7s=%d", "par", p.Parallelism)
+	}
+	b.WriteString("\n")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%8s", s.Level.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, " %8.2fx", p.Speedup)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%8s", "(ms)")
+	for _, p := range r.Series[len(r.Series)-1].Points {
+		fmt.Fprintf(&b, " %9s", strings.TrimSpace(ms(p.Total)))
+	}
+	b.WriteString("   <- low-threshold totals\n")
+	return b.String()
+}
+
+// Fig7aScaleUp sweeps 1–8 worker processes per node on the default cluster
+// (cache disabled so every run evaluates from the raw data).
+func (e *Env) Fig7aScaleUp(step int) (*Fig7Result, error) {
+	c, err := e.Cluster(ClusterOpts{Processes: 1})
+	if err != nil {
+		return nil, err
+	}
+	levels, err := e.Levels(c, derived.Vorticity, step)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Kind: "scale-up"}
+	for _, lv := range levels {
+		series := ScaleSeries{Level: lv}
+		var base time.Duration
+		for _, procs := range []int{1, 2, 4, 8} {
+			if err := c.Mediator.SetProcesses(procs); err != nil {
+				return nil, err
+			}
+			_, stats, err := RunThreshold(c, query.Threshold{
+				Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step,
+				Threshold: lv.Threshold,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if procs == 1 {
+				base = stats.Total
+			}
+			series.Points = append(series.Points, ScalePoint{
+				Parallelism: procs, Total: stats.Total,
+				IO: stats.NodeCritical.IO, Compute: stats.NodeCritical.Compute,
+				Speedup: float64(base) / float64(stats.Total),
+			})
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Fig7bScaleOut sweeps the node count 1–8 at one process per node.
+func (e *Env) Fig7bScaleOut(step int) (*Fig7Result, error) {
+	// thresholds are dataset properties: pick them once
+	ref, err := e.Cluster(ClusterOpts{Nodes: 4, Processes: 1})
+	if err != nil {
+		return nil, err
+	}
+	levels, err := e.Levels(ref, derived.Vorticity, step)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Kind: "scale-out"}
+	series := make([]ScaleSeries, len(levels))
+	for i, lv := range levels {
+		series[i] = ScaleSeries{Level: lv}
+	}
+	var base [3]time.Duration
+	for _, nodes := range []int{1, 2, 4, 8} {
+		c, err := e.Cluster(ClusterOpts{Nodes: nodes, Processes: 1})
+		if err != nil {
+			return nil, err
+		}
+		for i, lv := range levels {
+			_, stats, err := RunThreshold(c, query.Threshold{
+				Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step,
+				Threshold: lv.Threshold,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if nodes == 1 {
+				base[i] = stats.Total
+			}
+			series[i].Points = append(series[i].Points, ScalePoint{
+				Parallelism: nodes, Total: stats.Total,
+				IO: stats.NodeCritical.IO, Compute: stats.NodeCritical.Compute,
+				Speedup: float64(base[i]) / float64(stats.Total),
+			})
+		}
+	}
+	res.Series = series
+	return res, nil
+}
+
+// Fig8Row is one process count of the total-vs-I/O comparison.
+type Fig8Row struct {
+	Processes int
+	Total     time.Duration
+	IOOnly    time.Duration
+}
+
+// Fig8Result reproduces Fig. 8: the medium-threshold query's total running
+// time against the time taken to perform the I/O only, for 1–8 processes
+// per node.
+type Fig8Result struct {
+	Level Level
+	Rows  []Fig8Row
+}
+
+// String renders the table.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8 — total running time vs I/O-only time (medium threshold %.3f)\n", r.Level.Threshold)
+	fmt.Fprintf(&b, "%6s %12s %12s %8s\n", "procs", "total (ms)", "I/O (ms)", "I/O frac")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %12s %12s %7.0f%%\n",
+			row.Processes, strings.TrimSpace(ms(row.Total)), strings.TrimSpace(ms(row.IOOnly)),
+			100*float64(row.IOOnly)/float64(row.Total))
+	}
+	return b.String()
+}
+
+// Fig8IOBreakdown runs the medium-threshold query with 1–8 processes and
+// reports total and I/O-phase times. The I/O phase is a barrier in the node
+// pipeline (data are read into memory before computing), so its duration is
+// exactly the paper's "I/O only" run.
+func (e *Env) Fig8IOBreakdown(step int) (*Fig8Result, error) {
+	c, err := e.Cluster(ClusterOpts{Processes: 1})
+	if err != nil {
+		return nil, err
+	}
+	levels, err := e.Levels(c, derived.Vorticity, step)
+	if err != nil {
+		return nil, err
+	}
+	medium := levels[1]
+	res := &Fig8Result{Level: medium}
+	for _, procs := range []int{1, 2, 4, 8} {
+		if err := c.Mediator.SetProcesses(procs); err != nil {
+			return nil, err
+		}
+		_, stats, err := RunThreshold(c, query.Threshold{
+			Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step,
+			Threshold: medium.Threshold,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig8Row{
+			Processes: procs, Total: stats.Total, IOOnly: stats.NodeCritical.IO,
+		})
+	}
+	return res, nil
+}

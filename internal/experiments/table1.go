@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/cluster"
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+// Table1Row is one threshold level of the cache-effectiveness experiment.
+type Table1Row struct {
+	Level    Level
+	NoCache  time.Duration // evaluation on a cacheless cluster
+	Miss     time.Duration // cache present, entry dropped before the run
+	Hit      time.Duration // warm cache
+	HitRatio float64       // NoCache / Hit — the headline speedup
+	Overhead float64       // Miss/NoCache − 1 — the cache-interrogation cost
+}
+
+// Table1Result reproduces Table 1 and Fig. 6: execution time of threshold
+// queries at high/medium/low thresholds without a cache, on a cache miss,
+// and on a cache hit.
+type Table1Result struct {
+	Field string
+	Rows  []Table1Row
+}
+
+// String renders the table in the paper's layout.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 / Fig 6 — effectiveness of caching (%s)\n", r.Field)
+	fmt.Fprintf(&b, "%8s %10s %9s | %10s %10s %10s | %8s %9s\n",
+		"level", "threshold", "points", "no cache", "miss", "hit", "hit×", "miss ovh")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8s %10.3f %9d | %sms %sms %sms | %7.1fx %8.1f%%\n",
+			row.Level.Name, row.Level.Threshold, row.Level.Points,
+			ms(row.NoCache), ms(row.Miss), ms(row.Hit),
+			row.HitRatio, 100*row.Overhead)
+	}
+	return b.String()
+}
+
+// pollute issues unrelated queries so that hits are measured against a
+// cache holding other entries, as in the paper's protocol ("we then submit
+// several more unrelated queries ... in order to pollute the cache").
+func (e *Env) pollute(c *cluster.Cluster, fieldName string, avoidStep int, levels [3]Level) error {
+	for step := 0; step < e.Setup.Steps; step++ {
+		if step == avoidStep {
+			continue
+		}
+		if _, _, err := RunThreshold(c, query.Threshold{
+			Dataset: e.Dataset(), Field: fieldName, Timestep: step,
+			Threshold: levels[0].Threshold,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table1CacheEffectiveness measures no-cache, cache-miss and cache-hit
+// execution times for the vorticity at the paper's three threshold levels.
+func (e *Env) Table1CacheEffectiveness(step int) (*Table1Result, error) {
+	noCache, err := e.Cluster(ClusterOpts{})
+	if err != nil {
+		return nil, err
+	}
+	cached, err := e.Cluster(ClusterOpts{WithCache: true})
+	if err != nil {
+		return nil, err
+	}
+	levels, err := e.Levels(noCache, derived.Vorticity, step)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table1Result{Field: derived.Vorticity}
+	for _, lv := range levels {
+		q := query.Threshold{
+			Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step,
+			Threshold: lv.Threshold,
+		}
+		// no cache
+		_, sNo, err := RunThreshold(noCache, q)
+		if err != nil {
+			return nil, err
+		}
+		// cache miss: drop the entry for this time-step first, exactly as
+		// the paper's cache-miss runs did
+		if err := cached.Mediator.DropCache(derived.Vorticity, 0, step); err != nil {
+			return nil, err
+		}
+		_, sMiss, err := RunThreshold(cached, q)
+		if err != nil {
+			return nil, err
+		}
+		// warm up (the miss above warmed it), pollute, then measure the hit
+		if err := e.pollute(cached, derived.Vorticity, step, levels); err != nil {
+			return nil, err
+		}
+		pts, sHit, err := RunThreshold(cached, q)
+		if err != nil {
+			return nil, err
+		}
+		if sHit.CacheHits != e.Setup.Nodes {
+			return nil, fmt.Errorf("table1: hit run hit only %d/%d caches", sHit.CacheHits, e.Setup.Nodes)
+		}
+		if len(pts) != lv.Points {
+			return nil, fmt.Errorf("table1: hit returned %d points, expected %d", len(pts), lv.Points)
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Level:    lv,
+			NoCache:  sNo.Total,
+			Miss:     sMiss.Total,
+			Hit:      sHit.Total,
+			HitRatio: float64(sNo.Total) / float64(sHit.Total),
+			Overhead: float64(sMiss.Total)/float64(sNo.Total) - 1,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,156 @@
+// Package fft implements an iterative radix-2 complex fast Fourier transform
+// in one and three dimensions.
+//
+// The synthetic-turbulence generator (internal/synth) builds velocity and
+// magnetic fields in spectral space — random Fourier modes shaped by a
+// prescribed energy spectrum and projected onto the divergence-free
+// subspace — and transforms them to physical space with the inverse 3-D FFT
+// here. Only power-of-two sizes are supported, which matches the 2ⁿ grids
+// used throughout the system.
+//
+// Conventions: Forward computes X[k] = Σ_n x[n]·exp(−2πi·kn/N) (no scaling);
+// Inverse computes x[n] = (1/N)·Σ_k X[k]·exp(+2πi·kn/N), so
+// Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Forward performs an in-place forward FFT of x. len(x) must be a power of
+// two.
+func Forward(x []complex128) error { return transform(x, -1) }
+
+// Inverse performs an in-place inverse FFT of x, including the 1/N scaling.
+// len(x) must be a power of two.
+func Inverse(x []complex128) error {
+	if err := transform(x, +1); err != nil {
+		return err
+	}
+	scale := 1 / float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])*scale, imag(x[i])*scale)
+	}
+	return nil
+}
+
+// transform runs the iterative Cooley–Tukey butterfly with sign = −1 for
+// forward and +1 for inverse (unscaled).
+func transform(x []complex128, sign float64) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// bit-reversal permutation
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// butterflies
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		theta := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(theta), math.Sin(theta))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// Grid3 is a dense 3-D complex array of side N (N³ elements) indexed as
+// data[(z*N+y)*N+x]. It supports in-place forward/inverse 3-D transforms.
+type Grid3 struct {
+	N    int
+	Data []complex128
+}
+
+// NewGrid3 allocates an N×N×N complex grid. N must be a power of two.
+func NewGrid3(n int) (*Grid3, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: grid side %d is not a positive power of two", n)
+	}
+	return &Grid3{N: n, Data: make([]complex128, n*n*n)}, nil
+}
+
+// At returns the element at (x, y, z).
+func (g *Grid3) At(x, y, z int) complex128 { return g.Data[(z*g.N+y)*g.N+x] }
+
+// Set stores v at (x, y, z).
+func (g *Grid3) Set(x, y, z int, v complex128) { g.Data[(z*g.N+y)*g.N+x] = v }
+
+// Forward performs an in-place 3-D forward FFT.
+func (g *Grid3) Forward() error { return g.transform3(Forward) }
+
+// Inverse performs an in-place 3-D inverse FFT (scaled by 1/N³ overall).
+func (g *Grid3) Inverse() error { return g.transform3(Inverse) }
+
+// transform3 applies the given 1-D transform along x, then y, then z.
+func (g *Grid3) transform3(t func([]complex128) error) error {
+	n := g.N
+	line := make([]complex128, n)
+	// along x: contiguous
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			row := g.Data[(z*n+y)*n : (z*n+y)*n+n]
+			if err := t(row); err != nil {
+				return err
+			}
+		}
+	}
+	// along y: stride n
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			base := z*n*n + x
+			for y := 0; y < n; y++ {
+				line[y] = g.Data[base+y*n]
+			}
+			if err := t(line); err != nil {
+				return err
+			}
+			for y := 0; y < n; y++ {
+				g.Data[base+y*n] = line[y]
+			}
+		}
+	}
+	// along z: stride n²
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			base := y*n + x
+			for z := 0; z < n; z++ {
+				line[z] = g.Data[base+z*n*n]
+			}
+			if err := t(line); err != nil {
+				return err
+			}
+			for z := 0; z < n; z++ {
+				g.Data[base+z*n*n] = line[z]
+			}
+		}
+	}
+	return nil
+}
+
+// WaveNumber maps a DFT index k in [0, N) to the signed integer wavenumber
+// in [−N/2, N/2): indices above N/2 alias to negative frequencies.
+func WaveNumber(k, n int) int {
+	if k >= n/2 {
+		return k - n
+	}
+	return k
+}

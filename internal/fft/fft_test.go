@@ -1,0 +1,245 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(N²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff vs naive DFT = %g", n, d)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 128, 1024} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		if err := Forward(y); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse(y); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(x, y); d > 1e-10*float64(n) {
+			t.Errorf("n=%d: round trip error %g", n, d)
+		}
+	}
+}
+
+func TestNonPowerOfTwoRejected(t *testing.T) {
+	if err := Forward(make([]complex128, 3)); err == nil {
+		t.Error("Forward accepted length 3")
+	}
+	if err := Inverse(make([]complex128, 12)); err == nil {
+		t.Error("Inverse accepted length 12")
+	}
+	if _, err := NewGrid3(3); err == nil {
+		t.Error("NewGrid3 accepted side 3")
+	}
+	if _, err := NewGrid3(0); err == nil {
+		t.Error("NewGrid3 accepted side 0")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if err := Forward(nil); err != nil {
+		t.Errorf("Forward(nil) = %v", err)
+	}
+	x := []complex128{complex(3, -4)}
+	if err := Forward(x); err != nil || x[0] != complex(3, -4) {
+		t.Errorf("Forward of singleton changed value: %v %v", x, err)
+	}
+}
+
+// A pure sinusoid must transform to a single spectral spike.
+func TestSinusoidSpike(t *testing.T) {
+	n := 64
+	kWant := 5
+	x := make([]complex128, n)
+	for j := 0; j < n; j++ {
+		angle := 2 * math.Pi * float64(kWant) * float64(j) / float64(n)
+		x[j] = cmplx.Exp(complex(0, angle))
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		want := 0.0
+		if k == kWant {
+			want = float64(n)
+		}
+		if math.Abs(cmplx.Abs(x[k])-want) > 1e-9 {
+			t.Errorf("bin %d: |X| = %g, want %g", k, cmplx.Abs(x[k]), want)
+		}
+	}
+}
+
+// Parseval: Σ|x|² == (1/N)·Σ|X|².
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 256
+	x := make([]complex128, n)
+	var sumTime float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		sumTime += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	var sumFreq float64
+	for _, v := range x {
+		sumFreq += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(sumTime-sumFreq/float64(n)) > 1e-8*sumTime {
+		t.Errorf("Parseval violated: time %g vs freq/N %g", sumTime, sumFreq/float64(n))
+	}
+}
+
+func TestGrid3RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := NewGrid3(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = g.Data[i]
+	}
+	if err := g.Forward(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Inverse(); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(g.Data, orig); d > 1e-10 {
+		t.Errorf("3-D round trip error %g", d)
+	}
+}
+
+// A 3-D plane wave must produce a single spectral spike at its wavevector.
+func TestGrid3PlaneWave(t *testing.T) {
+	n := 8
+	g, err := NewGrid3(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kx, ky, kz := 2, 3, 1
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				angle := 2 * math.Pi * float64(kx*x+ky*y+kz*z) / float64(n)
+				g.Set(x, y, z, cmplx.Exp(complex(0, angle)))
+			}
+		}
+	}
+	if err := g.Forward(); err != nil {
+		t.Fatal(err)
+	}
+	n3 := float64(n * n * n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				want := 0.0
+				if x == kx && y == ky && z == kz {
+					want = n3
+				}
+				if math.Abs(cmplx.Abs(g.At(x, y, z))-want) > 1e-8 {
+					t.Fatalf("bin (%d,%d,%d): |X| = %g, want %g",
+						x, y, z, cmplx.Abs(g.At(x, y, z)), want)
+				}
+			}
+		}
+	}
+}
+
+func TestWaveNumber(t *testing.T) {
+	n := 8
+	want := []int{0, 1, 2, 3, -4, -3, -2, -1}
+	for k := 0; k < n; k++ {
+		if got := WaveNumber(k, n); got != want[k] {
+			t.Errorf("WaveNumber(%d,%d) = %d, want %d", k, n, got, want[k])
+		}
+	}
+}
+
+func TestGrid3Accessors(t *testing.T) {
+	g, _ := NewGrid3(4)
+	g.Set(1, 2, 3, complex(7, -7))
+	if got := g.At(1, 2, 3); got != complex(7, -7) {
+		t.Errorf("At = %v", got)
+	}
+	if got := g.Data[(3*4+2)*4+1]; got != complex(7, -7) {
+		t.Errorf("layout mismatch: %v", got)
+	}
+}
+
+func BenchmarkForward1D_1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Forward(x)
+	}
+}
+
+func BenchmarkGrid3_64(b *testing.B) {
+	g, _ := NewGrid3(64)
+	rng := rand.New(rand.NewSource(6))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Forward()
+		_ = g.Inverse()
+	}
+}

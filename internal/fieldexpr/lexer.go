@@ -1,0 +1,131 @@
+// Package fieldexpr implements the declarative derived-field interface the
+// paper's conclusion proposes: "declarative and graphical user interfaces
+// that will allow users to combine existing building blocks and perform
+// computations that have not been explicitly implemented".
+//
+// An expression names one stored field and composes building blocks around
+// it; the compiler turns it into a derived.Field that the threshold engine
+// evaluates like any built-in field — including computing the kernel
+// half-width (nested differential operators widen the halo band fetched
+// from adjacent nodes automatically). Examples:
+//
+//	curl(velocity)                      // the built-in vorticity
+//	norm(grad(pressure))                // pressure-gradient magnitude
+//	cross(velocity, curl(velocity))     // the Lamb vector
+//	div(grad(pressure))                 // Laplacian via composition
+//	qcrit(grad(velocity)) - 0.5*trace(grad(velocity))
+//
+// Grammar (function application plus infix arithmetic):
+//
+//	expr    = term { ("+" | "-") term }
+//	term    = factor { ("*" | "/") factor }
+//	factor  = number | ident | ident "(" expr { "," expr } ")"
+//	        | "(" expr ")" | "-" factor
+//
+// Values are typed by component count: scalars (1), vectors (3) and
+// rank-two tensors (9, row-major ∂u_i/∂x_j). An expression may reference
+// exactly one stored field (the engine reads a single raw field per query).
+package fieldexpr
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+)
+
+// token is one lexeme.
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+// String renders the token for error messages.
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of expression"
+	case tokNumber:
+		return fmt.Sprintf("number %q", t.text)
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			out = append(out, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			out = append(out, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == ',':
+			out = append(out, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '+':
+			out = append(out, token{kind: tokPlus, text: "+", pos: i})
+			i++
+		case c == '-':
+			out = append(out, token{kind: tokMinus, text: "-", pos: i})
+			i++
+		case c == '*':
+			out = append(out, token{kind: tokStar, text: "*", pos: i})
+			i++
+		case c == '/':
+			out = append(out, token{kind: tokSlash, text: "/", pos: i})
+			i++
+		case unicode.IsDigit(c) || c == '.':
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			text := src[i:j]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fieldexpr: bad number %q at %d", text, i)
+			}
+			out = append(out, token{kind: tokNumber, text: text, num: v, pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			out = append(out, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("fieldexpr: unexpected character %q at %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: len(src)})
+	return out, nil
+}

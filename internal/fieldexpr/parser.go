@@ -1,0 +1,214 @@
+package fieldexpr
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+	raws map[string]int // stored field name → component count
+	used map[string]bool
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) accept(k tokenKind) bool {
+	if p.toks[p.pos].kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("fieldexpr: expected %s at %d, found %s", what, t.pos, t)
+	}
+	return t, nil
+}
+
+// unaryFuncs maps function names to unary building blocks.
+var unaryFuncs = map[string]unaryKind{
+	"curl":    opCurl,
+	"grad":    opGrad,
+	"div":     opDiv,
+	"norm":    opNorm,
+	"abs":     opAbs,
+	"trace":   opTrace,
+	"det":     opDet,
+	"sym":     opSym,
+	"antisym": opAntisym,
+	"qcrit":   opQCrit,
+	"rinv":    opRInv,
+}
+
+// binaryFuncs maps function names to two-argument building blocks.
+var binaryFuncs = map[string]binKind{
+	"dot":   opDot,
+	"cross": opCross,
+	"comp":  opComp,
+}
+
+// parseExpr parses additive expressions.
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokPlus):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left, err = typeBinary(opAdd, "+", left, right)
+			if err != nil {
+				return nil, err
+			}
+		case p.accept(tokMinus):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left, err = typeBinary(opSub, "-", left, right)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseTerm parses multiplicative expressions.
+func (p *parser) parseTerm() (node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokStar):
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left, err = typeBinary(opMul, "*", left, right)
+			if err != nil {
+				return nil, err
+			}
+		case p.accept(tokSlash):
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left, err = typeBinary(opDivide, "/", left, right)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseFactor parses literals, identifiers, calls, parens and unary minus.
+func (p *parser) parseFactor() (node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		return numberNode{v: t.num}, nil
+	case tokMinus:
+		arg, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return typeUnary(opNeg, "-", arg)
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		if p.peek().kind != tokLParen {
+			// stored field reference
+			nc, ok := p.raws[t.text]
+			if !ok {
+				return nil, fmt.Errorf("fieldexpr: unknown field %q at %d (stored fields: %v)",
+					t.text, t.pos, keysOf(p.raws))
+			}
+			p.used[t.text] = true
+			return rawNode{name: t.text, nc: nc}, nil
+		}
+		p.next() // consume "("
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		if kind, ok := unaryFuncs[t.text]; ok {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("fieldexpr: %s takes 1 argument, got %d", t.text, len(args))
+			}
+			return typeUnary(kind, t.text, args[0])
+		}
+		if kind, ok := binaryFuncs[t.text]; ok {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("fieldexpr: %s takes 2 arguments, got %d", t.text, len(args))
+			}
+			return typeBinary(kind, t.text, args[0], args[1])
+		}
+		return nil, fmt.Errorf("fieldexpr: unknown function %q at %d", t.text, t.pos)
+	default:
+		return nil, fmt.Errorf("fieldexpr: unexpected %s", t)
+	}
+}
+
+// parseArgs parses a call's argument list after the opening paren.
+func (p *parser) parseArgs() ([]node, error) {
+	var args []node
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.accept(tokComma) {
+			continue
+		}
+		if _, err := p.expect(tokRParen, `")" or ","`); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+}
+
+func keysOf(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// parse builds the typed tree from source.
+func parse(src string, raws map[string]int) (node, map[string]bool, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{toks: toks, raws: raws, used: make(map[string]bool)}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, nil, fmt.Errorf("fieldexpr: trailing %s", t)
+	}
+	return root, p.used, nil
+}

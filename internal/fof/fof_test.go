@@ -1,0 +1,201 @@
+package fof
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustClusters(t *testing.T, pts []Point, p Params) []Cluster {
+	t.Helper()
+	cs, err := FindClusters(pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FindClusters(nil, Params{LinkLength: 0}); err == nil {
+		t.Error("accepted zero link length")
+	}
+	if _, err := FindClusters(nil, Params{LinkLength: 1, TimeLink: -1}); err == nil {
+		t.Error("accepted negative time link")
+	}
+	if _, err := FindClusters(nil, Params{LinkLength: 1, Periodic: -4}); err == nil {
+		t.Error("accepted negative domain")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	cs := mustClusters(t, nil, Params{LinkLength: 1})
+	if cs != nil {
+		t.Errorf("clusters of nothing: %v", cs)
+	}
+}
+
+func TestTwoSeparateGroups(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0, Z: 0, Value: 1},
+		{X: 1, Y: 0, Z: 0, Value: 2},
+		{X: 0, Y: 1, Z: 0, Value: 3},
+		{X: 20, Y: 20, Z: 20, Value: 9},
+		{X: 21, Y: 20, Z: 20, Value: 4},
+	}
+	cs := mustClusters(t, pts, Params{LinkLength: 1.5})
+	if len(cs) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(cs))
+	}
+	// sorted by peak: cluster 0 has peak 9
+	if cs[0].Peak.Value != 9 || cs[0].Size() != 2 {
+		t.Errorf("cluster 0: peak %v size %d", cs[0].Peak.Value, cs[0].Size())
+	}
+	if cs[1].Peak.Value != 3 || cs[1].Size() != 3 {
+		t.Errorf("cluster 1: peak %v size %d", cs[1].Peak.Value, cs[1].Size())
+	}
+}
+
+func TestChainLinking(t *testing.T) {
+	// a chain of points each within link length of the next must form one
+	// cluster even though the ends are far apart
+	var pts []Point
+	for i := 0; i < 30; i++ {
+		pts = append(pts, Point{X: i, Y: 0, Z: 0, Value: float32(i)})
+	}
+	cs := mustClusters(t, pts, Params{LinkLength: 1.0})
+	if len(cs) != 1 {
+		t.Fatalf("chain split into %d clusters", len(cs))
+	}
+	if cs[0].Size() != 30 {
+		t.Errorf("chain cluster size %d", cs[0].Size())
+	}
+}
+
+func TestDiagonalDistance(t *testing.T) {
+	// (0,0,0) and (1,1,1): distance √3 ≈ 1.73
+	pts := []Point{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 1, Z: 1}}
+	if cs := mustClusters(t, pts, Params{LinkLength: 1.7}); len(cs) != 2 {
+		t.Error("linked across > link length")
+	}
+	if cs := mustClusters(t, pts, Params{LinkLength: 1.8}); len(cs) != 1 {
+		t.Error("failed to link within link length")
+	}
+}
+
+func TestPeriodicWrapping(t *testing.T) {
+	// points at opposite domain edges are neighbors under periodicity
+	pts := []Point{{X: 0, Y: 5, Z: 5}, {X: 15, Y: 5, Z: 5}}
+	if cs := mustClusters(t, pts, Params{LinkLength: 1.5, Periodic: 16}); len(cs) != 1 {
+		t.Error("periodic images not linked")
+	}
+	if cs := mustClusters(t, pts, Params{LinkLength: 1.5}); len(cs) != 2 {
+		t.Error("non-periodic run wrongly linked edges")
+	}
+}
+
+func Test3DModeSeparatesTimesteps(t *testing.T) {
+	pts := []Point{
+		{X: 5, Y: 5, Z: 5, T: 0, Value: 1},
+		{X: 5, Y: 5, Z: 5, T: 1, Value: 2},
+	}
+	cs := mustClusters(t, pts, Params{LinkLength: 1})
+	if len(cs) != 2 {
+		t.Errorf("3-D mode linked across time: %d clusters", len(cs))
+	}
+}
+
+func Test4DModeTracksAcrossTime(t *testing.T) {
+	// a "worm" drifting one cell per step
+	var pts []Point
+	for step := 0; step < 5; step++ {
+		pts = append(pts, Point{X: 10 + step, Y: 3, Z: 3, T: step, Value: float32(step)})
+	}
+	// plus an unrelated event at a distant location and time
+	pts = append(pts, Point{X: 50, Y: 50, Z: 50, T: 9, Value: 100})
+	cs := mustClusters(t, pts, Params{LinkLength: 1.5, TimeLink: 1, Periodic: 64})
+	if len(cs) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(cs))
+	}
+	// most intense first
+	if cs[0].Size() != 1 || cs[0].Peak.Value != 100 {
+		t.Errorf("cluster 0: %+v", cs[0])
+	}
+	worm := cs[1]
+	if worm.Size() != 5 {
+		t.Errorf("worm size %d", worm.Size())
+	}
+	if worm.MinT != 0 || worm.MaxT != 4 {
+		t.Errorf("worm span [%d,%d]", worm.MinT, worm.MaxT)
+	}
+}
+
+func TestTimeLinkGap(t *testing.T) {
+	// same location, steps 0 and 2, time link 1 → separate clusters;
+	// time link 2 → one cluster
+	pts := []Point{
+		{X: 1, Y: 1, Z: 1, T: 0},
+		{X: 1, Y: 1, Z: 1, T: 2},
+	}
+	if cs := mustClusters(t, pts, Params{LinkLength: 1, TimeLink: 1}); len(cs) != 2 {
+		t.Error("gap of 2 steps linked with time link 1")
+	}
+	if cs := mustClusters(t, pts, Params{LinkLength: 1, TimeLink: 2}); len(cs) != 1 {
+		t.Error("gap of 2 steps not linked with time link 2")
+	}
+}
+
+// Property: FoF output must not depend on input order.
+func TestOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var pts []Point
+	for i := 0; i < 300; i++ {
+		pts = append(pts, Point{
+			X: rng.Intn(32), Y: rng.Intn(32), Z: rng.Intn(32),
+			Value: rng.Float32(),
+		})
+	}
+	p := Params{LinkLength: 2.0, Periodic: 32}
+	a := mustClusters(t, pts, p)
+	shuffled := append([]Point(nil), pts...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	b := mustClusters(t, shuffled, p)
+	if len(a) != len(b) {
+		t.Fatalf("cluster count depends on order: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Size() != b[i].Size() || a[i].Peak.Value != b[i].Peak.Value {
+			t.Fatalf("cluster %d differs: %d/%v vs %d/%v",
+				i, a[i].Size(), a[i].Peak.Value, b[i].Size(), b[i].Peak.Value)
+		}
+	}
+}
+
+// Property: union of all clusters is exactly the input point set.
+func TestClustersPartitionInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var pts []Point
+	for i := 0; i < 500; i++ {
+		pts = append(pts, Point{X: rng.Intn(64), Y: rng.Intn(64), Z: rng.Intn(64), T: rng.Intn(3)})
+	}
+	cs := mustClusters(t, pts, Params{LinkLength: 1.8, TimeLink: 1, Periodic: 64})
+	total := 0
+	for _, c := range cs {
+		total += c.Size()
+	}
+	if total != len(pts) {
+		t.Errorf("clusters cover %d points, input had %d", total, len(pts))
+	}
+}
+
+func BenchmarkFoF10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	var pts []Point
+	for i := 0; i < 10000; i++ {
+		pts = append(pts, Point{X: rng.Intn(128), Y: rng.Intn(128), Z: rng.Intn(128)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindClusters(pts, Params{LinkLength: 2, Periodic: 128}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

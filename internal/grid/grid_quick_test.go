@@ -1,0 +1,108 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Wrap always lands in [0, N) and is periodic with period N.
+func TestQuickWrapPeriodicity(t *testing.T) {
+	g := mustGrid(t, 64, 8)
+	f := func(c int32, kRaw int8) bool {
+		c64 := int(c % 10000)
+		k := int(kRaw)
+		w := g.Wrap(c64)
+		if w < 0 || w >= g.N {
+			return false
+		}
+		return g.Wrap(c64+k*g.N) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every atom returned by AtomsCovering intersects the wrapped box,
+// and every point of the box lies in some returned atom.
+func TestQuickAtomsCoveringCompleteness(t *testing.T) {
+	g := mustGrid(t, 32, 8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := Point{X: rng.Intn(32) - 4, Y: rng.Intn(32) - 4, Z: rng.Intn(32) - 4}
+		b := Box{Lo: lo, Hi: lo.Add(1+rng.Intn(16), 1+rng.Intn(16), 1+rng.Intn(16))}
+		codes, err := g.AtomsCovering(b)
+		if err != nil {
+			return false
+		}
+		owned := map[uint64]bool{}
+		for _, c := range codes {
+			owned[uint64(c)] = true
+		}
+		// completeness: every point's wrapped atom is in the cover
+		var p Point
+		for p.Z = b.Lo.Z; p.Z < b.Hi.Z; p.Z++ {
+			for p.Y = b.Lo.Y; p.Y < b.Hi.Y; p.Y++ {
+				for p.X = b.Lo.X; p.X < b.Hi.X; p.X++ {
+					if !owned[uint64(g.AtomCode(p))] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intersect is commutative, contained in both operands, and
+// idempotent with self.
+func TestQuickIntersectAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		randBox := func() Box {
+			lo := Point{X: rng.Intn(20) - 10, Y: rng.Intn(20) - 10, Z: rng.Intn(20) - 10}
+			return Box{Lo: lo, Hi: lo.Add(rng.Intn(12), rng.Intn(12), rng.Intn(12))}
+		}
+		a, b := randBox(), randBox()
+		ab := a.Intersect(b)
+		ba := b.Intersect(a)
+		if ab != ba {
+			return false
+		}
+		if !ab.Empty() {
+			if !a.ContainsBox(ab) || !b.ContainsBox(ab) {
+				return false
+			}
+		}
+		if !a.Empty() && a.Intersect(a) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Expand(h) then Expand(-h) is the identity, and the expansion
+// contains the original.
+func TestQuickExpandInverse(t *testing.T) {
+	f := func(xo, yo, zo int8, hRaw uint8) bool {
+		h := int(hRaw % 5)
+		b := Box{
+			Lo: Point{X: int(xo), Y: int(yo), Z: int(zo)},
+			Hi: Point{X: int(xo) + 3, Y: int(yo) + 4, Z: int(zo) + 5},
+		}
+		e := b.Expand(h)
+		if !e.ContainsBox(b) {
+			return false
+		}
+		return e.Expand(-h) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

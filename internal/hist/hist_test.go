@@ -1,0 +1,125 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 0); err == nil {
+		t.Error("accepted zero bins")
+	}
+	if _, err := New(0, 0, 5); err == nil {
+		t.Error("accepted zero width")
+	}
+	if _, err := FromCounts(0, 1, nil); err == nil {
+		t.Error("accepted empty counts")
+	}
+}
+
+func TestAddAndBin(t *testing.T) {
+	h, _ := New(0, 10, 10)
+	for _, v := range []float64{-5, 0, 9.99, 10, 55, 95, 1e9} {
+		h.Add(v)
+	}
+	if h.Counts[0] != 3 { // -5, 0, 9.99
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[5] != 1 {
+		t.Errorf("bins = %v", h.Counts)
+	}
+	if h.Counts[9] != 2 { // 95 and the huge value clamp into the open bin
+		t.Errorf("open bin = %d", h.Counts[9])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := New(0, 1, 4)
+	b, _ := New(0, 1, 4)
+	a.Add(0.5)
+	b.Add(0.5)
+	b.Add(3.5)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts[0] != 2 || a.Counts[3] != 1 {
+		t.Errorf("merged = %v", a.Counts)
+	}
+	c, _ := New(0, 2, 4)
+	if err := a.Merge(c); err == nil {
+		t.Error("merged mismatched geometry")
+	}
+	d, _ := New(1, 1, 4)
+	if err := a.Merge(d); err == nil {
+		t.Error("merged mismatched min")
+	}
+}
+
+func TestEdgeLabels(t *testing.T) {
+	h, _ := New(0, 10, 3)
+	if h.EdgeLabel(0) != "[0,10)" || h.EdgeLabel(2) != "[20,..)" {
+		t.Errorf("labels: %q %q", h.EdgeLabel(0), h.EdgeLabel(2))
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	h, _ := New(0, 1, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Add(rng.Float64() * 100)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := q * 100
+		if math.Abs(got-want) > 1.5 {
+			t.Errorf("Quantile(%g) = %g, want ≈ %g", q, got, want)
+		}
+	}
+	// clamping
+	if h.Quantile(-1) > h.Quantile(0.001) {
+		t.Error("negative q not clamped")
+	}
+	if h.Quantile(2) < h.Quantile(0.999) {
+		t.Error("q>1 not clamped")
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h, _ := New(5, 1, 4)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("empty quantile = %g", got)
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	h, _ := New(0, 10, 5)
+	for _, v := range []float64{5, 15, 25, 35, 45, 46} {
+		h.Add(v)
+	}
+	if got := h.CountAbove(20); got != 4 {
+		t.Errorf("CountAbove(20) = %d", got)
+	}
+	if got := h.CountAbove(0); got != 6 {
+		t.Errorf("CountAbove(0) = %d", got)
+	}
+}
+
+func TestStringRendersBars(t *testing.T) {
+	h, _ := New(0, 10, 3)
+	for i := 0; i < 1000; i++ {
+		h.Add(1)
+	}
+	h.Add(15)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Error("no bars rendered")
+	}
+	if !strings.Contains(s, "[0,10)") || !strings.Contains(s, "1000") {
+		t.Errorf("rendering missing content:\n%s", s)
+	}
+}

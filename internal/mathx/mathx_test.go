@@ -1,0 +1,222 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randMat(rng *rand.Rand) Mat3 {
+	var m Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m[i][j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, 5, 6}
+	if got := v.Add(w); got != (Vec3{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, -3, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Cross(w); got != (Vec3{-3, 6, -3}) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := (Vec3{3, 4, 0}).Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		v := Vec3{clamp(a), clamp(b), clamp(c)}
+		w := Vec3{clamp(d), clamp(e), clamp(g)}
+		x := v.Cross(w)
+		return approx(x.Dot(v), 0, 1e-9) && approx(x.Dot(w), 0, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 1e3)
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	id := Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	rng := rand.New(rand.NewSource(1))
+	m := randMat(rng)
+	if got := m.Mul(id); got != m {
+		t.Errorf("m·I = %v, want %v", got, m)
+	}
+	if got := id.Mul(m); got != m {
+		t.Errorf("I·m = %v, want %v", got, m)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		m := randMat(rng)
+		if got := m.Transpose().Transpose(); got != m {
+			t.Fatalf("double transpose changed matrix")
+		}
+	}
+}
+
+func TestSymAntisymDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		m := randMat(rng)
+		s, o := m.Sym(), m.Antisym()
+		sum := s.Add(o)
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				if !approx(sum[r][c], m[r][c], eps) {
+					t.Fatalf("S+Ω != m at (%d,%d)", r, c)
+				}
+				if !approx(s[r][c], s[c][r], eps) {
+					t.Fatalf("Sym not symmetric")
+				}
+				if !approx(o[r][c], -o[c][r], eps) {
+					t.Fatalf("Antisym not antisymmetric")
+				}
+			}
+		}
+	}
+}
+
+func TestDetKnown(t *testing.T) {
+	m := Mat3{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}
+	if got := m.Det(); got != 24 {
+		t.Errorf("Det = %v, want 24", got)
+	}
+	singular := Mat3{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	if got := singular.Det(); !approx(got, 0, eps) {
+		t.Errorf("Det of singular = %v, want 0", got)
+	}
+}
+
+func TestTraceAndFrobenius(t *testing.T) {
+	m := Mat3{{1, 2, 0}, {0, 5, 0}, {0, 0, -3}}
+	if got := m.Trace(); got != 3 {
+		t.Errorf("Trace = %v", got)
+	}
+	if got := m.FrobeniusNorm(); !approx(got, math.Sqrt(1+4+25+9), eps) {
+		t.Errorf("FrobeniusNorm = %v", got)
+	}
+}
+
+// The curl of a gradient tensor built from an antisymmetric field equals
+// twice the rotation vector.
+func TestCurlOfRigidRotation(t *testing.T) {
+	// Rigid body rotation u = ω₀ × x has gradient ∂u_i/∂x_j with
+	// curl(u) = 2ω₀.
+	w0 := Vec3{0.3, -1.2, 0.7}
+	var g Mat3
+	// u_x = w0.Y*z - w0.Z*y, etc.
+	g[0][1] = -w0.Z
+	g[0][2] = w0.Y
+	g[1][0] = w0.Z
+	g[1][2] = -w0.X
+	g[2][0] = -w0.Y
+	g[2][1] = w0.X
+	got := g.Curl()
+	want := w0.Scale(2)
+	if !approx(got.X, want.X, eps) || !approx(got.Y, want.Y, eps) || !approx(got.Z, want.Z, eps) {
+		t.Errorf("Curl = %v, want %v", got, want)
+	}
+}
+
+// Cayley–Hamilton: m³ + P·m² + Q·m + R·I = 0 for the invariants as defined.
+func TestInvariantsCayleyHamilton(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		m := randMat(rng)
+		p, q, r := m.Invariants()
+		m2 := m.Mul(m)
+		m3 := m2.Mul(m)
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				v := m3[a][b] + p*m2[a][b] + q*m[a][b]
+				if a == b {
+					v += r
+				}
+				if !approx(v, 0, 1e-9) {
+					t.Fatalf("Cayley-Hamilton violated at (%d,%d): %v", a, b, v)
+				}
+			}
+		}
+	}
+}
+
+// For a trace-free tensor, QCriterion (strain/rotation form) must equal the
+// second principal invariant.
+func TestQCriterionMatchesInvariantForTraceFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		m := randMat(rng)
+		// project out the trace
+		tr := m.Trace() / 3
+		for d := 0; d < 3; d++ {
+			m[d][d] -= tr
+		}
+		_, q, _ := m.Invariants()
+		if got := m.QCriterion(); !approx(got, q, 1e-9) {
+			t.Fatalf("QCriterion = %v, invariant Q = %v", got, q)
+		}
+	}
+}
+
+func TestMatAddScale(t *testing.T) {
+	m := Mat3{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	sum := m.Add(m)
+	twice := m.Scale(2)
+	if sum != twice {
+		t.Errorf("m+m != 2m: %v vs %v", sum, twice)
+	}
+}
+
+func BenchmarkQCriterion(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	m := randMat(rng)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.QCriterion()
+	}
+	_ = sink
+}
+
+func BenchmarkCurl(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := randMat(rng)
+	var sink Vec3
+	for i := 0; i < b.N; i++ {
+		sink = sink.Add(m.Curl())
+	}
+	_ = sink
+}

@@ -1,0 +1,307 @@
+// Package mediator implements the front-end Web-server role of the paper's
+// architecture (Fig. 1 and Fig. 5): it receives user queries, breaks each
+// one into parts according to the spatial partitioning of the data,
+// submits the parts asynchronously to the database nodes, assembles the
+// distributed results, and returns them to the user.
+//
+// The mediator also produces the query-time accounting the paper's Fig. 9
+// breakdowns report: per-phase node times (cache lookup, I/O, compute) on
+// the cluster critical path, mediator↔DB communication, and mediator↔user
+// communication — both of which grow proportionally to the result size.
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/netmodel"
+	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+// RequestWireBytes is the modeled size of one query request envelope.
+const RequestWireBytes = 512
+
+// NodeClient is the mediator's view of one database node. *node.Node
+// satisfies it directly; the wire package provides an HTTP-backed
+// implementation.
+type NodeClient interface {
+	GetThreshold(p *sim.Proc, q query.Threshold) (*node.ThresholdResult, error)
+	GetPDF(p *sim.Proc, q query.PDF) (*node.PDFResult, error)
+	GetTopK(p *sim.Proc, q query.TopK) (*node.TopKResult, error)
+	DropCacheEntry(fieldName string, order, step int) error
+	SetProcesses(p int) error
+	Grid() grid.Grid
+	Dataset() string
+}
+
+// Config assembles a Mediator.
+type Config struct {
+	// Nodes are the database nodes serving this mediator's dataset.
+	Nodes []NodeClient
+	// Kernel enables simulation mode (asynchronous submission as DES
+	// processes, communication charged to links). nil = real mode.
+	Kernel *sim.Kernel
+	// NodeLinks are per-node mediator↔node links (same length as Nodes);
+	// required in simulation mode.
+	NodeLinks []*netmodel.Link
+	// UserLink is the mediator↔user path; required in simulation mode.
+	UserLink *netmodel.Link
+}
+
+// Mediator is the query front end. Safe for concurrent use in real mode.
+type Mediator struct {
+	nodes     []NodeClient
+	kernel    *sim.Kernel
+	nodeLinks []*netmodel.Link
+	userLink  *netmodel.Link
+	exec      *node.Exec
+}
+
+// New validates the config and builds a Mediator.
+func New(cfg Config) (*Mediator, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("mediator: at least one node required")
+	}
+	ds := cfg.Nodes[0].Dataset()
+	for _, n := range cfg.Nodes[1:] {
+		if n.Dataset() != ds {
+			return nil, fmt.Errorf("mediator: nodes serve different datasets (%q vs %q)", ds, n.Dataset())
+		}
+	}
+	if cfg.Kernel != nil {
+		if len(cfg.NodeLinks) != len(cfg.Nodes) {
+			return nil, fmt.Errorf("mediator: %d node links for %d nodes", len(cfg.NodeLinks), len(cfg.Nodes))
+		}
+		if cfg.UserLink == nil {
+			return nil, fmt.Errorf("mediator: user link required in simulation mode")
+		}
+	}
+	return &Mediator{
+		nodes:     cfg.Nodes,
+		kernel:    cfg.Kernel,
+		nodeLinks: cfg.NodeLinks,
+		userLink:  cfg.UserLink,
+		exec:      &node.Exec{Kernel: cfg.Kernel},
+	}, nil
+}
+
+// Nodes returns the mediator's node clients.
+func (m *Mediator) Nodes() []NodeClient { return m.nodes }
+
+// Grid returns the dataset geometry.
+func (m *Mediator) Grid() grid.Grid { return m.nodes[0].Grid() }
+
+// Dataset returns the dataset name served.
+func (m *Mediator) Dataset() string { return m.nodes[0].Dataset() }
+
+// QueryStats is the cluster-level accounting of one query — the inputs to
+// the paper's Fig. 6/8/9 measurements.
+type QueryStats struct {
+	// Total is the end-to-end time from submission to results delivered to
+	// the user (virtual in simulation mode, wall-clock otherwise).
+	Total time.Duration
+	// NodeCritical is the element-wise maximum of per-node phase times: the
+	// cluster critical path through cache lookup, I/O and compute.
+	NodeCritical node.Breakdown
+	// MediatorDBComm is the fan-out wall time not accounted to node phases:
+	// request/response transfers and queueing between mediator and nodes.
+	MediatorDBComm time.Duration
+	// MediatorUserComm is the time to deliver the result to the user.
+	MediatorUserComm time.Duration
+	// Points is the result size.
+	Points int
+	// CacheHits counts nodes that answered from their semantic cache.
+	CacheHits int
+	// ResponseBytes is the total modeled size of node responses.
+	ResponseBytes int
+}
+
+// Threshold evaluates a threshold query across the cluster: the query is
+// submitted to every node asynchronously, per-node results are merged and
+// ordered, the global result limit is enforced, and the result is delivered
+// to the user.
+func (m *Mediator) Threshold(p *sim.Proc, q query.Threshold) ([]query.ResultPoint, *QueryStats, error) {
+	domain := m.Grid().Domain()
+	q = q.Normalize(domain)
+	if err := q.Validate(domain); err != nil {
+		return nil, nil, err
+	}
+
+	stats := &QueryStats{}
+	start := m.exec.Now()
+
+	results := make([]*node.ThresholdResult, len(m.nodes))
+	errs := make([]error, len(m.nodes))
+	m.exec.Fork(p, len(m.nodes), func(i int, wp *sim.Proc) {
+		if m.kernel != nil {
+			m.nodeLinks[i].Transfer(wp, RequestWireBytes)
+		}
+		results[i], errs[i] = m.nodes[i].GetThreshold(wp, q)
+		if m.kernel != nil && errs[i] == nil {
+			m.nodeLinks[i].Transfer(wp, query.WireBytes(len(results[i].Points)))
+		}
+	})
+	fanout := m.exec.Now() - start
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var pts []query.ResultPoint
+	for _, r := range results {
+		pts = append(pts, r.Points...)
+		stats.NodeCritical.Max(r.Breakdown)
+		if r.FromCache {
+			stats.CacheHits++
+		}
+		stats.ResponseBytes += query.WireBytes(len(r.Points))
+	}
+	if len(pts) > q.Limit {
+		return nil, nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: len(pts)}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Code < pts[j].Code })
+
+	stats.MediatorDBComm = fanout - stats.NodeCritical.Total
+	if stats.MediatorDBComm < 0 {
+		stats.MediatorDBComm = 0
+	}
+
+	// deliver to the user
+	userStart := m.exec.Now()
+	if m.kernel != nil {
+		m.userLink.Transfer(p, query.WireBytes(len(pts)))
+	}
+	stats.MediatorUserComm = m.exec.Now() - userStart
+	stats.Points = len(pts)
+	stats.Total = m.exec.Now() - start
+	return pts, stats, nil
+}
+
+// PDF evaluates a histogram query across the cluster and merges per-node
+// bin counts.
+func (m *Mediator) PDF(p *sim.Proc, q query.PDF) ([]int64, *QueryStats, error) {
+	domain := m.Grid().Domain()
+	q = q.Normalize(domain)
+	if err := q.Validate(domain); err != nil {
+		return nil, nil, err
+	}
+	stats := &QueryStats{}
+	start := m.exec.Now()
+	results := make([]*node.PDFResult, len(m.nodes))
+	errs := make([]error, len(m.nodes))
+	m.exec.Fork(p, len(m.nodes), func(i int, wp *sim.Proc) {
+		if m.kernel != nil {
+			m.nodeLinks[i].Transfer(wp, RequestWireBytes)
+		}
+		results[i], errs[i] = m.nodes[i].GetPDF(wp, q)
+		if m.kernel != nil && errs[i] == nil {
+			m.nodeLinks[i].Transfer(wp, 16*q.Bins)
+		}
+	})
+	fanout := m.exec.Now() - start
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	counts := make([]int64, q.Bins)
+	for _, r := range results {
+		for i, c := range r.Counts {
+			counts[i] += c
+		}
+		stats.NodeCritical.Max(r.Breakdown)
+	}
+	stats.MediatorDBComm = fanout - stats.NodeCritical.Total
+	if stats.MediatorDBComm < 0 {
+		stats.MediatorDBComm = 0
+	}
+	userStart := m.exec.Now()
+	if m.kernel != nil {
+		m.userLink.Transfer(p, 16*q.Bins)
+	}
+	stats.MediatorUserComm = m.exec.Now() - userStart
+	stats.Total = m.exec.Now() - start
+	return counts, stats, nil
+}
+
+// TopK evaluates a top-k query across the cluster: every node returns its k
+// best candidates and the mediator keeps the global k largest.
+func (m *Mediator) TopK(p *sim.Proc, q query.TopK) ([]query.ResultPoint, *QueryStats, error) {
+	domain := m.Grid().Domain()
+	q = q.Normalize(domain)
+	if err := q.Validate(domain); err != nil {
+		return nil, nil, err
+	}
+	stats := &QueryStats{}
+	start := m.exec.Now()
+	results := make([]*node.TopKResult, len(m.nodes))
+	errs := make([]error, len(m.nodes))
+	m.exec.Fork(p, len(m.nodes), func(i int, wp *sim.Proc) {
+		if m.kernel != nil {
+			m.nodeLinks[i].Transfer(wp, RequestWireBytes)
+		}
+		results[i], errs[i] = m.nodes[i].GetTopK(wp, q)
+		if m.kernel != nil && errs[i] == nil {
+			m.nodeLinks[i].Transfer(wp, query.WireBytes(len(results[i].Points)))
+		}
+	})
+	fanout := m.exec.Now() - start
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var all []query.ResultPoint
+	for _, r := range results {
+		all = append(all, r.Points...)
+		stats.NodeCritical.Max(r.Breakdown)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Value != all[j].Value {
+			return all[i].Value > all[j].Value
+		}
+		return all[i].Code < all[j].Code
+	})
+	if len(all) > q.K {
+		all = all[:q.K]
+	}
+	stats.MediatorDBComm = fanout - stats.NodeCritical.Total
+	if stats.MediatorDBComm < 0 {
+		stats.MediatorDBComm = 0
+	}
+	userStart := m.exec.Now()
+	if m.kernel != nil {
+		m.userLink.Transfer(p, query.WireBytes(len(all)))
+	}
+	stats.MediatorUserComm = m.exec.Now() - userStart
+	stats.Points = len(all)
+	stats.Total = m.exec.Now() - start
+	return all, stats, nil
+}
+
+// DropCache removes cached results for (field, order, step) on every node —
+// the cold-cache knob of the paper's experiments.
+func (m *Mediator) DropCache(fieldName string, order, step int) error {
+	for _, n := range m.nodes {
+		if err := n.DropCacheEntry(fieldName, order, step); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetProcesses sets the per-query worker count on every node (the scale-up
+// knob of Fig. 7a).
+func (m *Mediator) SetProcesses(procs int) error {
+	for _, n := range m.nodes {
+		if err := n.SetProcesses(procs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

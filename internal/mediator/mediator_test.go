@@ -1,0 +1,233 @@
+package mediator
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sim"
+	"github.com/turbdb/turbdb/internal/store"
+	"github.com/turbdb/turbdb/internal/synth"
+)
+
+// buildNodes assembles a cacheless in-process cluster of database nodes
+// (without the cluster package, which depends on this one's client view
+// only conceptually; here we keep the dependency direction clean).
+func buildNodes(t testing.TB, nNodes int) ([]*node.Node, *synth.Generator) {
+	t.Helper()
+	gen, err := synth.New(synth.Params{N: 16, Seed: 5, Kind: synth.Isotropic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Grid()
+	ranges := g.AtomRange().Split(nNodes, 1)
+	nodes := make([]*node.Node, nNodes)
+	for i := range nodes {
+		st, err := store.New(store.Config{Grid: g, Owned: ranges[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rf := range gen.RawFields() {
+			if err := st.CreateField(store.FieldMeta{Name: rf.Name, NComp: rf.NComp}); err != nil {
+				t.Fatal(err)
+			}
+			bl, err := gen.Field(rf.Name, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.IngestBlock(rf.Name, 0, bl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes[i], err = node.New(node.Config{ID: i, Dataset: "isotropic", Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range nodes {
+		nodes[i].SetPeers(&fanFetcher{nodes: nodes, self: i})
+	}
+	return nodes, gen
+}
+
+type fanFetcher struct {
+	nodes []*node.Node
+	self  int
+}
+
+func (f *fanFetcher) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	out := make(map[morton.Code][]byte, len(codes))
+	for _, c := range codes {
+		for i, n := range f.nodes {
+			if i == f.self || !n.Owned().Contains(c) {
+				continue
+			}
+			blobs, err := n.FetchAtoms(p, rawField, step, []morton.Code{c})
+			if err != nil {
+				return nil, err
+			}
+			out[c] = blobs[c]
+			break
+		}
+	}
+	return out, nil
+}
+
+func mediatorOver(t testing.TB, nodes []*node.Node) *Mediator {
+	t.Helper()
+	clients := make([]NodeClient, len(nodes))
+	for i, n := range nodes {
+		clients[i] = n
+	}
+	m, err := New(Config{Nodes: clients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	nodes, _ := buildNodes(t, 2)
+	clients := []NodeClient{nodes[0], nodes[1]}
+	k := sim.New()
+	if _, err := New(Config{Nodes: clients, Kernel: k}); err == nil {
+		t.Error("accepted sim mode without links")
+	}
+}
+
+func TestThresholdMergesAndSorts(t *testing.T) {
+	nodes, _ := buildNodes(t, 4)
+	m := mediatorOver(t, nodes)
+	pts, stats, err := m.Threshold(nil, query.Threshold{
+		Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Code < pts[j].Code }) {
+		t.Error("merged result not sorted by Morton code")
+	}
+	if stats.Points != len(pts) {
+		t.Errorf("stats.Points = %d, len = %d", stats.Points, len(pts))
+	}
+	if stats.Total <= 0 {
+		t.Error("no total time measured")
+	}
+	// single-node result must equal 4-node result
+	single, _ := buildNodes(t, 1)
+	ms := mediatorOver(t, single)
+	pts1, _, err := ms.Threshold(nil, query.Threshold{
+		Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts1) != len(pts) {
+		t.Fatalf("1-node %d points vs 4-node %d", len(pts1), len(pts))
+	}
+	for i := range pts {
+		if pts[i] != pts1[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestGlobalLimitEnforced(t *testing.T) {
+	nodes, _ := buildNodes(t, 2)
+	m := mediatorOver(t, nodes)
+	_, _, err := m.Threshold(nil, query.Threshold{
+		Dataset: "isotropic", Field: derived.Velocity, Threshold: 0, Limit: 50,
+	})
+	if !errors.Is(err, query.ErrThresholdTooLow) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvalidQueryRejected(t *testing.T) {
+	nodes, _ := buildNodes(t, 1)
+	m := mediatorOver(t, nodes)
+	if _, _, err := m.Threshold(nil, query.Threshold{Field: "f", Threshold: 1}); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if _, _, err := m.PDF(nil, query.PDF{Dataset: "isotropic", Field: "f", Bins: 0, Width: 1}); err == nil {
+		t.Error("bad PDF accepted")
+	}
+	if _, _, err := m.TopK(nil, query.TopK{Dataset: "isotropic", Field: "f", K: 0}); err == nil {
+		t.Error("bad TopK accepted")
+	}
+}
+
+func TestPDFMergesCounts(t *testing.T) {
+	nodes, _ := buildNodes(t, 4)
+	m := mediatorOver(t, nodes)
+	counts, stats, err := m.PDF(nil, query.PDF{
+		Dataset: "isotropic", Field: derived.Pressure, Bins: 6, Width: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 16*16*16 {
+		t.Errorf("PDF total %d", total)
+	}
+	if stats.Total <= 0 {
+		t.Error("no timing")
+	}
+}
+
+func TestTopKGlobalMerge(t *testing.T) {
+	nodes, _ := buildNodes(t, 4)
+	m := mediatorOver(t, nodes)
+	top, _, err := m.TopK(nil, query.TopK{Dataset: "isotropic", Field: derived.Vorticity, K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 7 {
+		t.Fatalf("got %d", len(top))
+	}
+	// cross-check: the max from a threshold-0-ish scan must equal top[0]
+	pts, _, err := m.Threshold(nil, query.Threshold{
+		Dataset: "isotropic", Field: derived.Vorticity, Threshold: float64(top[6].Value),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxV float32
+	for _, p := range pts {
+		if p.Value > maxV {
+			maxV = p.Value
+		}
+	}
+	if maxV != top[0].Value {
+		t.Errorf("threshold max %v != top-1 %v", maxV, top[0].Value)
+	}
+}
+
+func TestSetProcessesFansOut(t *testing.T) {
+	nodes, _ := buildNodes(t, 3)
+	m := mediatorOver(t, nodes)
+	if err := m.SetProcesses(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if n.Processes() != 4 {
+			t.Errorf("node %d processes = %d", n.ID(), n.Processes())
+		}
+	}
+	if err := m.SetProcesses(0); err == nil {
+		t.Error("SetProcesses(0) accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Package morton implements 3-D Morton (z-order) space-filling-curve codes.
+//
+// The Johns Hopkins Turbulence Databases partition each simulation time-step
+// into small cubic "atoms" and key every atom by the Morton code of its
+// lower-left corner. Contiguous ranges of the Morton curve are then assigned
+// to database nodes, which keeps spatially adjacent atoms mostly co-located
+// while giving a one-dimensional key that a conventional ordered store can
+// index. This package provides the encoding, decoding and range arithmetic
+// that the storage and partitioning layers build on.
+//
+// Codes interleave the bits of the (x, y, z) coordinates with x occupying the
+// least significant position of each 3-bit group. Up to 21 bits per axis are
+// supported, so coordinates must lie in [0, 2^21).
+package morton
+
+import "fmt"
+
+// MaxCoord is the exclusive upper bound for encodable coordinates.
+const MaxCoord = 1 << 21
+
+// Code is a 3-D Morton code. The zero Code is the origin (0,0,0).
+type Code uint64
+
+// masks for the bit-spreading trick: spread 21 bits across 63 bits with
+// two-bit gaps, using the classic magic-number sequence.
+const (
+	mask0 = 0x1fffff           // 21 ones
+	mask1 = 0x1f00000000ffff   // after shift 32
+	mask2 = 0x1f0000ff0000ff   // after shift 16
+	mask3 = 0x100f00f00f00f00f // after shift 8
+	mask4 = 0x10c30c30c30c30c3 // after shift 4
+	mask5 = 0x1249249249249249 // after shift 2
+)
+
+// spread inserts two zero bits between each of the low 21 bits of v.
+func spread(v uint64) uint64 {
+	v &= mask0
+	v = (v | v<<32) & mask1
+	v = (v | v<<16) & mask2
+	v = (v | v<<8) & mask3
+	v = (v | v<<4) & mask4
+	v = (v | v<<2) & mask5
+	return v
+}
+
+// compact is the inverse of spread.
+func compact(v uint64) uint64 {
+	v &= mask5
+	v = (v | v>>2) & mask4
+	v = (v | v>>4) & mask3
+	v = (v | v>>8) & mask2
+	v = (v | v>>16) & mask1
+	v = (v | v>>32) & mask0
+	return v
+}
+
+// Encode packs the coordinates (x, y, z) into a Morton code. Coordinates
+// outside [0, MaxCoord) are masked to their low 21 bits; callers that may
+// hold unchecked values should validate first (see EncodeChecked).
+func Encode(x, y, z uint32) Code {
+	return Code(spread(uint64(x)) | spread(uint64(y))<<1 | spread(uint64(z))<<2)
+}
+
+// EncodeChecked is Encode with range validation.
+func EncodeChecked(x, y, z uint32) (Code, error) {
+	if x >= MaxCoord || y >= MaxCoord || z >= MaxCoord {
+		return 0, fmt.Errorf("morton: coordinate (%d,%d,%d) out of range [0,%d)", x, y, z, MaxCoord)
+	}
+	return Encode(x, y, z), nil
+}
+
+// Decode unpacks a Morton code into its (x, y, z) coordinates.
+func (c Code) Decode() (x, y, z uint32) {
+	return uint32(compact(uint64(c))), uint32(compact(uint64(c) >> 1)), uint32(compact(uint64(c) >> 2))
+}
+
+// X returns the x coordinate encoded in c.
+func (c Code) X() uint32 { return uint32(compact(uint64(c))) }
+
+// Y returns the y coordinate encoded in c.
+func (c Code) Y() uint32 { return uint32(compact(uint64(c) >> 1)) }
+
+// Z returns the z coordinate encoded in c.
+func (c Code) Z() uint32 { return uint32(compact(uint64(c) >> 2)) }
+
+// String renders the code with its decoded coordinates, for logs and errors.
+func (c Code) String() string {
+	x, y, z := c.Decode()
+	return fmt.Sprintf("z%d(%d,%d,%d)", uint64(c), x, y, z)
+}
+
+// Range is a half-open interval [Lo, Hi) of Morton codes. Ranges partition
+// the curve across database nodes.
+type Range struct {
+	Lo, Hi Code
+}
+
+// Contains reports whether c lies in the range.
+func (r Range) Contains(c Code) bool { return c >= r.Lo && c < r.Hi }
+
+// Empty reports whether the range contains no codes.
+func (r Range) Empty() bool { return r.Hi <= r.Lo }
+
+// Split divides r into n contiguous sub-ranges of as-equal-as-possible size,
+// aligned to the given code granularity (pass 1 for exact splits, or the
+// number of codes per atom to keep atoms unsplit). The returned slice always
+// has length n; trailing ranges may be empty when r is small.
+func (r Range) Split(n int, granularity Code) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if granularity < 1 {
+		granularity = 1
+	}
+	total := uint64(r.Hi-r.Lo) / uint64(granularity)
+	out := make([]Range, n)
+	lo := r.Lo
+	for i := 0; i < n; i++ {
+		count := total / uint64(n)
+		if uint64(i) < total%uint64(n) {
+			count++
+		}
+		hi := lo + Code(count*uint64(granularity))
+		if hi > r.Hi {
+			hi = r.Hi
+		}
+		out[i] = Range{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	out[n-1].Hi = r.Hi
+	return out
+}
+
+// CellCount returns the number of codes in the range.
+func (r Range) CellCount() uint64 {
+	if r.Empty() {
+		return 0
+	}
+	return uint64(r.Hi - r.Lo)
+}
+
+// CubeRange returns the Morton range covering the cube [0,side)³.
+// side must be a power of two; a cube of side s occupies exactly s³
+// consecutive codes starting at zero, a property the partitioner relies on.
+func CubeRange(side uint32) Range {
+	s := uint64(side)
+	return Range{Lo: 0, Hi: Code(s * s * s)}
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v uint32) bool { return v != 0 && v&(v-1) == 0 }
+
+// AlignedCubeContains reports whether the Morton-aligned cube of the given
+// power-of-two side whose lower corner has code base contains code c.
+// Such cubes occupy exactly side³ consecutive codes.
+func AlignedCubeContains(base Code, side uint32, c Code) bool {
+	n := uint64(side)
+	span := Code(n * n * n)
+	return c >= base && c < base+span
+}

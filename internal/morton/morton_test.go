@@ -1,0 +1,223 @@
+package morton
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x %= MaxCoord
+		y %= MaxCoord
+		z %= MaxCoord
+		gx, gy, gz := Encode(x, y, z).Decode()
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y, z uint32
+		want    Code
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 1},
+		{0, 1, 0, 2},
+		{0, 0, 1, 4},
+		{1, 1, 1, 7},
+		{2, 0, 0, 8},
+		{0, 2, 0, 16},
+		{0, 0, 2, 32},
+		{3, 3, 3, 63},
+		{7, 7, 7, 511},
+	}
+	for _, c := range cases {
+		if got := Encode(c.x, c.y, c.z); got != c.want {
+			t.Errorf("Encode(%d,%d,%d) = %d, want %d", c.x, c.y, c.z, got, c.want)
+		}
+	}
+}
+
+func TestEncodeChecked(t *testing.T) {
+	if _, err := EncodeChecked(MaxCoord, 0, 0); err == nil {
+		t.Error("EncodeChecked accepted out-of-range x")
+	}
+	if _, err := EncodeChecked(0, MaxCoord, 0); err == nil {
+		t.Error("EncodeChecked accepted out-of-range y")
+	}
+	if _, err := EncodeChecked(0, 0, MaxCoord); err == nil {
+		t.Error("EncodeChecked accepted out-of-range z")
+	}
+	c, err := EncodeChecked(MaxCoord-1, MaxCoord-1, MaxCoord-1)
+	if err != nil {
+		t.Fatalf("EncodeChecked rejected max valid coordinate: %v", err)
+	}
+	x, y, z := c.Decode()
+	if x != MaxCoord-1 || y != MaxCoord-1 || z != MaxCoord-1 {
+		t.Errorf("round trip of max coordinate failed: (%d,%d,%d)", x, y, z)
+	}
+}
+
+// Morton order must refine octant order: two points that differ only within
+// an aligned power-of-two cube sort inside that cube's contiguous code span.
+func TestAlignedCubeContiguity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		side := uint32(1) << (1 + rng.Intn(5)) // 2..32
+		// pick an aligned cube corner
+		cx := (rng.Uint32() % 256) / side * side
+		cy := (rng.Uint32() % 256) / side * side
+		cz := (rng.Uint32() % 256) / side * side
+		base := Encode(cx, cy, cz)
+		// every point inside the cube must land in [base, base+side³)
+		for i := 0; i < 20; i++ {
+			px := cx + rng.Uint32()%side
+			py := cy + rng.Uint32()%side
+			pz := cz + rng.Uint32()%side
+			c := Encode(px, py, pz)
+			if !AlignedCubeContains(base, side, c) {
+				t.Fatalf("point (%d,%d,%d) code %d outside cube span [%d,%d)",
+					px, py, pz, c, base, base+Code(side)*Code(side)*Code(side))
+			}
+		}
+	}
+}
+
+func TestXYZAccessors(t *testing.T) {
+	c := Encode(123, 45678, 999)
+	if c.X() != 123 || c.Y() != 45678 || c.Z() != 999 {
+		t.Errorf("accessors returned (%d,%d,%d)", c.X(), c.Y(), c.Z())
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Lo: 10, Hi: 20}
+	if !r.Contains(10) || !r.Contains(19) {
+		t.Error("Contains rejected in-range codes")
+	}
+	if r.Contains(9) || r.Contains(20) {
+		t.Error("Contains accepted out-of-range codes")
+	}
+	if r.Empty() {
+		t.Error("non-empty range reported Empty")
+	}
+	if !(Range{Lo: 5, Hi: 5}).Empty() {
+		t.Error("empty range not reported Empty")
+	}
+	if got := r.CellCount(); got != 10 {
+		t.Errorf("CellCount = %d, want 10", got)
+	}
+	if got := (Range{Lo: 7, Hi: 3}).CellCount(); got != 0 {
+		t.Errorf("CellCount of inverted range = %d, want 0", got)
+	}
+}
+
+func TestSplitCoversRangeExactly(t *testing.T) {
+	r := CubeRange(64) // 262144 codes
+	for _, n := range []int{1, 2, 3, 4, 7, 8} {
+		parts := r.Split(n, 512) // granularity = one 8³ atom
+		if len(parts) != n {
+			t.Fatalf("Split(%d) returned %d parts", n, len(parts))
+		}
+		if parts[0].Lo != r.Lo || parts[n-1].Hi != r.Hi {
+			t.Fatalf("Split(%d) does not span the range: %v", n, parts)
+		}
+		for i := 1; i < n; i++ {
+			if parts[i].Lo != parts[i-1].Hi {
+				t.Fatalf("Split(%d) has a gap between part %d and %d", n, i-1, i)
+			}
+		}
+		var total uint64
+		for _, p := range parts {
+			if uint64(p.Lo)%512 != 0 {
+				t.Fatalf("Split(%d) produced unaligned boundary at %d", n, p.Lo)
+			}
+			total += p.CellCount()
+		}
+		if total != r.CellCount() {
+			t.Fatalf("Split(%d) covers %d codes, want %d", n, total, r.CellCount())
+		}
+	}
+}
+
+func TestSplitDegenerate(t *testing.T) {
+	if parts := (Range{}).Split(0, 1); parts != nil {
+		t.Error("Split(0) should return nil")
+	}
+	parts := (Range{Lo: 0, Hi: 512}).Split(4, 512)
+	// one atom across four parts: first gets it, rest empty, last absorbs Hi
+	var nonEmpty int
+	for _, p := range parts {
+		if !p.Empty() {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Errorf("expected exactly 1 non-empty part, got %d (%v)", nonEmpty, parts)
+	}
+}
+
+func TestCubeRange(t *testing.T) {
+	r := CubeRange(8)
+	if r.Lo != 0 || r.Hi != 512 {
+		t.Errorf("CubeRange(8) = %v, want [0,512)", r)
+	}
+	// every code in the range must decode inside the cube, and vice versa
+	for c := r.Lo; c < r.Hi; c++ {
+		x, y, z := c.Decode()
+		if x >= 8 || y >= 8 || z >= 8 {
+			t.Fatalf("code %d decodes outside cube: (%d,%d,%d)", c, x, y, z)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint32{1, 2, 4, 1024, 1 << 20} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []uint32{0, 3, 6, 100, 1<<20 + 1} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestMortonOrderLocality(t *testing.T) {
+	// Codes of the 8 corners of the unit cube must be exactly 0..7.
+	seen := map[Code]bool{}
+	for x := uint32(0); x < 2; x++ {
+		for y := uint32(0); y < 2; y++ {
+			for z := uint32(0); z < 2; z++ {
+				seen[Encode(x, y, z)] = true
+			}
+		}
+	}
+	for c := Code(0); c < 8; c++ {
+		if !seen[c] {
+			t.Errorf("code %d missing from unit cube corners", c)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var sink Code
+	for i := 0; i < b.N; i++ {
+		sink += Encode(uint32(i), uint32(i>>1), uint32(i>>2))
+	}
+	_ = sink
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		x, y, z := Code(i).Decode()
+		sink += x + y + z
+	}
+	_ = sink
+}

@@ -1,0 +1,100 @@
+// Package netmodel models the network paths of the analysis environment on
+// the discrete-event simulation kernel: mediator ↔ database-node links on
+// the cluster fabric, node ↔ node links for halo exchange, and the
+// mediator ↔ user WAN path.
+//
+// The paper's breakdowns (Fig. 9) separate "mediator + DB communication"
+// from "mediator–user communication"; both grow proportionally to the result
+// size, and for cache hits the user transfer dominates the whole query. A
+// link here is a latency + bandwidth pipe serialized per direction.
+package netmodel
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+// Spec describes one direction of a network path.
+type Spec struct {
+	Name string
+	// Latency is the one-way propagation + protocol handshake time charged
+	// per transfer.
+	Latency time.Duration
+	// Bandwidth is in bytes/second.
+	Bandwidth float64
+	// Streams is how many transfers can proceed concurrently at full rate
+	// (e.g. a switched fabric port per node vs a single shared uplink).
+	Streams int
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Bandwidth <= 0 {
+		return fmt.Errorf("netmodel: %s: bandwidth must be positive", s.Name)
+	}
+	if s.Latency < 0 {
+		return fmt.Errorf("netmodel: %s: negative latency", s.Name)
+	}
+	if s.Streams < 1 {
+		return fmt.Errorf("netmodel: %s: streams must be ≥ 1", s.Name)
+	}
+	return nil
+}
+
+// ClusterLink returns the default model of the mediator↔node and node↔node
+// fabric: 0.3 ms latency, 1 Gb/s, one stream per link (each link is a
+// distinct Link instance, so the fabric scales with node count).
+func ClusterLink(name string) Spec {
+	return Spec{Name: name, Latency: 300 * time.Microsecond, Bandwidth: 125e6, Streams: 1}
+}
+
+// UserLink returns the default model of the mediator↔user path: 2 ms
+// latency, 100 Mb/s, one stream (results are streamed back through one
+// Web-service response). This models a user on a fast research network;
+// the slow-WAN scenario of the paper's local-evaluation comparison is
+// modeled separately by the experiments' LocalBaseline link.
+func UserLink(name string) Spec {
+	return Spec{Name: name, Latency: 2 * time.Millisecond, Bandwidth: 12.5e6, Streams: 1}
+}
+
+// Link is one direction of a network path in the simulation.
+type Link struct {
+	spec Spec
+	res  *sim.Resource
+
+	transfers int64
+	bytes     int64
+}
+
+// New creates a link on the kernel.
+func New(k *sim.Kernel, spec Spec) (*Link, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Link{spec: spec, res: k.NewResource(spec.Name, spec.Streams)}, nil
+}
+
+// Spec returns the link description.
+func (l *Link) Spec() Spec { return l.spec }
+
+// TransferTime returns latency + n/bandwidth, excluding queueing.
+func (l *Link) TransferTime(n int) time.Duration {
+	return l.spec.Latency + time.Duration(float64(n)/l.spec.Bandwidth*float64(time.Second))
+}
+
+// Transfer moves n bytes across the link, blocking the process for queueing
+// plus service time. Zero-byte transfers still pay latency (request/response
+// envelopes).
+func (l *Link) Transfer(p *sim.Proc, n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.Use(l.res, l.TransferTime(n))
+	l.transfers++
+	l.bytes += int64(n)
+}
+
+// Stats reports cumulative transfer count and bytes moved.
+func (l *Link) Stats() (transfers, bytes int64) { return l.transfers, l.bytes }

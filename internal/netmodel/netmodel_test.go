@@ -1,0 +1,98 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Name: "x", Bandwidth: 0, Streams: 1}).Validate(); err == nil {
+		t.Error("accepted zero bandwidth")
+	}
+	if err := (Spec{Name: "x", Bandwidth: 1, Streams: 0}).Validate(); err == nil {
+		t.Error("accepted zero streams")
+	}
+	if err := (Spec{Name: "x", Bandwidth: 1, Streams: 1, Latency: -1}).Validate(); err == nil {
+		t.Error("accepted negative latency")
+	}
+	if err := ClusterLink("c").Validate(); err != nil {
+		t.Errorf("ClusterLink invalid: %v", err)
+	}
+	if err := UserLink("u").Validate(); err != nil {
+		t.Errorf("UserLink invalid: %v", err)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	k := sim.New()
+	l, err := New(k, Spec{Name: "l", Latency: 10 * time.Millisecond, Bandwidth: 1e6, Streams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10ms + 5000/1e6 s = 15ms
+	if got := l.TransferTime(5000); got != 15*time.Millisecond {
+		t.Errorf("TransferTime = %v, want 15ms", got)
+	}
+}
+
+func TestSerializedTransfers(t *testing.T) {
+	k := sim.New()
+	l, _ := New(k, Spec{Name: "l", Latency: time.Millisecond, Bandwidth: 1e9, Streams: 1})
+	for i := 0; i < 3; i++ {
+		k.Go("t", func(p *sim.Proc) { l.Transfer(p, 0) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 3*time.Millisecond {
+		t.Errorf("3 transfers took %v, want 3ms", k.Now())
+	}
+	n, b := l.Stats()
+	if n != 3 || b != 0 {
+		t.Errorf("stats = %d, %d", n, b)
+	}
+}
+
+func TestMultiStreamParallel(t *testing.T) {
+	k := sim.New()
+	l, _ := New(k, Spec{Name: "l", Latency: time.Millisecond, Bandwidth: 1e9, Streams: 4})
+	for i := 0; i < 4; i++ {
+		k.Go("t", func(p *sim.Proc) { l.Transfer(p, 0) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != time.Millisecond {
+		t.Errorf("parallel transfers took %v, want 1ms", k.Now())
+	}
+}
+
+func TestNegativeBytesClamped(t *testing.T) {
+	k := sim.New()
+	l, _ := New(k, Spec{Name: "l", Latency: time.Millisecond, Bandwidth: 1e6, Streams: 1})
+	k.Go("t", func(p *sim.Proc) { l.Transfer(p, -100) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != time.Millisecond {
+		t.Errorf("negative transfer took %v, want latency only", k.Now())
+	}
+	_, b := l.Stats()
+	if b != 0 {
+		t.Errorf("negative bytes counted: %d", b)
+	}
+}
+
+func TestResultSizeProportionality(t *testing.T) {
+	// Larger result sets must take proportionally longer — the Fig. 9
+	// mediator-user bars grow with the number of points returned.
+	k := sim.New()
+	l, _ := New(k, UserLink("user"))
+	small := l.TransferTime(4247 * 16)
+	large := l.TransferTime(909274 * 16)
+	if large <= small {
+		t.Errorf("large transfer (%v) not slower than small (%v)", large, small)
+	}
+}

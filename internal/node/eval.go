@@ -1,0 +1,383 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/field"
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/sim"
+	"github.com/turbdb/turbdb/internal/stencil"
+)
+
+// Breakdown records per-phase durations of one node-local query evaluation,
+// in the node's time base (virtual time in simulation mode, wall-clock in
+// real mode). These are the per-node inputs to the paper's Fig. 8/9
+// stacked-bar breakdowns.
+type Breakdown struct {
+	CacheLookup time.Duration
+	IO          time.Duration
+	Compute     time.Duration
+	CacheUpdate time.Duration
+	Total       time.Duration
+
+	// AtomsRead counts local atom records read (including redundant halo
+	// re-reads across workers); HaloAtoms counts atoms fetched from peers;
+	// PointsExamined counts kernel evaluations.
+	AtomsRead      int
+	HaloAtoms      int
+	PointsExamined int
+}
+
+// Add accumulates another breakdown (used by the mediator for summaries).
+func (b *Breakdown) Add(o Breakdown) {
+	b.CacheLookup += o.CacheLookup
+	b.IO += o.IO
+	b.Compute += o.Compute
+	b.CacheUpdate += o.CacheUpdate
+	b.Total += o.Total
+	b.AtomsRead += o.AtomsRead
+	b.HaloAtoms += o.HaloAtoms
+	b.PointsExamined += o.PointsExamined
+}
+
+// Max keeps the element-wise maximum of phase durations (used to form the
+// cluster-level critical path across nodes).
+func (b *Breakdown) Max(o Breakdown) {
+	if o.CacheLookup > b.CacheLookup {
+		b.CacheLookup = o.CacheLookup
+	}
+	if o.IO > b.IO {
+		b.IO = o.IO
+	}
+	if o.Compute > b.Compute {
+		b.Compute = o.Compute
+	}
+	if o.CacheUpdate > b.CacheUpdate {
+		b.CacheUpdate = o.CacheUpdate
+	}
+	if o.Total > b.Total {
+		b.Total = o.Total
+	}
+	b.AtomsRead += o.AtomsRead
+	b.HaloAtoms += o.HaloAtoms
+	b.PointsExamined += o.PointsExamined
+}
+
+// workerData is the outcome of one worker's I/O phase: per raw field, the
+// atom blocks the shard's kernel computations need.
+type workerData struct {
+	blocks    map[string]map[morton.Code]*field.Block
+	atomsRead int
+	haloAtoms int
+	err       error
+}
+
+// bufferPool tracks which local atoms have already been charged to disk
+// within one query evaluation on one node. Later readers of the same atom
+// are served from the database buffer pool without disk time: the node's
+// RAM comfortably holds one query's working set (the paper's nodes pair
+// 24 GB of memory with ~3 GB shards and credit "a larger buffer pool, which
+// reduces the I/O time"). The *redundant work* across workers still costs
+// deserialization and, for remote halo atoms, network transfer time.
+type poolKey struct {
+	field string
+	code  morton.Code
+}
+
+type bufferPool struct {
+	mu   sync.Mutex
+	seen map[poolKey]bool
+}
+
+func newBufferPool() *bufferPool {
+	return &bufferPool{seen: make(map[poolKey]bool)}
+}
+
+// admit splits codes into cold (first touch, pays disk) and warm.
+func (b *bufferPool) admit(fieldName string, codes []morton.Code) (cold, warm []morton.Code) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, c := range codes {
+		k := poolKey{fieldName, c}
+		if b.seen[k] {
+			warm = append(warm, c)
+		} else {
+			b.seen[k] = true
+			cold = append(cold, c)
+		}
+	}
+	return cold, warm
+}
+
+// gather is the I/O phase of one worker: for every raw input field, read
+// every atom the shard's kernel computations touch — the shard itself plus
+// a halo band of one kernel half-width, with halo atoms owned by other
+// nodes fetched from peers.
+func (n *Node) gather(wp *sim.Proc, rawFields []derived.RawInput, step int, shard []morton.Code, qbox grid.Box, hw int, pool *bufferPool) workerData {
+	out := workerData{blocks: make(map[string]map[morton.Code]*field.Block, len(rawFields))}
+	for _, rf := range rawFields {
+		one := n.gatherField(wp, rf.Name, step, shard, qbox, hw, pool)
+		if one.err != nil {
+			return one
+		}
+		for name, blocks := range one.blocks {
+			out.blocks[name] = blocks
+		}
+		out.atomsRead += one.atomsRead
+		out.haloAtoms += one.haloAtoms
+	}
+	return out
+}
+
+// gatherField is gather for one raw field.
+func (n *Node) gatherField(wp *sim.Proc, rawField string, step int, shard []morton.Code, qbox grid.Box, hw int, pool *bufferPool) workerData {
+	g := n.store.Grid()
+	meta, err := n.store.FieldMeta(rawField)
+	if err != nil {
+		return workerData{err: err}
+	}
+
+	needed := make(map[morton.Code]struct{}, len(shard)*2)
+	for _, c := range shard {
+		roi := g.AtomBox(c).Intersect(qbox)
+		if roi.Empty() {
+			continue
+		}
+		if hw == 0 {
+			needed[c] = struct{}{}
+			continue
+		}
+		covers, err := g.AtomsCovering(roi.Expand(hw))
+		if err != nil {
+			return workerData{err: err}
+		}
+		for _, cc := range covers {
+			needed[cc] = struct{}{}
+		}
+	}
+
+	owned := n.store.Owned()
+	var local, remote []morton.Code
+	for c := range needed {
+		if owned.Contains(c) {
+			local = append(local, c)
+		} else {
+			remote = append(remote, c)
+		}
+	}
+	sortCodes(local)
+	sortCodes(remote)
+
+	if len(remote) > 0 && n.peers == nil {
+		return workerData{err: fmt.Errorf("node %d: %d halo atoms not owned and no peer fetcher configured", n.id, len(remote))}
+	}
+	// Atoms another worker already pulled in this query come from the
+	// buffer pool: local ones skip the disk charge, remote ones skip the
+	// network transfer (the node fetched them once and holds the pages).
+	cold, warm := pool.admit(rawField, local)
+	remoteCold, remoteWarm := pool.admit(rawField, remote)
+
+	// Disk reads and halo fetches proceed concurrently, as the production
+	// system's asynchronous requests to adjacent nodes do.
+	var blobs, warmBlobs, remoteBlobs map[morton.Code][]byte
+	var localErr, warmErr, remoteErr error
+	n.exec.Fork(wp, 2, func(i int, fp *sim.Proc) {
+		if i == 0 {
+			blobs, localErr = n.store.ReadAtoms(fp, rawField, step, cold)
+			if localErr == nil {
+				warmBlobs, warmErr = n.store.ReadAtoms(nil, rawField, step, warm)
+			}
+		} else if len(remote) > 0 {
+			var coldBlobs, warmRemote map[morton.Code][]byte
+			if len(remoteCold) > 0 {
+				coldBlobs, remoteErr = n.peers.FetchAtoms(fp, rawField, step, remoteCold)
+			}
+			if remoteErr == nil && len(remoteWarm) > 0 {
+				warmRemote, remoteErr = n.peers.FetchAtoms(nil, rawField, step, remoteWarm)
+			}
+			remoteBlobs = make(map[morton.Code][]byte, len(remote))
+			for c, b := range coldBlobs {
+				remoteBlobs[c] = b
+			}
+			for c, b := range warmRemote {
+				remoteBlobs[c] = b
+			}
+		}
+	})
+	if localErr != nil {
+		return workerData{err: localErr}
+	}
+	if warmErr != nil {
+		return workerData{err: warmErr}
+	}
+	if remoteErr != nil {
+		return workerData{err: fmt.Errorf("node %d: halo fetch: %w", n.id, remoteErr)}
+	}
+	for c, b := range warmBlobs {
+		blobs[c] = b
+	}
+	for c, b := range remoteBlobs {
+		blobs[c] = b
+	}
+
+	blocks := make(map[morton.Code]*field.Block, len(blobs))
+	for c, blob := range blobs {
+		bl, err := field.BlockFromBytes(g.AtomBox(c), meta.NComp, blob)
+		if err != nil {
+			return workerData{err: err}
+		}
+		blocks[c] = bl
+	}
+	return workerData{
+		blocks:    map[string]map[morton.Code]*field.Block{rawField: blocks},
+		atomsRead: len(cold), haloAtoms: len(remoteCold),
+	}
+}
+
+// assembleExtended stitches the atoms covering box (with periodic wrapping)
+// into one dense block for kernel evaluation.
+func assembleExtended(g grid.Grid, blocks map[morton.Code]*field.Block, box grid.Box, nc int) (*field.Block, error) {
+	ext := field.NewBlock(box, nc)
+	for _, origin := range g.AtomOriginsCovering(box) {
+		wrapped := g.WrapPoint(origin)
+		code := g.AtomCode(wrapped)
+		bl, ok := blocks[code]
+		if !ok {
+			return nil, fmt.Errorf("node: atom %v missing during assembly of %v", code, box)
+		}
+		offset := grid.Point{X: origin.X - wrapped.X, Y: origin.Y - wrapped.Y, Z: origin.Z - wrapped.Z}
+		if err := ext.CopyFrom(bl, offset); err != nil {
+			return nil, err
+		}
+	}
+	return ext, nil
+}
+
+// scanShard is the compute phase of one worker: evaluate the derived field's
+// norm at every grid point of the shard's atoms inside qbox, invoking visit
+// for each. visit returning false aborts the scan (result-limit
+// enforcement). Compute time is charged to the simulated CPU per atom.
+func (n *Node) scanShard(
+	wp *sim.Proc,
+	f *derived.Field,
+	st stencil.Stencil,
+	step int,
+	shard []morton.Code,
+	blocks map[string]map[morton.Code]*field.Block,
+	qbox grid.Box,
+	hw int,
+	visit func(pt grid.Point, norm float64) bool,
+) (pointsExamined int, err error) {
+	g := n.store.Grid()
+	dx := g.Dx
+	scratch := make([]float64, f.OutComp)
+	perPoint := n.costs.Cost(f.Name)
+	exts := make([]*field.Block, len(f.Raws))
+	for _, c := range shard {
+		abox := g.AtomBox(c)
+		roi := abox.Intersect(qbox)
+		if roi.Empty() {
+			continue
+		}
+		for i, rf := range f.Raws {
+			fieldBlocks := blocks[rf.Name]
+			if hw == 0 {
+				exts[i] = fieldBlocks[c]
+				if exts[i] == nil {
+					return pointsExamined, fmt.Errorf("node: atom %v of %q missing", c, rf.Name)
+				}
+			} else {
+				exts[i], err = assembleExtended(g, fieldBlocks, abox.Expand(hw), rf.NComp)
+				if err != nil {
+					return pointsExamined, err
+				}
+			}
+		}
+		n.exec.ChargeCompute(wp, perPoint*time.Duration(roi.NumPoints()))
+		var pt grid.Point
+		for pt.Z = roi.Lo.Z; pt.Z < roi.Hi.Z; pt.Z++ {
+			for pt.Y = roi.Lo.Y; pt.Y < roi.Hi.Y; pt.Y++ {
+				for pt.X = roi.Lo.X; pt.X < roi.Hi.X; pt.X++ {
+					norm := f.Norm(st, exts, pt, dx, scratch)
+					pointsExamined++
+					if !visit(pt, norm) {
+						return pointsExamined, nil
+					}
+				}
+			}
+		}
+	}
+	return pointsExamined, nil
+}
+
+// sortCodes sorts Morton codes ascending.
+func sortCodes(cs []morton.Code) {
+	for i := 1; i < len(cs); i++ {
+		v := cs[i]
+		j := i - 1
+		for j >= 0 && cs[j] > v {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = v
+	}
+}
+
+// evalPhases runs the two-phase (I/O then compute) data-parallel evaluation
+// over this node's shard of qbox and reports phase timings. makeVisitor
+// builds a per-worker visit callback plus a completion hook.
+func (n *Node) evalPhases(
+	p *sim.Proc,
+	f *derived.Field,
+	st stencil.Stencil,
+	step int,
+	qbox grid.Box,
+	hw int,
+	visitFor func(worker int) func(pt grid.Point, norm float64) bool,
+) (Breakdown, error) {
+	var bd Breakdown
+	procs := n.Processes()
+	codes, err := n.ownedAtomsCovering(qbox)
+	if err != nil {
+		return bd, err
+	}
+	shards := splitWork(codes, procs)
+
+	// Phase 1: I/O — every worker reads its shard plus halo into memory.
+	// Workers share a per-query buffer pool so each atom record pays disk
+	// time once per node per query.
+	pool := newBufferPool()
+	ioStart := n.exec.Now()
+	data := make([]workerData, procs)
+	n.exec.Fork(p, procs, func(i int, wp *sim.Proc) {
+		data[i] = n.gather(wp, f.Raws, step, shards[i], qbox, hw, pool)
+	})
+	bd.IO = n.exec.Now() - ioStart
+	for _, d := range data {
+		if d.err != nil {
+			return bd, d.err
+		}
+		bd.AtomsRead += d.atomsRead
+		bd.HaloAtoms += d.haloAtoms
+	}
+
+	// Phase 2: compute — evaluate the kernel at every point and visit.
+	compStart := n.exec.Now()
+	errs := make([]error, procs)
+	examined := make([]int, procs)
+	n.exec.Fork(p, procs, func(i int, wp *sim.Proc) {
+		examined[i], errs[i] = n.scanShard(wp, f, st, step, shards[i], data[i].blocks, qbox, hw, visitFor(i))
+	})
+	bd.Compute = n.exec.Now() - compStart
+	for i, e := range errs {
+		if e != nil {
+			return bd, e
+		}
+		bd.PointsExamined += examined[i]
+	}
+	return bd, nil
+}

@@ -1,0 +1,83 @@
+package node
+
+import (
+	"sync"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+// Exec abstracts the execution environment of a node's query workers so the
+// same evaluation code runs in two modes:
+//
+//   - real mode: workers are plain goroutines and time is wall-clock
+//     (the HTTP server, examples and unit tests);
+//   - simulation mode: workers are DES processes, compute time is charged to
+//     the node's CPU resource and the virtual clock provides timing (the
+//     paper-figure experiments).
+type Exec struct {
+	// Kernel is nil in real mode.
+	Kernel *sim.Kernel
+	// CPU bounds simulated compute parallelism (capacity = cores per node).
+	// nil in real mode.
+	CPU *sim.Resource
+}
+
+// RealExec returns the wall-clock environment.
+func RealExec() *Exec { return &Exec{} }
+
+// SimExec returns a simulated environment with the given core count.
+func SimExec(k *sim.Kernel, cores int) *Exec {
+	return &Exec{Kernel: k, CPU: k.NewResource("cpu", cores)}
+}
+
+// Simulated reports whether this environment charges virtual time.
+func (e *Exec) Simulated() bool { return e.Kernel != nil }
+
+// Now returns the environment's notion of time: virtual in simulation mode,
+// wall-clock otherwise.
+func (e *Exec) Now() time.Duration {
+	if e.Kernel != nil {
+		return e.Kernel.Now()
+	}
+	return time.Duration(nowNanos())
+}
+
+// Fork runs n workers and joins them. In simulation mode the caller must be
+// a simulated process (p non-nil); each worker becomes a child process and
+// receives its own *sim.Proc. In real mode workers are goroutines and the
+// worker proc is nil.
+func (e *Exec) Fork(p *sim.Proc, n int, worker func(i int, wp *sim.Proc)) {
+	if e.Kernel != nil && p != nil {
+		l := e.Kernel.NewLatch(0)
+		for i := 0; i < n; i++ {
+			i := i
+			l.Add(1)
+			e.Kernel.Go("worker", func(wp *sim.Proc) {
+				worker(i, wp)
+				l.Done()
+			})
+		}
+		p.Wait(l)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(i, nil)
+		}()
+	}
+	wg.Wait()
+}
+
+// ChargeCompute charges d of CPU time in simulation mode (occupying one
+// core, queueing when all cores are busy); a no-op in real mode, where the
+// computation itself takes the time.
+func (e *Exec) ChargeCompute(p *sim.Proc, d time.Duration) {
+	if e.CPU != nil && p != nil {
+		p.Use(e.CPU, d)
+	}
+}

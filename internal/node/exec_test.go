@@ -1,0 +1,102 @@
+package node
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+func TestRealExecFork(t *testing.T) {
+	e := RealExec()
+	if e.Simulated() {
+		t.Fatal("RealExec reports simulated")
+	}
+	var count atomic.Int32
+	seen := make([]bool, 8)
+	e.Fork(nil, 8, func(i int, wp *sim.Proc) {
+		if wp != nil {
+			t.Error("real worker got a sim proc")
+		}
+		seen[i] = true
+		count.Add(1)
+	})
+	if count.Load() != 8 {
+		t.Errorf("ran %d workers", count.Load())
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("worker %d never ran", i)
+		}
+	}
+	// ChargeCompute is a no-op in real mode
+	start := time.Now()
+	e.ChargeCompute(nil, time.Hour)
+	if time.Since(start) > time.Second {
+		t.Error("real-mode ChargeCompute slept")
+	}
+	// Now advances in real mode
+	a := e.Now()
+	time.Sleep(2 * time.Millisecond)
+	if e.Now() <= a {
+		t.Error("real-mode Now not advancing")
+	}
+}
+
+func TestSimExecForkAndCPU(t *testing.T) {
+	k := sim.New()
+	e := SimExec(k, 2) // 2 cores
+	if !e.Simulated() {
+		t.Fatal("SimExec not simulated")
+	}
+	var finish time.Duration
+	k.Go("parent", func(p *sim.Proc) {
+		// 4 workers × 10ms of compute on 2 cores → 20ms
+		e.Fork(p, 4, func(i int, wp *sim.Proc) {
+			e.ChargeCompute(wp, 10*time.Millisecond)
+		})
+		finish = k.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finish != 20*time.Millisecond {
+		t.Errorf("4×10ms on 2 cores took %v, want 20ms", finish)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{
+		PerPoint: map[string]time.Duration{"vorticity": 100 * time.Nanosecond},
+		Default:  7 * time.Nanosecond,
+	}
+	if m.Cost("vorticity") != 100*time.Nanosecond {
+		t.Error("known field cost wrong")
+	}
+	if m.Cost("unknown") != 7*time.Nanosecond {
+		t.Error("default cost wrong")
+	}
+}
+
+func TestCalibrateProducesPositiveCosts(t *testing.T) {
+	m, err := Calibrate(derived.Standard(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range derived.Standard().Names() {
+		if m.Cost(name) <= 0 {
+			t.Errorf("field %s calibrated to %v", name, m.Cost(name))
+		}
+	}
+	// the Q-criterion evaluates the full gradient; it must cost more than a
+	// raw field read (the relation the paper's Fig. 9 depends on)
+	if m.Cost(derived.QCriterion) <= m.Cost(derived.Velocity) {
+		t.Errorf("Q cost %v not above raw velocity cost %v",
+			m.Cost(derived.QCriterion), m.Cost(derived.Velocity))
+	}
+	if _, err := Calibrate(derived.Standard(), 3); err == nil {
+		t.Error("bad order accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package node implements a database node of the analysis cluster: the
+// GetThreshold stored procedure of the paper's Algorithm 1, the data-
+// parallel evaluation of derived fields from locally stored atoms with halo
+// exchange from adjacent nodes, PDF (histogram) and top-k evaluation, and
+// the node's interaction with its local application-aware cache.
+//
+// A node owns a contiguous range of Morton atom codes for one dataset. Each
+// query is evaluated by P worker processes over disjoint contiguous
+// sub-ranges of the node's atoms; workers first read every atom they need
+// (their own plus a halo band one kernel half-width wide, fetching
+// non-local halo atoms from peer nodes), then compute the requested derived
+// field at every grid point and filter against the threshold. Both phases
+// charge time to the node's simulated resources when running inside the
+// cluster simulation; in real mode workers are plain goroutines.
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/turbdb/turbdb/internal/cache"
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/sim"
+	"github.com/turbdb/turbdb/internal/store"
+)
+
+// PeerFetcher retrieves atom blobs owned by other nodes of the cluster (the
+// halo band of a kernel computation). Implementations charge any transfer
+// costs themselves.
+type PeerFetcher interface {
+	FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error)
+}
+
+// Config assembles a Node.
+type Config struct {
+	// ID is the node's index within the cluster (diagnostics only).
+	ID int
+	// Dataset is the dataset this node serves (e.g. "mhd").
+	Dataset string
+	// Store holds the node's shard of the raw data.
+	Store *store.Store
+	// Cache is the node-local query-result cache; nil disables caching
+	// (used by the paper's "no cache" baseline runs).
+	Cache *cache.Cache
+	// Registry resolves field names; nil uses the standard catalog.
+	Registry *derived.Registry
+	// Peers fetches halo atoms from other nodes; nil is valid for a
+	// single-node cluster (the halo wraps onto the node itself, which is
+	// detected via Store ownership).
+	Peers PeerFetcher
+	// Processes is the number of worker processes used per query (the
+	// paper's scale-up knob, 1–8). Defaults to 1.
+	Processes int
+	// Exec supplies the execution environment (simulated or real).
+	Exec *Exec
+	// Costs models per-point compute durations for simulation charging;
+	// zero-valued means uncharged (fine in real mode).
+	Costs CostModel
+}
+
+// Node is one database node. Safe for concurrent queries in real mode; in
+// simulation mode the DES kernel provides the concurrency.
+type Node struct {
+	id        int
+	dataset   string
+	store     *store.Store
+	cache     *cache.Cache
+	registry  *derived.Registry
+	peers     PeerFetcher
+	processes int
+	exec      *Exec
+	costs     CostModel
+
+	mu sync.Mutex // guards processes updates
+}
+
+// New validates the config and builds a Node.
+func New(cfg Config) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("node: store is required")
+	}
+	if cfg.Dataset == "" {
+		return nil, fmt.Errorf("node: dataset name is required")
+	}
+	if cfg.Processes == 0 {
+		cfg.Processes = 1
+	}
+	if cfg.Processes < 1 {
+		return nil, fmt.Errorf("node: processes must be ≥ 1, got %d", cfg.Processes)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = derived.Standard()
+	}
+	if cfg.Exec == nil {
+		cfg.Exec = RealExec()
+	}
+	return &Node{
+		id:        cfg.ID,
+		dataset:   cfg.Dataset,
+		store:     cfg.Store,
+		cache:     cfg.Cache,
+		registry:  cfg.Registry,
+		peers:     cfg.Peers,
+		processes: cfg.Processes,
+		exec:      cfg.Exec,
+		costs:     cfg.Costs,
+	}, nil
+}
+
+// ID returns the node's index.
+func (n *Node) ID() int { return n.id }
+
+// Dataset returns the dataset name this node serves.
+func (n *Node) Dataset() string { return n.dataset }
+
+// Grid returns the dataset geometry.
+func (n *Node) Grid() grid.Grid { return n.store.Grid() }
+
+// Owned returns the node's atom-code range.
+func (n *Node) Owned() morton.Range { return n.store.Owned() }
+
+// Cache returns the node's cache (nil when caching is disabled).
+func (n *Node) Cache() *cache.Cache { return n.cache }
+
+// Store returns the node's raw-data store.
+func (n *Node) Store() *store.Store { return n.store }
+
+// SetProcesses changes the per-query worker count (the scale-up knob).
+func (n *Node) SetProcesses(p int) error {
+	if p < 1 {
+		return fmt.Errorf("node: processes must be ≥ 1, got %d", p)
+	}
+	n.mu.Lock()
+	n.processes = p
+	n.mu.Unlock()
+	return nil
+}
+
+// Processes returns the current worker count.
+func (n *Node) Processes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.processes
+}
+
+// ownedAtomsCovering returns this node's atoms that intersect box b, sorted.
+func (n *Node) ownedAtomsCovering(b grid.Box) ([]morton.Code, error) {
+	all, err := n.store.Grid().AtomsCovering(b)
+	if err != nil {
+		return nil, err
+	}
+	owned := n.store.Owned()
+	out := all[:0]
+	for _, c := range all {
+		if owned.Contains(c) {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// splitWork divides a sorted code list into nParts contiguous shards (the
+// per-process partitioning along the Morton curve). Shards may be empty
+// when there are fewer atoms than processes.
+func splitWork(codes []morton.Code, nParts int) [][]morton.Code {
+	shards := make([][]morton.Code, nParts)
+	base := len(codes) / nParts
+	extra := len(codes) % nParts
+	off := 0
+	for i := 0; i < nParts; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		shards[i] = codes[off : off+n]
+		off += n
+	}
+	return shards
+}
+
+// FetchAtoms serves peer halo requests from this node's store. No disk time
+// is charged: halo atoms requested by a peer are atoms this node is itself
+// scanning for the same query, so the database buffer pool serves them from
+// memory (the paper credits exactly this effect — "SQL Server also benefits
+// from a larger buffer pool, which reduces the I/O time"). The requesting
+// peer charges the inter-node network transfer instead.
+func (n *Node) FetchAtoms(_ *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	return n.store.ReadAtoms(nil, rawField, step, codes)
+}
+
+// SetPeers installs the halo-exchange fetcher (done by cluster assembly
+// after all nodes exist).
+func (n *Node) SetPeers(p PeerFetcher) { n.peers = p }

@@ -1,0 +1,609 @@
+package node
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/cache"
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/diskmodel"
+	"github.com/turbdb/turbdb/internal/field"
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sim"
+	"github.com/turbdb/turbdb/internal/stencil"
+	"github.com/turbdb/turbdb/internal/store"
+	"github.com/turbdb/turbdb/internal/synth"
+)
+
+// testFetcher routes halo requests to the owning node's store.
+type testFetcher struct {
+	nodes []*Node
+	self  int
+}
+
+func (f *testFetcher) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	out := make(map[morton.Code][]byte, len(codes))
+	for _, c := range codes {
+		served := false
+		for i, n := range f.nodes {
+			if i == f.self || !n.Owned().Contains(c) {
+				continue
+			}
+			blobs, err := n.FetchAtoms(p, rawField, step, []morton.Code{c})
+			if err != nil {
+				return nil, err
+			}
+			out[c] = blobs[c]
+			served = true
+			break
+		}
+		if !served {
+			return nil, store.ErrNotFound
+		}
+	}
+	return out, nil
+}
+
+// buildCluster creates an in-process cluster of nNodes over a synthetic
+// dataset and returns the nodes plus the generator.
+func buildCluster(t testing.TB, nNodes, gridN int, kind synth.Kind, withCache bool, procs int) ([]*Node, *synth.Generator) {
+	t.Helper()
+	gen, err := synth.New(synth.Params{N: gridN, Seed: 7, Kind: kind, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Grid()
+	ranges := g.AtomRange().Split(nNodes, 1)
+
+	nodes := make([]*Node, nNodes)
+	stores := make([]*store.Store, nNodes)
+	for i := 0; i < nNodes; i++ {
+		st, err := store.New(store.Config{Grid: g, Owned: ranges[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+		for _, rf := range gen.RawFields() {
+			if err := st.CreateField(store.FieldMeta{Name: rf.Name, NComp: rf.NComp}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, rf := range gen.RawFields() {
+		for step := 0; step < gen.Steps(); step++ {
+			bl, err := gen.Field(rf.Name, step)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < nNodes; i++ {
+				if _, err := stores[i].IngestBlock(rf.Name, step, bl); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for i := 0; i < nNodes; i++ {
+		var c *cache.Cache
+		if withCache {
+			c, err = cache.New(cache.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes[i], err = New(Config{
+			ID:        i,
+			Dataset:   kind.String(),
+			Store:     stores[i],
+			Cache:     c,
+			Processes: procs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range nodes {
+		n.peers = &testFetcher{nodes: nodes, self: i}
+	}
+	return nodes, gen
+}
+
+// bruteForce computes all points with norm ≥ k over the whole domain using
+// a periodic halo-extended block (the reference implementation).
+func bruteForce(t testing.TB, gen *synth.Generator, fieldName string, step, order int, k float64) []query.ResultPoint {
+	t.Helper()
+	f, err := derived.Standard().Lookup(fieldName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stencil.MustGet(order)
+	hw := 0
+	if !f.IsRaw() {
+		hw = st.HalfWidth
+	}
+	g := gen.Grid()
+	raw, err := gen.Field(f.Raws[0].Name, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := field.NewBlock(g.Domain().Expand(hw), raw.NComp)
+	var p grid.Point
+	for p.Z = ext.Bounds.Lo.Z; p.Z < ext.Bounds.Hi.Z; p.Z++ {
+		for p.Y = ext.Bounds.Lo.Y; p.Y < ext.Bounds.Hi.Y; p.Y++ {
+			for p.X = ext.Bounds.Lo.X; p.X < ext.Bounds.Hi.X; p.X++ {
+				src := g.WrapPoint(p)
+				for c := 0; c < raw.NComp; c++ {
+					ext.Set(p, c, raw.At(src, c))
+				}
+			}
+		}
+	}
+	scratch := make([]float64, f.OutComp)
+	var pts []query.ResultPoint
+	for p.Z = 0; p.Z < g.N; p.Z++ {
+		for p.Y = 0; p.Y < g.N; p.Y++ {
+			for p.X = 0; p.X < g.N; p.X++ {
+				if norm := f.Norm(st, []*field.Block{ext}, p, g.Dx, scratch); norm >= k {
+					pts = append(pts, query.PointFor(p, norm))
+				}
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Code < pts[j].Code })
+	return pts
+}
+
+// runThreshold fans a query across the nodes and merges the results.
+func runThreshold(t testing.TB, nodes []*Node, q query.Threshold) ([]query.ResultPoint, []*ThresholdResult) {
+	t.Helper()
+	var all []query.ResultPoint
+	var rs []*ThresholdResult
+	for _, n := range nodes {
+		r, err := n.GetThreshold(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, r.Points...)
+		rs = append(rs, r)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Code < all[j].Code })
+	return all, rs
+}
+
+func samePoints(t *testing.T, got, want []query.ResultPoint, context string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d points, want %d", context, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Code != want[i].Code {
+			t.Fatalf("%s: point %d code %v, want %v", context, i, got[i].Code, want[i].Code)
+		}
+		if math.Abs(float64(got[i].Value-want[i].Value)) > 1e-5 {
+			t.Fatalf("%s: point %d value %v, want %v", context, i, got[i].Value, want[i].Value)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("accepted nil store")
+	}
+	g, _ := grid.New(16, 8, 1)
+	st, _ := store.New(store.Config{Grid: g, Owned: g.AtomRange()})
+	if _, err := New(Config{Store: st}); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	if _, err := New(Config{Store: st, Dataset: "d", Processes: -2}); err == nil {
+		t.Error("accepted negative processes")
+	}
+	n, err := New(Config{Store: st, Dataset: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Processes() != 1 {
+		t.Errorf("default processes = %d", n.Processes())
+	}
+	if err := n.SetProcesses(0); err == nil {
+		t.Error("SetProcesses(0) accepted")
+	}
+	if err := n.SetProcesses(4); err != nil || n.Processes() != 4 {
+		t.Errorf("SetProcesses: %v, %d", err, n.Processes())
+	}
+}
+
+func TestSingleNodeVorticityMatchesBruteForce(t *testing.T) {
+	nodes, gen := buildCluster(t, 1, 16, synth.Isotropic, false, 1)
+	// choose a threshold near the vorticity RMS so some but not all points
+	// qualify
+	ref := bruteForce(t, gen, derived.Vorticity, 0, 4, 0)
+	var sum float64
+	for _, p := range ref {
+		sum += float64(p.Value) * float64(p.Value)
+	}
+	rms := math.Sqrt(sum / float64(len(ref)))
+	k := 1.5 * rms
+	want := bruteForce(t, gen, derived.Vorticity, 0, 4, k)
+	if len(want) == 0 || len(want) == len(ref) {
+		t.Fatalf("bad test threshold: %d of %d qualify", len(want), len(ref))
+	}
+	got, rs := runThreshold(t, nodes, query.Threshold{
+		Dataset: "isotropic", Field: derived.Vorticity, Timestep: 0, Threshold: k,
+	})
+	samePoints(t, got, want, "single node vorticity")
+	if rs[0].FromCache {
+		t.Error("cacheless node claimed cache hit")
+	}
+	if rs[0].Breakdown.PointsExamined != 16*16*16 {
+		t.Errorf("examined %d points", rs[0].Breakdown.PointsExamined)
+	}
+}
+
+func TestMultiNodeHaloExchangeMatchesBruteForce(t *testing.T) {
+	for _, nNodes := range []int{2, 4} {
+		nodes, gen := buildCluster(t, nNodes, 16, synth.Isotropic, false, 1)
+		want := bruteForce(t, gen, derived.Vorticity, 0, 4, 1.0)
+		got, rs := runThreshold(t, nodes, query.Threshold{
+			Dataset: "isotropic", Field: derived.Vorticity, Timestep: 0, Threshold: 1.0,
+		})
+		samePoints(t, got, want, "multi-node vorticity")
+		var halo int
+		for _, r := range rs {
+			halo += r.Breakdown.HaloAtoms
+		}
+		if halo == 0 {
+			t.Errorf("%d nodes: no halo atoms fetched — peers unused", nNodes)
+		}
+	}
+}
+
+func TestMultiProcessMatchesSingleProcess(t *testing.T) {
+	nodes1, gen := buildCluster(t, 2, 16, synth.Isotropic, false, 1)
+	nodes4, _ := buildCluster(t, 2, 16, synth.Isotropic, false, 4)
+	_ = gen
+	q := query.Threshold{Dataset: "isotropic", Field: derived.QCriterion, Timestep: 0, Threshold: 0.5}
+	got1, _ := runThreshold(t, nodes1, q)
+	got4, _ := runThreshold(t, nodes4, q)
+	if len(got1) == 0 {
+		t.Fatal("empty result; bad threshold")
+	}
+	samePoints(t, got4, got1, "4-process vs 1-process")
+}
+
+func TestRawFieldNoHalo(t *testing.T) {
+	nodes, gen := buildCluster(t, 2, 16, synth.MHD, false, 1)
+	want := bruteForce(t, gen, derived.Magnetic, 0, 4, 1.0)
+	got, rs := runThreshold(t, nodes, query.Threshold{
+		Dataset: "mhd", Field: derived.Magnetic, Timestep: 0, Threshold: 1.0,
+	})
+	samePoints(t, got, want, "magnetic raw field")
+	for _, r := range rs {
+		if r.Breakdown.HaloAtoms != 0 {
+			t.Errorf("raw field fetched %d halo atoms", r.Breakdown.HaloAtoms)
+		}
+	}
+}
+
+func TestUnknownFieldAndDataset(t *testing.T) {
+	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, false, 1)
+	if _, err := nodes[0].GetThreshold(nil, query.Threshold{
+		Dataset: "isotropic", Field: "nonsense", Threshold: 1,
+	}); err == nil {
+		t.Error("unknown field accepted")
+	}
+	// isotropic dataset lacks the magnetic raw field
+	if _, err := nodes[0].GetThreshold(nil, query.Threshold{
+		Dataset: "isotropic", Field: derived.Current, Threshold: 1,
+	}); err == nil {
+		t.Error("current on isotropic accepted")
+	}
+	if _, err := nodes[0].GetThreshold(nil, query.Threshold{
+		Dataset: "mhd", Field: derived.Vorticity, Threshold: 1,
+	}); err == nil {
+		t.Error("wrong dataset accepted")
+	}
+}
+
+func TestLimitEnforced(t *testing.T) {
+	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, false, 1)
+	_, err := nodes[0].GetThreshold(nil, query.Threshold{
+		Dataset: "isotropic", Field: derived.Velocity, Timestep: 0, Threshold: 0, Limit: 100,
+	})
+	var tooMany *query.ErrTooManyPoints
+	if !errors.As(err, &tooMany) {
+		t.Fatalf("err = %v, want ErrTooManyPoints", err)
+	}
+	if !errors.Is(err, query.ErrThresholdTooLow) {
+		t.Error("does not unwrap to ErrThresholdTooLow")
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	nodes, _ := buildCluster(t, 2, 16, synth.Isotropic, true, 1)
+	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Timestep: 0, Threshold: 1.0}
+	miss, rs := runThreshold(t, nodes, q)
+	for _, r := range rs {
+		if r.FromCache {
+			t.Fatal("first query hit the cache")
+		}
+		if r.Breakdown.CacheUpdate == 0 && len(r.Points) > 0 {
+			// cache update happened but took zero measurable wall time —
+			// acceptable; just ensure the entry exists below
+			_ = r
+		}
+	}
+	hit, rs2 := runThreshold(t, nodes, q)
+	for _, r := range rs2 {
+		if !r.FromCache {
+			t.Fatal("second query missed the cache")
+		}
+		if r.Breakdown.IO != 0 || r.Breakdown.Compute != 0 {
+			t.Error("cache hit performed I/O or compute")
+		}
+	}
+	samePoints(t, hit, miss, "cache hit vs miss")
+	// higher threshold also hits and is a filtered subset
+	q.Threshold = 2.0
+	sub, rs3 := runThreshold(t, nodes, q)
+	for _, r := range rs3 {
+		if !r.FromCache {
+			t.Fatal("dominated query missed the cache")
+		}
+	}
+	if len(sub) >= len(hit) && len(hit) > 0 {
+		t.Errorf("higher threshold returned %d ≥ %d points", len(sub), len(hit))
+	}
+	for _, p := range sub {
+		if p.Value < 2.0 {
+			t.Fatalf("under-threshold point %v", p)
+		}
+	}
+	// lower threshold must recompute (miss)
+	q.Threshold = 0.5
+	_, rs4 := runThreshold(t, nodes, q)
+	for _, r := range rs4 {
+		if r.FromCache {
+			t.Fatal("lower-threshold query wrongly hit the cache")
+		}
+	}
+}
+
+func TestCacheKeyIncludesFDOrder(t *testing.T) {
+	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, true, 1)
+	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Timestep: 0, Threshold: 1.0, FDOrder: 4}
+	if _, err := nodes[0].GetThreshold(nil, q); err != nil {
+		t.Fatal(err)
+	}
+	q.FDOrder = 2
+	r, err := nodes[0].GetThreshold(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FromCache {
+		t.Error("different FD order hit the same cache entry")
+	}
+}
+
+func TestDropCacheEntry(t *testing.T) {
+	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, true, 1)
+	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Timestep: 0, Threshold: 1.0}
+	if _, err := nodes[0].GetThreshold(nil, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].DropCacheEntry(derived.Vorticity, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := nodes[0].GetThreshold(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FromCache {
+		t.Error("query hit cache after drop")
+	}
+}
+
+func TestSubBoxQuery(t *testing.T) {
+	nodes, gen := buildCluster(t, 2, 16, synth.Isotropic, false, 1)
+	sub := grid.Box{Lo: grid.Point{X: 2, Y: 3, Z: 4}, Hi: grid.Point{X: 13, Y: 11, Z: 12}}
+	want := bruteForce(t, gen, derived.Vorticity, 0, 4, 1.0)
+	var wantSub []query.ResultPoint
+	for _, p := range want {
+		if sub.Contains(p.Coords()) {
+			wantSub = append(wantSub, p)
+		}
+	}
+	got, _ := runThreshold(t, nodes, query.Threshold{
+		Dataset: "isotropic", Field: derived.Vorticity, Timestep: 0, Threshold: 1.0, Box: sub,
+	})
+	samePoints(t, got, wantSub, "sub-box query")
+}
+
+func TestSecondTimestepDiffers(t *testing.T) {
+	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, false, 1)
+	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0}
+	r0, err := nodes[0].GetThreshold(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Timestep = 1
+	r1, err := nodes[0].GetThreshold(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r0.Points) == len(r1.Points) {
+		same := true
+		for i := range r0.Points {
+			if r0.Points[i] != r1.Points[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("two timesteps returned identical results")
+		}
+	}
+}
+
+func TestPDFMatchesBruteForce(t *testing.T) {
+	nodes, gen := buildCluster(t, 2, 16, synth.Isotropic, false, 2)
+	ref := bruteForce(t, gen, derived.Vorticity, 0, 4, 0) // all points with norms
+	q := query.PDF{Dataset: "isotropic", Field: derived.Vorticity, Bins: 8, Min: 0, Width: 1.0}
+	want := make([]int64, q.Bins)
+	qn := q.Normalize(gen.Grid().Domain())
+	for _, p := range ref {
+		want[qn.Bin(float64(p.Value))]++
+	}
+	total := make([]int64, q.Bins)
+	for _, n := range nodes {
+		r, err := n.GetPDF(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range r.Counts {
+			total[i] += c
+		}
+	}
+	var sum int64
+	for i := range want {
+		if total[i] != want[i] {
+			t.Errorf("bin %d: %d, want %d", i, total[i], want[i])
+		}
+		sum += total[i]
+	}
+	if sum != 16*16*16 {
+		t.Errorf("histogram total %d, want %d", sum, 16*16*16)
+	}
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	nodes, gen := buildCluster(t, 2, 16, synth.Isotropic, false, 2)
+	ref := bruteForce(t, gen, derived.Vorticity, 0, 4, 0)
+	sort.Slice(ref, func(i, j int) bool {
+		if ref[i].Value != ref[j].Value {
+			return ref[i].Value > ref[j].Value
+		}
+		return ref[i].Code < ref[j].Code
+	})
+	const K = 25
+	q := query.TopK{Dataset: "isotropic", Field: derived.Vorticity, K: K}
+	var all []query.ResultPoint
+	for _, n := range nodes {
+		r, err := n.GetTopK(nil, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Points) != K {
+			t.Fatalf("node returned %d candidates, want %d", len(r.Points), K)
+		}
+		all = append(all, r.Points...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Value != all[j].Value {
+			return all[i].Value > all[j].Value
+		}
+		return all[i].Code < all[j].Code
+	})
+	all = all[:K]
+	for i := 0; i < K; i++ {
+		if all[i].Code != ref[i].Code {
+			t.Fatalf("top-%d mismatch at %d: %v vs %v (values %v vs %v)",
+				K, i, all[i].Code, ref[i].Code, all[i].Value, ref[i].Value)
+		}
+	}
+}
+
+func TestSimulatedEvaluationChargesPhases(t *testing.T) {
+	// Build a 1-node cluster wired into a DES and check that the breakdown
+	// reports positive virtual I/O and compute times.
+	gen, err := synth.New(synth.Params{N: 16, Seed: 3, Kind: synth.Isotropic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Grid()
+	k := sim.New()
+	dev, _ := diskmodel.New(k, diskmodel.HDDRaid())
+	st, err := store.New(store.Config{Grid: g, Owned: g.AtomRange(), Kernel: k, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rf := range gen.RawFields() {
+		_ = st.CreateField(store.FieldMeta{Name: rf.Name, NComp: rf.NComp})
+		bl, _ := gen.Field(rf.Name, 0)
+		if _, err := st.IngestBlock(rf.Name, 0, bl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	costs := CostModel{PerPoint: map[string]time.Duration{derived.Vorticity: 200 * time.Nanosecond}}
+	n, err := New(Config{
+		Dataset: "isotropic", Store: st, Processes: 2,
+		Exec: SimExec(k, 8), Costs: costs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *ThresholdResult
+	k.Go("query", func(p *sim.Proc) {
+		var qerr error
+		res, qerr = n.GetThreshold(p, query.Threshold{
+			Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0,
+		})
+		if qerr != nil {
+			t.Error(qerr)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no result")
+	}
+	bd := res.Breakdown
+	if bd.IO <= 0 {
+		t.Errorf("virtual IO time %v", bd.IO)
+	}
+	if bd.Compute <= 0 {
+		t.Errorf("virtual compute time %v", bd.Compute)
+	}
+	if bd.Total < bd.IO+bd.Compute {
+		t.Errorf("total %v < IO %v + compute %v", bd.Total, bd.IO, bd.Compute)
+	}
+	// 16³ points at 200ns each over 2 workers ≥ 409µs of charged compute;
+	// with 2 workers the phase should take about half the serial time.
+	serial := 200 * time.Nanosecond * 16 * 16 * 16
+	if bd.Compute > serial || bd.Compute < serial/4 {
+		t.Errorf("compute phase %v implausible for serial %v over 2 workers", bd.Compute, serial)
+	}
+}
+
+func TestSplitWork(t *testing.T) {
+	codes := make([]morton.Code, 10)
+	for i := range codes {
+		codes[i] = morton.Code(i)
+	}
+	shards := splitWork(codes, 3)
+	if len(shards) != 3 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != 10 {
+		t.Errorf("shards cover %d codes", total)
+	}
+	// more parts than codes → some empty, all codes covered
+	shards = splitWork(codes[:2], 5)
+	nonEmpty := 0
+	for _, s := range shards {
+		if len(s) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Errorf("%d non-empty shards, want 2", nonEmpty)
+	}
+}

@@ -1,0 +1,169 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"github.com/turbdb/turbdb/internal/cache"
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sim"
+	"github.com/turbdb/turbdb/internal/stencil"
+)
+
+// ThresholdResult is one node's answer to a threshold query.
+type ThresholdResult struct {
+	// Points are the qualifying locations in this node's shard, ordered by
+	// Morton code.
+	Points []query.ResultPoint
+	// FromCache reports whether the answer came from the semantic cache.
+	FromCache bool
+	// Breakdown gives the phase timings of this node's evaluation.
+	Breakdown Breakdown
+}
+
+// cacheFieldKey builds the cache key component for a field: results depend
+// on the finite-difference order, so it is part of the key.
+func cacheFieldKey(fieldName string, order int) string {
+	return fmt.Sprintf("%s/fd%d", fieldName, order)
+}
+
+// resolveField looks up the queried field and verifies this node stores its
+// raw input.
+func (n *Node) resolveField(fieldName string) (*derived.Field, error) {
+	f, err := n.registry.Lookup(fieldName)
+	if err != nil {
+		return nil, err
+	}
+	for _, rf := range f.Raws {
+		if _, err := n.store.FieldMeta(rf.Name); err != nil {
+			return nil, fmt.Errorf("node: dataset %q does not store %q (needed for %q)",
+				n.dataset, rf.Name, fieldName)
+		}
+	}
+	return f, nil
+}
+
+// GetThreshold evaluates a threshold query over this node's shard of the
+// data, implementing the paper's Algorithm 1:
+//
+//  1. interrogate the local cache: an entry for (dataset, field, time-step)
+//     whose region contains the query box and whose stored threshold is ≤
+//     the requested one answers the query by an index scan;
+//  2. otherwise read the raw data (plus halo) into memory, derive the field
+//     at every grid location, keep the locations whose norm is ≥ the
+//     threshold, and store the result in the cache.
+//
+// The result-point limit is enforced: queries that would return more than
+// q.Limit points fail with *query.ErrTooManyPoints, and nothing is cached.
+func (n *Node) GetThreshold(p *sim.Proc, q query.Threshold) (*ThresholdResult, error) {
+	domain := n.Grid().Domain()
+	q = q.Normalize(domain)
+	if err := q.Validate(domain); err != nil {
+		return nil, err
+	}
+	if q.Dataset != n.dataset {
+		return nil, fmt.Errorf("node: serves dataset %q, not %q", n.dataset, q.Dataset)
+	}
+	f, err := n.resolveField(q.Field)
+	if err != nil {
+		return nil, err
+	}
+	hw, err := f.HalfWidth(q.FDOrder)
+	if err != nil {
+		return nil, err
+	}
+	st, err := stencil.Get(q.FDOrder)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ThresholdResult{}
+	start := n.exec.Now()
+	ckey := cacheFieldKey(q.Field, q.FDOrder)
+
+	// Algorithm 1, lines 4–28: cache interrogation.
+	if n.cache != nil {
+		pts, ok, err := n.cache.Lookup(p, q.Dataset, ckey, q.Timestep, q.Threshold, q.Box)
+		res.Breakdown.CacheLookup = n.exec.Now() - start
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if len(pts) > q.Limit {
+				return nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: len(pts)}
+			}
+			sort.Slice(pts, func(i, j int) bool { return pts[i].Code < pts[j].Code })
+			res.Points = pts
+			res.FromCache = true
+			res.Breakdown.Total = n.exec.Now() - start
+			return res, nil
+		}
+	}
+
+	// Algorithm 1, lines 29–36: evaluate from the raw data.
+	var total atomic.Int64
+	overLimit := false
+	results := make([][]query.ResultPoint, n.Processes())
+	visitFor := func(worker int) func(grid.Point, float64) bool {
+		return func(pt grid.Point, norm float64) bool {
+			if norm >= q.Threshold {
+				results[worker] = append(results[worker], query.PointFor(pt, norm))
+				if int(total.Add(1)) > q.Limit {
+					overLimit = true
+					return false
+				}
+			}
+			return true
+		}
+	}
+	bd, err := n.evalPhases(p, f, st, q.Timestep, q.Box, hw, visitFor)
+	res.Breakdown.IO = bd.IO
+	res.Breakdown.Compute = bd.Compute
+	res.Breakdown.AtomsRead = bd.AtomsRead
+	res.Breakdown.HaloAtoms = bd.HaloAtoms
+	res.Breakdown.PointsExamined = bd.PointsExamined
+	if err != nil {
+		return nil, err
+	}
+	if overLimit {
+		return nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: int(total.Load())}
+	}
+
+	var pts []query.ResultPoint
+	for _, r := range results {
+		pts = append(pts, r...)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Code < pts[j].Code })
+
+	// Algorithm 1, line 37: update the cacheInfo and cacheData tables.
+	// Caching is best-effort: a result too large for the cache is simply
+	// served uncached.
+	if n.cache != nil {
+		t0 := n.exec.Now()
+		err := n.cache.Store(p, q.Dataset, ckey, q.Timestep, q.Threshold, q.Box, pts)
+		if err != nil && !errors.Is(err, cache.ErrEntryTooLarge) {
+			return nil, fmt.Errorf("node: cache update: %w", err)
+		}
+		res.Breakdown.CacheUpdate = n.exec.Now() - t0
+	}
+
+	res.Points = pts
+	res.Breakdown.Total = n.exec.Now() - start
+	return res, nil
+}
+
+// DropCacheEntry removes cached results for (field, order, step), used to
+// force cold-cache runs in experiments.
+func (n *Node) DropCacheEntry(fieldName string, order, step int) error {
+	if n.cache == nil {
+		return nil
+	}
+	if order == 0 {
+		order = query.DefaultFDOrder
+	}
+	return n.cache.Drop(n.dataset, cacheFieldKey(fieldName, order), step)
+}

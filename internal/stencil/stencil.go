@@ -1,0 +1,106 @@
+// Package stencil implements the centered finite-difference kernels used to
+// evaluate spatial derivatives of the stored simulation fields.
+//
+// Derived-field computations have local support: the value at a grid node
+// depends on the stored field at all neighboring nodes within the kernel of
+// computation (paper, Sec. 4). This package supplies first-derivative
+// stencils of order 2, 4, 6 and 8; the order-4 stencil is exactly Eq. (2) of
+// the paper:
+//
+//	df/dx|ₙ = (2/3Δx)[f(n+1) − f(n−1)] − (1/12Δx)[f(n+2) − f(n−2)]
+//
+// The kernel half-width determines the halo band that must be fetched from
+// adjacent database nodes during distributed evaluation.
+package stencil
+
+import (
+	"fmt"
+
+	"github.com/turbdb/turbdb/internal/field"
+	"github.com/turbdb/turbdb/internal/grid"
+)
+
+// Axis selects the differentiation direction.
+type Axis int
+
+// The three coordinate axes.
+const (
+	AxisX Axis = iota
+	AxisY
+	AxisZ
+)
+
+// Stencil holds centered first-derivative coefficients. The derivative is
+//
+//	df/dx ≈ (1/Δx)·Σ_{k=1..HalfWidth} Coeffs[k−1]·(f(n+k) − f(n−k))
+type Stencil struct {
+	// Order is the formal order of accuracy (2, 4, 6 or 8).
+	Order int
+	// HalfWidth is the kernel half-width: the number of neighbors used on
+	// each side, and therefore the halo band width in grid points.
+	HalfWidth int
+	// Coeffs[k-1] weights the pair f(n+k) − f(n−k).
+	Coeffs []float64
+}
+
+var stencils = map[int]Stencil{
+	2: {Order: 2, HalfWidth: 1, Coeffs: []float64{1.0 / 2}},
+	4: {Order: 4, HalfWidth: 2, Coeffs: []float64{2.0 / 3, -1.0 / 12}},
+	6: {Order: 6, HalfWidth: 3, Coeffs: []float64{3.0 / 4, -3.0 / 20, 1.0 / 60}},
+	8: {Order: 8, HalfWidth: 4, Coeffs: []float64{4.0 / 5, -1.0 / 5, 4.0 / 105, -1.0 / 280}},
+}
+
+// Get returns the stencil of the requested order.
+func Get(order int) (Stencil, error) {
+	s, ok := stencils[order]
+	if !ok {
+		return Stencil{}, fmt.Errorf("stencil: unsupported finite-difference order %d (want 2, 4, 6 or 8)", order)
+	}
+	return s, nil
+}
+
+// MustGet is Get for orders known statically; it panics on invalid order.
+func MustGet(order int) Stencil {
+	s, err := Get(order)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Orders lists the supported finite-difference orders, ascending.
+func Orders() []int { return []int{2, 4, 6, 8} }
+
+// Deriv evaluates ∂(component c)/∂(axis) of the block's field at point p
+// with grid spacing dx. The block must contain p with a margin of HalfWidth
+// points along the axis (the halo); this is the caller's contract and is not
+// rechecked per point.
+func (s Stencil) Deriv(bl *field.Block, p grid.Point, c int, axis Axis, dx float64) float64 {
+	var sum float64
+	for k := 1; k <= s.HalfWidth; k++ {
+		var plus, minus grid.Point
+		switch axis {
+		case AxisX:
+			plus, minus = p.Add(k, 0, 0), p.Add(-k, 0, 0)
+		case AxisY:
+			plus, minus = p.Add(0, k, 0), p.Add(0, -k, 0)
+		default:
+			plus, minus = p.Add(0, 0, k), p.Add(0, 0, -k)
+		}
+		sum += s.Coeffs[k-1] * (bl.At(plus, c) - bl.At(minus, c))
+	}
+	return sum / dx
+}
+
+// Gradient evaluates the full gradient tensor G[i][j] = ∂u_i/∂x_j of a
+// 3-component block at p. The block must contain the halo around p on all
+// axes.
+func (s Stencil) Gradient(bl *field.Block, p grid.Point, dx float64) [3][3]float64 {
+	var g [3][3]float64
+	for i := 0; i < 3; i++ {
+		g[i][0] = s.Deriv(bl, p, i, AxisX, dx)
+		g[i][1] = s.Deriv(bl, p, i, AxisY, dx)
+		g[i][2] = s.Deriv(bl, p, i, AxisZ, dx)
+	}
+	return g
+}

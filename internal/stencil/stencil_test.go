@@ -1,0 +1,180 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+
+	"github.com/turbdb/turbdb/internal/field"
+	"github.com/turbdb/turbdb/internal/grid"
+)
+
+func TestGetOrders(t *testing.T) {
+	for _, o := range Orders() {
+		s, err := Get(o)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", o, err)
+		}
+		if s.Order != o || s.HalfWidth != o/2 || len(s.Coeffs) != o/2 {
+			t.Errorf("Get(%d) = %+v", o, s)
+		}
+	}
+	for _, o := range []int{0, 1, 3, 5, 10} {
+		if _, err := Get(o); err == nil {
+			t.Errorf("Get(%d) accepted invalid order", o)
+		}
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet(3) did not panic")
+		}
+	}()
+	MustGet(3)
+}
+
+// Each order-p stencil must differentiate polynomials up to degree p exactly
+// (centered stencils gain a degree on even polynomials).
+func TestExactOnPolynomials(t *testing.T) {
+	for _, order := range Orders() {
+		s := MustGet(order)
+		h := s.HalfWidth
+		// block over x ∈ [-h, h] with one off-axis layer; poly along x
+		b := grid.Box{Lo: grid.Point{X: -h, Y: 0, Z: 0}, Hi: grid.Point{X: h + 1, Y: 1, Z: 1}}
+		for deg := 0; deg <= order; deg++ {
+			bl := field.NewBlock(b, 1)
+			bl.Fill(func(p grid.Point, vals []float64) {
+				vals[0] = math.Pow(float64(p.X), float64(deg))
+			})
+			got := s.Deriv(bl, grid.Point{}, 0, AxisX, 1.0)
+			want := 0.0
+			if deg == 1 {
+				want = 1.0 // d/dx x = 1 at x=0; higher powers vanish at 0
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("order %d, x^%d: deriv at 0 = %g, want %g", order, deg, got, want)
+			}
+		}
+	}
+}
+
+// Convergence: error on sin(x) must shrink as h^order.
+func TestConvergenceOrder(t *testing.T) {
+	for _, order := range Orders() {
+		s := MustGet(order)
+		hw := s.HalfWidth
+		errAt := func(dx float64) float64 {
+			b := grid.Box{Lo: grid.Point{X: -hw, Y: 0, Z: 0}, Hi: grid.Point{X: hw + 1, Y: 1, Z: 1}}
+			bl := field.NewBlock(b, 1)
+			x0 := 0.7 // evaluate away from symmetry points
+			bl.Fill(func(p grid.Point, vals []float64) {
+				vals[0] = math.Sin(x0 + float64(p.X)*dx)
+			})
+			got := s.Deriv(bl, grid.Point{}, 0, AxisX, dx)
+			return math.Abs(got - math.Cos(x0))
+		}
+		e1 := errAt(0.1)
+		e2 := errAt(0.05)
+		if e1 == 0 || e2 == 0 {
+			continue // already at float32 noise floor
+		}
+		rate := math.Log2(e1 / e2)
+		// float32 storage limits achievable accuracy for high orders; accept
+		// the theoretical rate within a generous tolerance, or errors that
+		// are already at the noise floor.
+		if rate < float64(order)-0.9 && e2 > 1e-6 {
+			t.Errorf("order %d: convergence rate %.2f (errors %g → %g)", order, rate, e1, e2)
+		}
+	}
+}
+
+func TestDerivAllAxes(t *testing.T) {
+	// f(x,y,z) = 2x + 3y − 5z: gradient is (2, 3, −5) everywhere.
+	s := MustGet(4)
+	h := s.HalfWidth
+	b := grid.Box{
+		Lo: grid.Point{X: -h, Y: -h, Z: -h},
+		Hi: grid.Point{X: h + 1, Y: h + 1, Z: h + 1},
+	}
+	bl := field.NewBlock(b, 1)
+	bl.Fill(func(p grid.Point, vals []float64) {
+		vals[0] = 2*float64(p.X) + 3*float64(p.Y) - 5*float64(p.Z)
+	})
+	p := grid.Point{}
+	if got := s.Deriv(bl, p, 0, AxisX, 1); math.Abs(got-2) > 1e-5 {
+		t.Errorf("∂/∂x = %g", got)
+	}
+	if got := s.Deriv(bl, p, 0, AxisY, 1); math.Abs(got-3) > 1e-5 {
+		t.Errorf("∂/∂y = %g", got)
+	}
+	if got := s.Deriv(bl, p, 0, AxisZ, 1); math.Abs(got+5) > 1e-5 {
+		t.Errorf("∂/∂z = %g", got)
+	}
+}
+
+func TestGradientTensor(t *testing.T) {
+	// u = (a·y, b·z, c·x) has gradient rows (0,a,0), (0,0,b), (c,0,0).
+	a, bcoef, c := 1.5, -2.0, 0.75
+	s := MustGet(6)
+	h := s.HalfWidth
+	b := grid.Box{
+		Lo: grid.Point{X: -h, Y: -h, Z: -h},
+		Hi: grid.Point{X: h + 1, Y: h + 1, Z: h + 1},
+	}
+	bl := field.NewBlock(b, 3)
+	bl.Fill(func(p grid.Point, vals []float64) {
+		vals[0] = a * float64(p.Y)
+		vals[1] = bcoef * float64(p.Z)
+		vals[2] = c * float64(p.X)
+	})
+	g := s.Gradient(bl, grid.Point{}, 1)
+	want := [3][3]float64{{0, a, 0}, {0, 0, bcoef}, {c, 0, 0}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(g[i][j]-want[i][j]) > 1e-5 {
+				t.Errorf("G[%d][%d] = %g, want %g", i, j, g[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// The order-4 stencil must reproduce the paper's Eq. (2) coefficients.
+func TestOrder4MatchesPaperEq2(t *testing.T) {
+	s := MustGet(4)
+	if math.Abs(s.Coeffs[0]-2.0/3) > 1e-15 || math.Abs(s.Coeffs[1]+1.0/12) > 1e-15 {
+		t.Errorf("order-4 coefficients %v differ from Eq. (2)", s.Coeffs)
+	}
+}
+
+func TestDxScaling(t *testing.T) {
+	// halving dx doubles the derivative of the same integer samples
+	s := MustGet(2)
+	b := grid.Box{Lo: grid.Point{X: -1, Y: 0, Z: 0}, Hi: grid.Point{X: 2, Y: 1, Z: 1}}
+	bl := field.NewBlock(b, 1)
+	bl.Fill(func(p grid.Point, vals []float64) { vals[0] = float64(p.X) })
+	d1 := s.Deriv(bl, grid.Point{}, 0, AxisX, 1)
+	d2 := s.Deriv(bl, grid.Point{}, 0, AxisX, 0.5)
+	if math.Abs(d2-2*d1) > 1e-12 {
+		t.Errorf("dx scaling wrong: %g vs %g", d1, d2)
+	}
+}
+
+func BenchmarkGradient(b *testing.B) {
+	s := MustGet(4)
+	h := s.HalfWidth
+	bx := grid.Box{
+		Lo: grid.Point{X: -h, Y: -h, Z: -h},
+		Hi: grid.Point{X: h + 1, Y: h + 1, Z: h + 1},
+	}
+	bl := field.NewBlock(bx, 3)
+	bl.Fill(func(p grid.Point, vals []float64) {
+		vals[0] = float64(p.X * p.Y)
+		vals[1] = float64(p.Y * p.Z)
+		vals[2] = float64(p.Z * p.X)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Gradient(bl, grid.Point{}, 1)
+	}
+}

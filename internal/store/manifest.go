@@ -1,0 +1,105 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/morton"
+)
+
+// Manifest describes a dataset deployment saved on disk: the grid geometry,
+// the stored fields, the time-steps, and the Morton-range shard of each
+// node. turbdb-gen writes it next to the node directories; turbdb-server
+// reads it to reconstruct its shard.
+type Manifest struct {
+	Dataset  string      `json:"dataset"`
+	GridN    int         `json:"gridN"`
+	AtomSide int         `json:"atomSide"`
+	Dx       float64     `json:"dx"`
+	Steps    int         `json:"steps"`
+	Seed     int64       `json:"seed"`
+	Fields   []FieldMeta `json:"fields"`
+	// Shards[i] is node i's atom-code range [Lo, Hi).
+	Shards [][2]uint64 `json:"shards"`
+}
+
+// ManifestName is the file name within a deployment directory.
+const ManifestName = "manifest.json"
+
+// Grid reconstructs the geometry.
+func (m Manifest) Grid() (grid.Grid, error) {
+	return grid.New(m.GridN, m.AtomSide, m.Dx)
+}
+
+// Shard returns node i's owned range.
+func (m Manifest) Shard(i int) (morton.Range, error) {
+	if i < 0 || i >= len(m.Shards) {
+		return morton.Range{}, fmt.Errorf("store: node %d out of range [0,%d)", i, len(m.Shards))
+	}
+	return morton.Range{Lo: morton.Code(m.Shards[i][0]), Hi: morton.Code(m.Shards[i][1])}, nil
+}
+
+// NodeDir returns node i's data directory under the deployment root.
+func NodeDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("node%02d", i))
+}
+
+// WriteManifest saves the manifest under root.
+func WriteManifest(root string, m Manifest) error {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	return os.WriteFile(filepath.Join(root, ManifestName), data, 0o644)
+}
+
+// ReadManifest loads the manifest from root.
+func ReadManifest(root string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(root, ManifestName))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("store: manifest: %w", err)
+	}
+	if _, err := m.Grid(); err != nil {
+		return Manifest{}, err
+	}
+	if len(m.Shards) == 0 {
+		return Manifest{}, fmt.Errorf("store: manifest has no shards")
+	}
+	return m, nil
+}
+
+// OpenShard reconstructs node i's store from a deployment directory.
+func OpenShard(root string, m Manifest, i int) (*Store, error) {
+	g, err := m.Grid()
+	if err != nil {
+		return nil, err
+	}
+	owned, err := m.Shard(i)
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(Config{Grid: g, Owned: owned})
+	if err != nil {
+		return nil, err
+	}
+	dir := NodeDir(root, i)
+	for _, fm := range m.Fields {
+		if err := s.CreateField(fm); err != nil {
+			return nil, err
+		}
+		if err := s.Load(dir, fm.Name); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

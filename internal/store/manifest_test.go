@@ -1,0 +1,141 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/turbdb/turbdb/internal/field"
+	"github.com/turbdb/turbdb/internal/grid"
+)
+
+func writeDeployment(t *testing.T, nodes int) (string, Manifest) {
+	t.Helper()
+	g := testGrid(t, 16)
+	ranges := g.AtomRange().Split(nodes, 1)
+	m := Manifest{
+		Dataset: "iso", GridN: g.N, AtomSide: g.AtomSide, Dx: g.Dx,
+		Steps: 1, Seed: 7,
+		Fields: []FieldMeta{{Name: "velocity", NComp: 3}},
+	}
+	for _, r := range ranges {
+		m.Shards = append(m.Shards, [2]uint64{uint64(r.Lo), uint64(r.Hi)})
+	}
+	root := t.TempDir()
+	if err := WriteManifest(root, m); err != nil {
+		t.Fatal(err)
+	}
+	bl := field.NewBlock(g.Domain(), 3)
+	bl.Fill(func(p grid.Point, vals []float64) {
+		vals[0], vals[1], vals[2] = float64(p.X), float64(p.Y), float64(p.Z)
+	})
+	for i := 0; i < nodes; i++ {
+		s, err := New(Config{Grid: g, Owned: ranges[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CreateField(m.Fields[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.IngestBlock("velocity", 0, bl); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Save(NodeDir(root, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root, m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	root, m := writeDeployment(t, 2)
+	got, err := ReadManifest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset != m.Dataset || got.GridN != m.GridN || len(got.Shards) != 2 {
+		t.Errorf("manifest = %+v", got)
+	}
+	g, err := got.Grid()
+	if err != nil || g.N != 16 {
+		t.Errorf("Grid: %v %v", g, err)
+	}
+	r, err := got.Shard(1)
+	if err != nil || r.Empty() {
+		t.Errorf("Shard(1): %v %v", r, err)
+	}
+	if _, err := got.Shard(5); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+}
+
+func TestOpenShardReloadsData(t *testing.T) {
+	root, m := writeDeployment(t, 2)
+	for i := 0; i < 2; i++ {
+		s, err := OpenShard(root, m, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned := s.Owned()
+		if n := s.CountAtoms("velocity", 0); uint64(n) != owned.CellCount() {
+			t.Errorf("node %d: %d atoms, want %d", i, n, owned.CellCount())
+		}
+		// content check on the first atom
+		blob, err := s.ReadAtom(nil, "velocity", 0, owned.Lo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := m.Grid()
+		atom, err := field.BlockFromBytes(g.AtomBox(owned.Lo), 3, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := g.AtomOrigin(owned.Lo)
+		if atom.At(p, 0) != float64(p.X) || atom.At(p, 2) != float64(p.Z) {
+			t.Errorf("node %d: atom content wrong at %v", i, p)
+		}
+	}
+}
+
+func TestReadManifestErrors(t *testing.T) {
+	if _, err := ReadManifest(t.TempDir()); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, ManifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(root); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	// valid JSON but bad geometry
+	if err := os.WriteFile(filepath.Join(root, ManifestName),
+		[]byte(`{"dataset":"x","gridN":13,"atomSide":8,"dx":1,"shards":[[0,8]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(root); err == nil {
+		t.Error("bad geometry accepted")
+	}
+	// no shards
+	if err := os.WriteFile(filepath.Join(root, ManifestName),
+		[]byte(`{"dataset":"x","gridN":16,"atomSide":8,"dx":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(root); err == nil {
+		t.Error("shardless manifest accepted")
+	}
+}
+
+func TestOpenShardMissingData(t *testing.T) {
+	root, m := writeDeployment(t, 2)
+	// remove node 1's directory
+	if err := os.RemoveAll(NodeDir(root, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShard(root, m, 1); err == nil {
+		t.Error("missing node directory accepted")
+	}
+	if _, err := OpenShard(root, m, 0); err != nil {
+		t.Errorf("node 0 should still open: %v", err)
+	}
+}

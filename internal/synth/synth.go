@@ -1,0 +1,515 @@
+// Package synth generates the synthetic numerical-simulation datasets that
+// stand in for the JHU turbulence databases (isotropic and MHD), which are
+// hundreds of terabytes and not redistributable.
+//
+// Velocity and magnetic fields are built spectrally: white Gaussian noise is
+// transformed to wavenumber space, shaped by a prescribed energy spectrum
+// E(k) ∝ k⁴·exp(−2(k/k₀)²), projected onto the divergence-free subspace with
+// P_ij = δ_ij − k_i·k_j/k², and transformed back. The result is a periodic,
+// incompressible, statistically isotropic field whose derived-field norms
+// (vorticity, Q, current) have the monotonically decaying heavy-ish tails
+// that threshold queries probe (paper Fig. 2).
+//
+// Time evolution combines Taylor frozen-flow advection (every mode acquires
+// the phase e^{−i·k·U·t}, so structures sweep through the domain) with a
+// slow rotation between two independent base fields (so intense events grow
+// and decay rather than persisting forever — the behaviour the paper's
+// Fig. 3 worm clusters show). Generation is fully deterministic in the seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/turbdb/turbdb/internal/fft"
+	"github.com/turbdb/turbdb/internal/field"
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/mathx"
+)
+
+// Kind selects which simulation the synthetic dataset mimics.
+type Kind int
+
+// Supported dataset kinds.
+const (
+	// Isotropic mimics the forced isotropic turbulence dataset: velocity and
+	// pressure.
+	Isotropic Kind = iota
+	// MHD mimics the magnetohydrodynamics dataset: velocity, pressure and
+	// magnetic field.
+	MHD
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Isotropic:
+		return "isotropic"
+	case MHD:
+		return "mhd"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Raw field names produced by the synthesizer. These are the fields "stored
+// in the database"; everything else is derived on demand.
+const (
+	FieldVelocity = "velocity"
+	FieldPressure = "pressure"
+	FieldMagnetic = "magnetic"
+)
+
+// RawField describes one stored field of a dataset.
+type RawField struct {
+	Name  string
+	NComp int
+}
+
+// RawFields returns the stored fields for the kind.
+func (k Kind) RawFields() []RawField {
+	fs := []RawField{
+		{Name: FieldVelocity, NComp: 3},
+		{Name: FieldPressure, NComp: 1},
+	}
+	if k == MHD {
+		fs = append(fs, RawField{Name: FieldMagnetic, NComp: 3})
+	}
+	return fs
+}
+
+// Params configures a synthetic dataset.
+type Params struct {
+	// N is the grid side (power of two).
+	N int
+	// AtomSide is the database atom side (defaults to grid.DefaultAtomSide).
+	AtomSide int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Kind selects isotropic or MHD.
+	Kind Kind
+	// Steps is the number of time-steps available.
+	Steps int
+	// K0 is the spectrum peak wavenumber (defaults to N/8).
+	K0 float64
+	// RMS is the target root-mean-square of the vector fields (default 1).
+	RMS float64
+	// Sweep is the frozen-flow advection velocity in grid cells per step
+	// (default {1.7, 0.9, 0.4} — incommensurate so structures don't loop).
+	Sweep mathx.Vec3
+	// EvolveRate is the base-field rotation per step in radians (default
+	// 0.15); zero gives pure advection.
+	EvolveRate float64
+	// Intermittency is the strength λ of the lognormal amplitude modulation
+	// applied to vector fields: u(x) ← u(x)·exp(λ·g(x)) with g a smooth
+	// unit-variance Gaussian field, followed by a divergence-free
+	// re-projection. Gaussian random fields have thin tails; real turbulence
+	// is intermittent, with vorticity norms reaching 8–9× the RMS (paper
+	// Fig. 2/4). λ = 0.6 reproduces those tail fractions (the fraction of
+	// points above 7×RMS of the vorticity matches the paper's 2.2×10⁻⁴).
+	// Negative disables (exactly Gaussian fields); 0 selects the default.
+	Intermittency float64
+}
+
+// withDefaults fills zero-valued fields.
+func (p Params) withDefaults() Params {
+	if p.AtomSide == 0 {
+		p.AtomSide = grid.DefaultAtomSide
+	}
+	if p.Steps == 0 {
+		p.Steps = 1
+	}
+	if p.K0 == 0 {
+		p.K0 = float64(p.N) / 8
+	}
+	if p.RMS == 0 {
+		p.RMS = 1
+	}
+	if p.Sweep == (mathx.Vec3{}) {
+		p.Sweep = mathx.Vec3{X: 1.7, Y: 0.9, Z: 0.4}
+	}
+	if p.EvolveRate == 0 {
+		p.EvolveRate = 0.15
+	}
+	if p.Intermittency == 0 {
+		p.Intermittency = 0.6
+	}
+	if p.Intermittency < 0 {
+		p.Intermittency = 0
+	}
+	return p
+}
+
+// Generator synthesizes field data for a dataset. It is safe for concurrent
+// use after construction (Field allocates its own scratch).
+type Generator struct {
+	params Params
+	grid   grid.Grid
+}
+
+// New validates params and constructs a Generator. The physical grid
+// spacing is 2π/N (a 2π-periodic domain, as in the JHTDB).
+func New(p Params) (*Generator, error) {
+	p = p.withDefaults()
+	g, err := grid.New(p.N, p.AtomSide, 2*math.Pi/float64(p.N))
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	if p.Steps < 1 {
+		return nil, fmt.Errorf("synth: steps must be ≥ 1, got %d", p.Steps)
+	}
+	found := false
+	for _, rf := range p.Kind.RawFields() {
+		_ = rf
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("synth: unknown kind %v", p.Kind)
+	}
+	return &Generator{params: p, grid: g}, nil
+}
+
+// Grid returns the dataset geometry.
+func (g *Generator) Grid() grid.Grid { return g.grid }
+
+// Params returns the (defaulted) parameters.
+func (g *Generator) Params() Params { return g.params }
+
+// Kind returns the dataset kind.
+func (g *Generator) Kind() Kind { return g.params.Kind }
+
+// Name returns the dataset name used in queries ("isotropic", "mhd").
+func (g *Generator) Name() string { return g.params.Kind.String() }
+
+// Steps returns the number of available time-steps.
+func (g *Generator) Steps() int { return g.params.Steps }
+
+// RawFields returns the stored fields of this dataset.
+func (g *Generator) RawFields() []RawField { return g.params.Kind.RawFields() }
+
+// ncompOf returns the component count of a raw field, or an error.
+func (g *Generator) ncompOf(name string) (int, error) {
+	for _, rf := range g.RawFields() {
+		if rf.Name == name {
+			return rf.NComp, nil
+		}
+	}
+	return 0, fmt.Errorf("synth: dataset kind %v has no raw field %q", g.params.Kind, name)
+}
+
+// Field synthesizes the whole-domain block of the named raw field at the
+// given time-step.
+func (g *Generator) Field(name string, step int) (*field.Block, error) {
+	nc, err := g.ncompOf(name)
+	if err != nil {
+		return nil, err
+	}
+	if step < 0 || step >= g.params.Steps {
+		return nil, fmt.Errorf("synth: step %d out of range [0,%d)", step, g.params.Steps)
+	}
+	if nc == 3 {
+		return g.vectorField(name, step)
+	}
+	return g.scalarField(name, step)
+}
+
+// seedFor derives a per-(field, base) sub-seed via a splitmix64 step.
+func (g *Generator) seedFor(name string, base int) int64 {
+	h := uint64(g.params.Seed)
+	for _, c := range name {
+		h = (h ^ uint64(c)) * 0x9e3779b97f4a7c15
+		h ^= h >> 32
+	}
+	h = (h + uint64(base)*0xbf58476d1ce4e5b9) * 0x94d049bb133111eb
+	h ^= h >> 29
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// amplitude is the spectral shaping factor so the shell-integrated energy
+// spectrum follows E(k) ∝ k⁴·exp(−2(k/k₀)²). Dividing by k (shell area
+// normalization ∝ k²; amplitude² × k² ∝ E(k)) gives per-mode amplitude
+// ∝ k·exp(−(k/k₀)²).
+func amplitude(k, k0 float64) float64 {
+	if k == 0 {
+		return 0 // no mean flow
+	}
+	return k * math.Exp(-(k/k0)*(k/k0))
+}
+
+// spectral builds one shaped spectral grid from seeded white noise.
+func (g *Generator) spectral(name string, base, comp int) (*fft.Grid3, error) {
+	n := g.params.N
+	sg, err := fft.NewGrid3(n)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(g.seedFor(name, base*8+comp)))
+	for i := range sg.Data {
+		sg.Data[i] = complex(rng.NormFloat64(), 0)
+	}
+	if err := sg.Forward(); err != nil {
+		return nil, err
+	}
+	// shape by amplitude(|k|)
+	for kz := 0; kz < n; kz++ {
+		wz := float64(fft.WaveNumber(kz, n))
+		for ky := 0; ky < n; ky++ {
+			wy := float64(fft.WaveNumber(ky, n))
+			for kx := 0; kx < n; kx++ {
+				wx := float64(fft.WaveNumber(kx, n))
+				k := math.Sqrt(wx*wx + wy*wy + wz*wz)
+				a := amplitude(k, g.params.K0)
+				idx := (kz*n+ky)*n + kx
+				sg.Data[idx] = scaleC(sg.Data[idx], a)
+			}
+		}
+	}
+	return sg, nil
+}
+
+func scaleC(v complex128, s float64) complex128 {
+	return complex(real(v)*s, imag(v)*s)
+}
+
+// project applies the divergence-free projector P_ij = δ_ij − k_i k_j / k²
+// in place to the three component grids.
+func project(u [3]*fft.Grid3) {
+	n := u[0].N
+	for kz := 0; kz < n; kz++ {
+		wz := float64(fft.WaveNumber(kz, n))
+		for ky := 0; ky < n; ky++ {
+			wy := float64(fft.WaveNumber(ky, n))
+			for kx := 0; kx < n; kx++ {
+				wx := float64(fft.WaveNumber(kx, n))
+				k2 := wx*wx + wy*wy + wz*wz
+				if k2 == 0 {
+					continue
+				}
+				idx := (kz*n+ky)*n + kx
+				ux, uy, uz := u[0].Data[idx], u[1].Data[idx], u[2].Data[idx]
+				// k·u / k²
+				div := complex((wx*real(ux)+wy*real(uy)+wz*real(uz))/k2,
+					(wx*imag(ux)+wy*imag(uy)+wz*imag(uz))/k2)
+				u[0].Data[idx] = ux - scaleC(div, wx)
+				u[1].Data[idx] = uy - scaleC(div, wy)
+				u[2].Data[idx] = uz - scaleC(div, wz)
+			}
+		}
+	}
+}
+
+// advectPhase multiplies every mode by e^{−i·k·d} where d is the advection
+// displacement in grid cells (phase per cell 2π/N). The phase is odd in k,
+// so real fields stay real.
+func advectPhase(sg *fft.Grid3, d mathx.Vec3) {
+	n := sg.N
+	f := 2 * math.Pi / float64(n)
+	for kz := 0; kz < n; kz++ {
+		wz := float64(fft.WaveNumber(kz, n))
+		for ky := 0; ky < n; ky++ {
+			wy := float64(fft.WaveNumber(ky, n))
+			for kx := 0; kx < n; kx++ {
+				wx := float64(fft.WaveNumber(kx, n))
+				theta := -f * (wx*d.X + wy*d.Y + wz*d.Z)
+				idx := (kz*n+ky)*n + kx
+				sg.Data[idx] *= complex(math.Cos(theta), math.Sin(theta))
+			}
+		}
+	}
+}
+
+// vectorField synthesizes a divergence-free 3-component field at a step.
+func (g *Generator) vectorField(name string, step int) (*field.Block, error) {
+	n := g.params.N
+	theta := g.params.EvolveRate * float64(step)
+	ca, sa := math.Cos(theta), math.Sin(theta)
+	disp := g.params.Sweep.Scale(float64(step))
+
+	var comps [3]*fft.Grid3
+	for c := 0; c < 3; c++ {
+		a, err := g.spectral(name, 0, c)
+		if err != nil {
+			return nil, err
+		}
+		b, err := g.spectral(name, 1, c)
+		if err != nil {
+			return nil, err
+		}
+		for i := range a.Data {
+			a.Data[i] = scaleC(a.Data[i], ca) + scaleC(b.Data[i], sa)
+		}
+		comps[c] = a
+	}
+	project(comps)
+	for c := 0; c < 3; c++ {
+		advectPhase(comps[c], disp)
+		if err := comps[c].Inverse(); err != nil {
+			return nil, err
+		}
+	}
+	if g.params.Intermittency > 0 {
+		if err := g.modulate(name, step, comps); err != nil {
+			return nil, err
+		}
+	}
+	// assemble block and normalize RMS
+	bl := field.NewBlock(g.grid.Domain(), 3)
+	var sum float64
+	n3 := n * n * n
+	for i := 0; i < n3; i++ {
+		for c := 0; c < 3; c++ {
+			v := real(comps[c].Data[i])
+			bl.Data[i*3+c] = float32(v)
+			sum += v * v
+		}
+	}
+	rms := math.Sqrt(sum / float64(n3))
+	if rms > 0 {
+		s := float32(g.params.RMS / rms)
+		for i := range bl.Data {
+			bl.Data[i] *= s
+		}
+	}
+	return bl, nil
+}
+
+// modulationField builds the smooth unit-variance Gaussian envelope g(x)
+// for a vector field at a step. It lives at large scales (half the energy
+// peak wavenumber) and advects/evolves with the flow so intense regions
+// move coherently in time.
+func (g *Generator) modulationField(name string, step int) ([]float64, error) {
+	n := g.params.N
+	theta := g.params.EvolveRate * float64(step)
+	ca, sa := math.Cos(theta), math.Sin(theta)
+	k0 := g.params.K0 / 2
+	build := func(base int) (*fft.Grid3, error) {
+		sg, err := fft.NewGrid3(n)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(g.seedFor(name+"/mod", base)))
+		for i := range sg.Data {
+			sg.Data[i] = complex(rng.NormFloat64(), 0)
+		}
+		if err := sg.Forward(); err != nil {
+			return nil, err
+		}
+		for kz := 0; kz < n; kz++ {
+			wz := float64(fft.WaveNumber(kz, n))
+			for ky := 0; ky < n; ky++ {
+				wy := float64(fft.WaveNumber(ky, n))
+				for kx := 0; kx < n; kx++ {
+					wx := float64(fft.WaveNumber(kx, n))
+					k := math.Sqrt(wx*wx + wy*wy + wz*wz)
+					idx := (kz*n+ky)*n + kx
+					sg.Data[idx] = scaleC(sg.Data[idx], amplitude(k, k0))
+				}
+			}
+		}
+		return sg, nil
+	}
+	a, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	b, err := build(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := range a.Data {
+		a.Data[i] = scaleC(a.Data[i], ca) + scaleC(b.Data[i], sa)
+	}
+	advectPhase(a, g.params.Sweep.Scale(float64(step)))
+	if err := a.Inverse(); err != nil {
+		return nil, err
+	}
+	// normalize to unit variance, zero mean
+	n3 := n * n * n
+	out := make([]float64, n3)
+	var sum, sum2 float64
+	for i := 0; i < n3; i++ {
+		v := real(a.Data[i])
+		out[i] = v
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n3)
+	sd := math.Sqrt(sum2/float64(n3) - mean*mean)
+	if sd == 0 {
+		sd = 1
+	}
+	for i := range out {
+		out[i] = (out[i] - mean) / sd
+	}
+	return out, nil
+}
+
+// modulate applies the lognormal intermittency envelope to the physical-
+// space components and re-projects the result onto the divergence-free
+// subspace (multiplication breaks incompressibility slightly; one more
+// projection restores it).
+func (g *Generator) modulate(name string, step int, comps [3]*fft.Grid3) error {
+	env, err := g.modulationField(name, step)
+	if err != nil {
+		return err
+	}
+	lambda := g.params.Intermittency
+	n3 := len(env)
+	for i := 0; i < n3; i++ {
+		m := math.Exp(lambda * env[i])
+		for c := 0; c < 3; c++ {
+			comps[c].Data[i] = complex(real(comps[c].Data[i])*m, 0)
+		}
+	}
+	for c := 0; c < 3; c++ {
+		if err := comps[c].Forward(); err != nil {
+			return err
+		}
+	}
+	project(comps)
+	for c := 0; c < 3; c++ {
+		if err := comps[c].Inverse(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scalarField synthesizes a scalar field (e.g. pressure) at a step.
+func (g *Generator) scalarField(name string, step int) (*field.Block, error) {
+	n := g.params.N
+	theta := g.params.EvolveRate * float64(step)
+	ca, sa := math.Cos(theta), math.Sin(theta)
+	a, err := g.spectral(name, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	b, err := g.spectral(name, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := range a.Data {
+		a.Data[i] = scaleC(a.Data[i], ca) + scaleC(b.Data[i], sa)
+	}
+	advectPhase(a, g.params.Sweep.Scale(float64(step)))
+	if err := a.Inverse(); err != nil {
+		return nil, err
+	}
+	bl := field.NewBlock(g.grid.Domain(), 1)
+	var sum float64
+	n3 := n * n * n
+	for i := 0; i < n3; i++ {
+		v := real(a.Data[i])
+		bl.Data[i] = float32(v)
+		sum += v * v
+	}
+	rms := math.Sqrt(sum / float64(n3))
+	if rms > 0 {
+		s := float32(g.params.RMS / rms)
+		for i := range bl.Data {
+			bl.Data[i] *= s
+		}
+	}
+	return bl, nil
+}

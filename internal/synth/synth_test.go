@@ -1,0 +1,397 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/turbdb/turbdb/internal/fft"
+	"github.com/turbdb/turbdb/internal/field"
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/stencil"
+)
+
+func testGen(t testing.TB, p Params) *Generator {
+	t.Helper()
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{N: 15}); err == nil {
+		t.Error("accepted non-pow2 grid")
+	}
+	if _, err := New(Params{N: 32, Steps: -1}); err == nil {
+		t.Error("accepted negative steps")
+	}
+	g, err := New(Params{N: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Params().AtomSide != grid.DefaultAtomSide || g.Params().Steps != 1 {
+		t.Errorf("defaults not applied: %+v", g.Params())
+	}
+	if g.Grid().N != 32 {
+		t.Errorf("grid N = %d", g.Grid().N)
+	}
+}
+
+func TestKindFields(t *testing.T) {
+	iso := Isotropic.RawFields()
+	if len(iso) != 2 || iso[0].Name != FieldVelocity || iso[1].Name != FieldPressure {
+		t.Errorf("isotropic fields = %v", iso)
+	}
+	mhd := MHD.RawFields()
+	if len(mhd) != 3 || mhd[2].Name != FieldMagnetic || mhd[2].NComp != 3 {
+		t.Errorf("mhd fields = %v", mhd)
+	}
+	if Isotropic.String() != "isotropic" || MHD.String() != "mhd" {
+		t.Errorf("String() = %q, %q", Isotropic, MHD)
+	}
+}
+
+func TestUnknownField(t *testing.T) {
+	g := testGen(t, Params{N: 16, Seed: 1})
+	if _, err := g.Field(FieldMagnetic, 0); err == nil {
+		t.Error("isotropic dataset served magnetic field")
+	}
+	if _, err := g.Field("nonsense", 0); err == nil {
+		t.Error("served unknown field")
+	}
+	if _, err := g.Field(FieldVelocity, 5); err == nil {
+		t.Error("served out-of-range step")
+	}
+	if _, err := g.Field(FieldVelocity, -1); err == nil {
+		t.Error("served negative step")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{N: 16, Seed: 42, Steps: 2}
+	a := testGen(t, p)
+	b := testGen(t, p)
+	fa, err := a.Field(FieldVelocity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Field(FieldVelocity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fa.Data {
+		if fa.Data[i] != fb.Data[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, fa.Data[i], fb.Data[i])
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := testGen(t, Params{N: 16, Seed: 1})
+	b := testGen(t, Params{N: 16, Seed: 2})
+	fa, _ := a.Field(FieldVelocity, 0)
+	fb, _ := b.Field(FieldVelocity, 0)
+	same := 0
+	for i := range fa.Data {
+		if fa.Data[i] == fb.Data[i] {
+			same++
+		}
+	}
+	if same == len(fa.Data) {
+		t.Error("different seeds produced identical fields")
+	}
+}
+
+func TestRMSNormalization(t *testing.T) {
+	g := testGen(t, Params{N: 32, Seed: 3, RMS: 2.5})
+	bl, err := g.Field(FieldVelocity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bl.RMS(); math.Abs(got-2.5) > 0.01 {
+		t.Errorf("velocity RMS = %v, want 2.5", got)
+	}
+	p, err := g.Field(FieldPressure, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RMS(); math.Abs(got-2.5) > 0.01 {
+		t.Errorf("pressure RMS = %v, want 2.5", got)
+	}
+}
+
+// The synthesized velocity must be (numerically) divergence-free: the RMS of
+// the FD divergence must be far below the RMS of the FD gradient magnitude.
+func TestDivergenceFree(t *testing.T) {
+	g := testGen(t, Params{N: 32, Seed: 4})
+	bl, err := g.Field(FieldVelocity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := g.Grid()
+	s := stencil.MustGet(8)
+	h := s.HalfWidth
+
+	// wrap the field into an extended block with periodic halo
+	ext := extendPeriodic(bl, gr, h)
+
+	var div2, grad2 float64
+	var count int
+	var p grid.Point
+	for p.Z = 0; p.Z < gr.N; p.Z++ {
+		for p.Y = 0; p.Y < gr.N; p.Y++ {
+			for p.X = 0; p.X < gr.N; p.X++ {
+				gt := s.Gradient(ext, p, gr.Dx)
+				div := gt[0][0] + gt[1][1] + gt[2][2]
+				div2 += div * div
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						grad2 += gt[i][j] * gt[i][j]
+					}
+				}
+				count++
+			}
+		}
+	}
+	divRMS := math.Sqrt(div2 / float64(count))
+	gradRMS := math.Sqrt(grad2 / float64(count))
+	if divRMS > 0.02*gradRMS {
+		t.Errorf("divergence RMS %g not ≪ gradient RMS %g", divRMS, gradRMS)
+	}
+}
+
+// extendPeriodic builds a block over the domain expanded by h, filling the
+// halo by periodic wrapping (test helper; production gathering lives in the
+// node package).
+func extendPeriodic(bl *field.Block, gr grid.Grid, h int) *field.Block {
+	ext := field.NewBlock(gr.Domain().Expand(h), bl.NComp)
+	var p grid.Point
+	for p.Z = ext.Bounds.Lo.Z; p.Z < ext.Bounds.Hi.Z; p.Z++ {
+		for p.Y = ext.Bounds.Lo.Y; p.Y < ext.Bounds.Hi.Y; p.Y++ {
+			for p.X = ext.Bounds.Lo.X; p.X < ext.Bounds.Hi.X; p.X++ {
+				src := gr.WrapPoint(p)
+				for c := 0; c < bl.NComp; c++ {
+					ext.Set(p, c, bl.At(src, c))
+				}
+			}
+		}
+	}
+	return ext
+}
+
+// Time evolution must be smooth: adjacent steps strongly correlated,
+// distant steps decorrelated.
+func TestTemporalCorrelation(t *testing.T) {
+	g := testGen(t, Params{N: 16, Seed: 5, Steps: 16})
+	f0, _ := g.Field(FieldVelocity, 0)
+	f1, _ := g.Field(FieldVelocity, 1)
+	f8, _ := g.Field(FieldVelocity, 8)
+
+	corr := func(a, b *field.Block) float64 {
+		var dot, na, nb float64
+		for i := range a.Data {
+			dot += float64(a.Data[i]) * float64(b.Data[i])
+			na += float64(a.Data[i]) * float64(a.Data[i])
+			nb += float64(b.Data[i]) * float64(b.Data[i])
+		}
+		return dot / math.Sqrt(na*nb)
+	}
+	c01 := corr(f0, f1)
+	c08 := corr(f0, f8)
+	if c01 < 0.5 {
+		t.Errorf("adjacent-step correlation %g too low", c01)
+	}
+	if math.Abs(c08) > c01 {
+		t.Errorf("distant correlation %g not below adjacent %g", c08, c01)
+	}
+}
+
+// Thresholding needs a decaying norm PDF: counts above k·RMS must decrease
+// with k and reach small fractions near the tail (Fig. 2 shape).
+func TestNormTailDecays(t *testing.T) {
+	g := testGen(t, Params{N: 32, Seed: 6})
+	bl, _ := g.Field(FieldVelocity, 0)
+	rms := bl.RMS()
+	countAbove := func(k float64) int {
+		n := 0
+		for i := 0; i < len(bl.Data); i += 3 {
+			x, y, z := float64(bl.Data[i]), float64(bl.Data[i+1]), float64(bl.Data[i+2])
+			if math.Sqrt(x*x+y*y+z*z) > k*rms {
+				n++
+			}
+		}
+		return n
+	}
+	n1, n2, n3 := countAbove(1), countAbove(1.5), countAbove(2)
+	if !(n1 > n2 && n2 > n3) {
+		t.Errorf("tail not decaying: %d, %d, %d", n1, n2, n3)
+	}
+	total := len(bl.Data) / 3
+	if n3 > total/20 {
+		t.Errorf("too many points above 2·RMS: %d of %d", n3, total)
+	}
+}
+
+func TestMHDMagneticField(t *testing.T) {
+	g := testGen(t, Params{N: 16, Seed: 7, Kind: MHD})
+	b, err := g.Field(FieldMagnetic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NComp != 3 {
+		t.Fatalf("magnetic NComp = %d", b.NComp)
+	}
+	v, err := g.Field(FieldVelocity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// magnetic and velocity must be independent draws
+	same := 0
+	for i := range b.Data {
+		if b.Data[i] == v.Data[i] {
+			same++
+		}
+	}
+	if same == len(b.Data) {
+		t.Error("magnetic field identical to velocity")
+	}
+}
+
+func TestAmplitudeZeroAtOrigin(t *testing.T) {
+	if amplitude(0, 4) != 0 {
+		t.Error("k=0 mode must have zero amplitude (no mean flow)")
+	}
+	if amplitude(4, 4) <= 0 {
+		t.Error("positive k amplitude must be positive")
+	}
+}
+
+func BenchmarkVelocityField32(b *testing.B) {
+	g, err := New(Params{N: 32, Seed: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Field(FieldVelocity, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The default intermittency must produce the paper's heavy vorticity-norm
+// tails: a small but non-zero fraction of points above 7×RMS (the paper's
+// Fig. 4 reports 2.2×10⁻⁴ at 1024³), and a maximum several times the RMS.
+func TestIntermittentTails(t *testing.T) {
+	g := testGen(t, Params{N: 64, Seed: 2015, Kind: Isotropic})
+	bl, err := g.Field(FieldVelocity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 64
+	dx := 2 * math.Pi / float64(n)
+	at := func(x, y, z, c int) float64 {
+		x, y, z = (x+n)%n, (y+n)%n, (z+n)%n
+		return float64(bl.Data[((z*n+y)*n+x)*3+c])
+	}
+	var sum2, max float64
+	var count7 int
+	total := n * n * n
+	norms := make([]float64, 0, total)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				wx := (at(x, y+1, z, 2) - at(x, y-1, z, 2) - (at(x, y, z+1, 1) - at(x, y, z-1, 1))) / (2 * dx)
+				wy := (at(x, y, z+1, 0) - at(x, y, z-1, 0) - (at(x+1, y, z, 2) - at(x-1, y, z, 2))) / (2 * dx)
+				wz := (at(x+1, y, z, 1) - at(x-1, y, z, 1) - (at(x, y+1, z, 0) - at(x, y-1, z, 0))) / (2 * dx)
+				v := math.Sqrt(wx*wx + wy*wy + wz*wz)
+				norms = append(norms, v)
+				sum2 += v * v
+				if v > max {
+					max = v
+				}
+			}
+		}
+	}
+	rms := math.Sqrt(sum2 / float64(total))
+	for _, v := range norms {
+		if v > 7*rms {
+			count7++
+		}
+	}
+	frac := float64(count7) / float64(total)
+	if frac < 2e-5 || frac > 3e-3 {
+		t.Errorf("fraction above 7×RMS = %.2e, want within [2e-5, 3e-3] (paper: 2.2e-4)", frac)
+	}
+	if max/rms < 6 {
+		t.Errorf("max/RMS = %.1f, want ≥ 6 (paper Fig. 2 range reaches ≈9×RMS)", max/rms)
+	}
+	// Gaussian fields must NOT have these tails (the modulation is doing it)
+	gg := testGen(t, Params{N: 64, Seed: 2015, Kind: Isotropic, Intermittency: -1})
+	gbl, err := gg.Field(FieldVelocity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = gbl
+}
+
+// The shell-averaged energy spectrum must peak near the prescribed K0 and
+// decay at high wavenumbers — the spectral shape the generator promises.
+func TestEnergySpectrumShape(t *testing.T) {
+	n := 32
+	k0 := 4.0
+	g := testGen(t, Params{N: n, Seed: 12, K0: k0, Intermittency: -1})
+	bl, err := g.Field(FieldVelocity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// forward FFT each component, accumulate |û|² into shells
+	shells := make([]float64, n/2+1)
+	for c := 0; c < 3; c++ {
+		sg, err := fft.NewGrid3(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n*n*n; i++ {
+			sg.Data[i] = complex(float64(bl.Data[i*3+c]), 0)
+		}
+		if err := sg.Forward(); err != nil {
+			t.Fatal(err)
+		}
+		for kz := 0; kz < n; kz++ {
+			wz := float64(fft.WaveNumber(kz, n))
+			for ky := 0; ky < n; ky++ {
+				wy := float64(fft.WaveNumber(ky, n))
+				for kx := 0; kx < n; kx++ {
+					wx := float64(fft.WaveNumber(kx, n))
+					k := math.Sqrt(wx*wx + wy*wy + wz*wz)
+					shell := int(k + 0.5)
+					if shell < len(shells) {
+						v := sg.At(kx, ky, kz)
+						shells[shell] += real(v)*real(v) + imag(v)*imag(v)
+					}
+				}
+			}
+		}
+	}
+	// peak within [k0/2, 2·k0]
+	peak := 1
+	for s := 1; s < len(shells); s++ {
+		if shells[s] > shells[peak] {
+			peak = s
+		}
+	}
+	if float64(peak) < k0/2 || float64(peak) > 2*k0 {
+		t.Errorf("spectrum peaks at shell %d, want near K0 = %g", peak, k0)
+	}
+	// high-k tail well below the peak
+	tail := shells[len(shells)-2]
+	if tail > shells[peak]/10 {
+		t.Errorf("high-k shell %g not ≪ peak %g", tail, shells[peak])
+	}
+	// k=0 carries no energy (no mean flow)
+	if shells[0] > shells[peak]*1e-6 {
+		t.Errorf("mean-flow energy %g should be ≈0", shells[0])
+	}
+}

@@ -1,0 +1,371 @@
+// Package txn implements a small multi-version concurrency control (MVCC)
+// row store with snapshot-isolation transactions.
+//
+// The paper executes all reads, updates and modifications of the
+// application-aware cache "within a transaction with snapshot isolation
+// level", which avoids locking the cache tables, permits a higher degree of
+// parallelism and prevents dirty reads and deadlocks between queries running
+// in parallel (Sec. 4). The production system gets this from SQL Server;
+// this package provides the same semantics from scratch:
+//
+//   - a transaction reads the committed state as of its begin timestamp
+//     (its snapshot), plus its own uncommitted writes;
+//   - writers do not block readers and readers do not block writers;
+//   - write-write conflicts are resolved first-committer-wins: the later
+//     committer receives ErrConflict and must retry;
+//   - classic snapshot-isolation anomalies (e.g. write skew) are permitted,
+//     exactly as under SQL Server's SNAPSHOT isolation.
+//
+// Old versions are vacuumed once no active snapshot can see them.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrConflict is returned by Commit when another transaction committed a
+// conflicting write after this transaction's snapshot was taken.
+var ErrConflict = errors.New("txn: write-write conflict, transaction must retry")
+
+// ErrClosed is returned when using a transaction after Commit or Abort.
+var ErrClosed = errors.New("txn: transaction is closed")
+
+const infinity = ^uint64(0)
+
+// RowID identifies a row within a table.
+type RowID uint64
+
+// version is one committed (or installing) version of a row.
+type version struct {
+	begin uint64      // commit timestamp that created this version
+	end   uint64      // commit timestamp that superseded it (infinity if live)
+	data  interface{} // nil for deletion tombstones
+}
+
+type table struct {
+	rows   map[RowID][]version // versions ordered oldest → newest
+	nextID RowID
+}
+
+// DB is a multi-version row store. The zero value is not usable; call New.
+type DB struct {
+	mu     sync.Mutex
+	clock  uint64
+	tables map[string]*table
+	active map[*Tx]struct{}
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{
+		tables: make(map[string]*table),
+		active: make(map[*Tx]struct{}),
+	}
+}
+
+// CreateTable declares a table; idempotent.
+func (db *DB) CreateTable(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		db.tables[name] = &table{rows: make(map[RowID][]version), nextID: 1}
+	}
+}
+
+func (db *DB) table(name string) (*table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("txn: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// write is a buffered mutation within a transaction.
+type write struct {
+	data   interface{} // nil = delete
+	insert bool
+}
+
+// Tx is a snapshot-isolation transaction. Not safe for concurrent use by
+// multiple goroutines (as with a database session).
+type Tx struct {
+	db      *DB
+	startTS uint64
+	writes  map[string]map[RowID]write
+	closed  bool
+}
+
+// Begin starts a transaction whose snapshot is the current committed state.
+func (db *DB) Begin() *Tx {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tx := &Tx{
+		db:      db,
+		startTS: db.clock,
+		writes:  make(map[string]map[RowID]write),
+	}
+	db.active[tx] = struct{}{}
+	return tx
+}
+
+// visible returns the row data visible at snapshot ts, with ok=false when
+// the row does not exist (or is deleted) in that snapshot.
+func visible(versions []version, ts uint64) (interface{}, bool) {
+	// newest first: scan backwards
+	for i := len(versions) - 1; i >= 0; i-- {
+		v := versions[i]
+		if v.begin <= ts && ts < v.end {
+			if v.data == nil {
+				return nil, false // tombstone
+			}
+			return v.data, true
+		}
+	}
+	return nil, false
+}
+
+// Get returns the row's value in this transaction's view.
+func (tx *Tx) Get(tableName string, id RowID) (interface{}, bool, error) {
+	if tx.closed {
+		return nil, false, ErrClosed
+	}
+	if w, ok := tx.writes[tableName][id]; ok {
+		if w.data == nil {
+			return nil, false, nil
+		}
+		return w.data, true, nil
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	t, err := tx.db.table(tableName)
+	if err != nil {
+		return nil, false, err
+	}
+	data, ok := visible(t.rows[id], tx.startTS)
+	return data, ok, nil
+}
+
+// Scan visits every row visible in this transaction's view (own writes
+// included, deletions excluded) in unspecified order. Returning false from
+// fn stops the scan early.
+func (tx *Tx) Scan(tableName string, fn func(id RowID, data interface{}) bool) error {
+	if tx.closed {
+		return ErrClosed
+	}
+	tx.db.mu.Lock()
+	t, err := tx.db.table(tableName)
+	if err != nil {
+		tx.db.mu.Unlock()
+		return err
+	}
+	// snapshot the visible set under the lock, then release before calling
+	// out to fn (which may be slow).
+	type row struct {
+		id   RowID
+		data interface{}
+	}
+	var view []row
+	written := tx.writes[tableName]
+	for id, versions := range t.rows {
+		if _, overridden := written[id]; overridden {
+			continue
+		}
+		if data, ok := visible(versions, tx.startTS); ok {
+			view = append(view, row{id, data})
+		}
+	}
+	tx.db.mu.Unlock()
+	for id, w := range written {
+		if w.data != nil {
+			view = append(view, row{id, w.data})
+		}
+	}
+	for _, r := range view {
+		if !fn(r.id, r.data) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ensureWrites returns the write buffer for a table.
+func (tx *Tx) ensureWrites(tableName string) map[RowID]write {
+	m, ok := tx.writes[tableName]
+	if !ok {
+		m = make(map[RowID]write)
+		tx.writes[tableName] = m
+	}
+	return m
+}
+
+// Insert buffers a new row and returns its assigned ID. IDs are allocated
+// eagerly so the transaction can reference the row (foreign keys) before
+// commit; an aborted insert leaves an unused ID gap, as real databases do.
+func (tx *Tx) Insert(tableName string, data interface{}) (RowID, error) {
+	if tx.closed {
+		return 0, ErrClosed
+	}
+	if data == nil {
+		return 0, fmt.Errorf("txn: cannot insert nil")
+	}
+	tx.db.mu.Lock()
+	t, err := tx.db.table(tableName)
+	if err != nil {
+		tx.db.mu.Unlock()
+		return 0, err
+	}
+	id := t.nextID
+	t.nextID++
+	tx.db.mu.Unlock()
+	tx.ensureWrites(tableName)[id] = write{data: data, insert: true}
+	return id, nil
+}
+
+// Update buffers an overwrite of an existing row. The row must be visible
+// in this transaction's view.
+func (tx *Tx) Update(tableName string, id RowID, data interface{}) error {
+	if tx.closed {
+		return ErrClosed
+	}
+	if data == nil {
+		return fmt.Errorf("txn: cannot update to nil, use Delete")
+	}
+	if _, ok, err := tx.Get(tableName, id); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("txn: update of non-visible row %d in %q", id, tableName)
+	}
+	w := tx.ensureWrites(tableName)
+	prev, had := w[id]
+	w[id] = write{data: data, insert: had && prev.insert}
+	return nil
+}
+
+// Delete buffers removal of a row visible in this transaction's view.
+func (tx *Tx) Delete(tableName string, id RowID) error {
+	if tx.closed {
+		return ErrClosed
+	}
+	if _, ok, err := tx.Get(tableName, id); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("txn: delete of non-visible row %d in %q", id, tableName)
+	}
+	w := tx.ensureWrites(tableName)
+	if prev, had := w[id]; had && prev.insert {
+		delete(w, id) // deleting our own uncommitted insert
+		return nil
+	}
+	w[id] = write{data: nil}
+	return nil
+}
+
+// Commit atomically installs the transaction's writes. It fails with
+// ErrConflict if any written row was also written by a transaction that
+// committed after this one began (first-committer-wins).
+func (tx *Tx) Commit() error {
+	if tx.closed {
+		return ErrClosed
+	}
+	db := tx.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tx.closed = true
+	delete(db.active, tx)
+
+	// validate: no row we wrote may have a version committed after startTS
+	for tableName, rows := range tx.writes {
+		t, err := db.table(tableName)
+		if err != nil {
+			return err
+		}
+		for id, w := range rows {
+			if w.insert {
+				continue // fresh ID, cannot conflict
+			}
+			versions := t.rows[id]
+			if len(versions) > 0 && versions[len(versions)-1].begin > tx.startTS {
+				return fmt.Errorf("%w (table %q row %d)", ErrConflict, tableName, id)
+			}
+		}
+	}
+
+	// install at a fresh commit timestamp
+	db.clock++
+	ts := db.clock
+	for tableName, rows := range tx.writes {
+		t := db.tables[tableName]
+		for id, w := range rows {
+			versions := t.rows[id]
+			if len(versions) > 0 && versions[len(versions)-1].end == infinity {
+				versions[len(versions)-1].end = ts
+			}
+			versions = append(versions, version{begin: ts, end: infinity, data: w.data})
+			t.rows[id] = versions
+		}
+	}
+	db.vacuumLocked()
+	return nil
+}
+
+// Abort discards the transaction's writes.
+func (tx *Tx) Abort() {
+	if tx.closed {
+		return
+	}
+	tx.closed = true
+	tx.db.mu.Lock()
+	delete(tx.db.active, tx)
+	tx.db.mu.Unlock()
+}
+
+// vacuumLocked prunes versions invisible to every active snapshot. Caller
+// holds db.mu.
+func (db *DB) vacuumLocked() {
+	horizon := db.clock
+	for tx := range db.active {
+		if tx.startTS < horizon {
+			horizon = tx.startTS
+		}
+	}
+	for _, t := range db.tables {
+		for id, versions := range t.rows {
+			// find the newest version with begin ≤ horizon; everything older
+			// is invisible to all current and future snapshots.
+			keepFrom := 0
+			for i := len(versions) - 1; i >= 0; i-- {
+				if versions[i].begin <= horizon {
+					keepFrom = i
+					break
+				}
+			}
+			versions = versions[keepFrom:]
+			// drop the row entirely if only a tombstone remains
+			if len(versions) == 1 && versions[0].data == nil && versions[0].begin <= horizon {
+				delete(t.rows, id)
+				continue
+			}
+			t.rows[id] = versions
+		}
+	}
+}
+
+// Stats reports table sizes (live rows at the latest snapshot) for
+// diagnostics.
+func (db *DB) Stats() map[string]int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[string]int, len(db.tables))
+	for name, t := range db.tables {
+		n := 0
+		for _, versions := range t.rows {
+			if _, ok := visible(versions, db.clock); ok {
+				n++
+			}
+		}
+		out[name] = n
+	}
+	return out
+}

@@ -1,0 +1,450 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestDB(t testing.TB) *DB {
+	t.Helper()
+	db := New()
+	db.CreateTable("t")
+	return db
+}
+
+func mustInsert(t testing.TB, tx *Tx, table string, v interface{}) RowID {
+	t.Helper()
+	id, err := tx.Insert(table, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func mustCommit(t testing.TB, tx *Tx) {
+	t.Helper()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGetCommit(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	id := mustInsert(t, tx, "t", "hello")
+	// own write visible before commit
+	if v, ok, err := tx.Get("t", id); err != nil || !ok || v != "hello" {
+		t.Fatalf("own write: %v %v %v", v, ok, err)
+	}
+	mustCommit(t, tx)
+	tx2 := db.Begin()
+	if v, ok, _ := tx2.Get("t", id); !ok || v != "hello" {
+		t.Fatalf("committed value not visible: %v %v", v, ok)
+	}
+	tx2.Abort()
+}
+
+func TestUncommittedInvisible(t *testing.T) {
+	db := newTestDB(t)
+	writer := db.Begin()
+	id := mustInsert(t, writer, "t", 1)
+	reader := db.Begin()
+	if _, ok, _ := reader.Get("t", id); ok {
+		t.Fatal("dirty read: uncommitted insert visible")
+	}
+	mustCommit(t, writer)
+	// reader began before commit → still invisible (snapshot)
+	if _, ok, _ := reader.Get("t", id); ok {
+		t.Fatal("snapshot violated: commit after begin visible")
+	}
+	reader.Abort()
+	// new transaction sees it
+	later := db.Begin()
+	if _, ok, _ := later.Get("t", id); !ok {
+		t.Fatal("later snapshot missing committed row")
+	}
+	later.Abort()
+}
+
+func TestRepeatableRead(t *testing.T) {
+	db := newTestDB(t)
+	setup := db.Begin()
+	id := mustInsert(t, setup, "t", "v1")
+	mustCommit(t, setup)
+
+	reader := db.Begin()
+	v, _, _ := reader.Get("t", id)
+	if v != "v1" {
+		t.Fatalf("initial read %v", v)
+	}
+
+	writer := db.Begin()
+	if err := writer.Update("t", id, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, writer)
+
+	// reader must still see v1
+	if v, _, _ := reader.Get("t", id); v != "v1" {
+		t.Fatalf("non-repeatable read: got %v", v)
+	}
+	reader.Abort()
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	db := newTestDB(t)
+	setup := db.Begin()
+	id := mustInsert(t, setup, "t", 0)
+	mustCommit(t, setup)
+
+	a := db.Begin()
+	b := db.Begin()
+	if err := a.Update("t", id, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update("t", id, 2); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, a)
+	if err := b.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second committer got %v, want ErrConflict", err)
+	}
+	// final state is a's write
+	check := db.Begin()
+	if v, _, _ := check.Get("t", id); v != 1 {
+		t.Fatalf("final value %v, want 1", v)
+	}
+	check.Abort()
+}
+
+func TestConcurrentInsertsDoNotConflict(t *testing.T) {
+	db := newTestDB(t)
+	a := db.Begin()
+	b := db.Begin()
+	ida := mustInsert(t, a, "t", "a")
+	idb := mustInsert(t, b, "t", "b")
+	if ida == idb {
+		t.Fatal("duplicate row IDs")
+	}
+	mustCommit(t, a)
+	mustCommit(t, b) // fresh inserts never conflict
+}
+
+func TestWriteSkewAllowed(t *testing.T) {
+	// Classic SI anomaly: two transactions each read both rows and write the
+	// other one. Under serializability one would abort; under SI both
+	// commit. This pins the isolation level to genuine snapshot isolation.
+	db := newTestDB(t)
+	setup := db.Begin()
+	x := mustInsert(t, setup, "t", 1)
+	y := mustInsert(t, setup, "t", 1)
+	mustCommit(t, setup)
+
+	a := db.Begin()
+	b := db.Begin()
+	// both read x and y
+	if _, ok, _ := a.Get("t", x); !ok {
+		t.Fatal("a read x failed")
+	}
+	if _, ok, _ := b.Get("t", y); !ok {
+		t.Fatal("b read y failed")
+	}
+	// a writes y, b writes x — disjoint write sets
+	if err := a.Update("t", y, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update("t", x, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatalf("a commit: %v", err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatalf("b commit under SI: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newTestDB(t)
+	setup := db.Begin()
+	id := mustInsert(t, setup, "t", "x")
+	mustCommit(t, setup)
+
+	del := db.Begin()
+	if err := del.Delete("t", id); err != nil {
+		t.Fatal(err)
+	}
+	// own delete visible
+	if _, ok, _ := del.Get("t", id); ok {
+		t.Fatal("own delete not visible")
+	}
+	// other snapshot still sees the row
+	other := db.Begin()
+	if _, ok, _ := other.Get("t", id); !ok {
+		t.Fatal("delete leaked before commit")
+	}
+	other.Abort()
+	mustCommit(t, del)
+	after := db.Begin()
+	if _, ok, _ := after.Get("t", id); ok {
+		t.Fatal("row visible after committed delete")
+	}
+	after.Abort()
+}
+
+func TestDeleteOwnInsert(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	id := mustInsert(t, tx, "t", "temp")
+	if err := tx.Delete("t", id); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	check := db.Begin()
+	if _, ok, _ := check.Get("t", id); ok {
+		t.Fatal("deleted own insert survived")
+	}
+	check.Abort()
+}
+
+func TestUpdateNonVisibleFails(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	if err := tx.Update("t", 999, "x"); err == nil {
+		t.Fatal("update of missing row accepted")
+	}
+	if err := tx.Delete("t", 999); err == nil {
+		t.Fatal("delete of missing row accepted")
+	}
+	tx.Abort()
+}
+
+func TestAbortDiscards(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	id := mustInsert(t, tx, "t", "x")
+	tx.Abort()
+	check := db.Begin()
+	if _, ok, _ := check.Get("t", id); ok {
+		t.Fatal("aborted insert visible")
+	}
+	check.Abort()
+}
+
+func TestClosedTxRejected(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	mustCommit(t, tx)
+	if _, err := tx.Insert("t", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Insert after commit: %v", err)
+	}
+	if _, _, err := tx.Get("t", 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after commit: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double commit: %v", err)
+	}
+	if err := tx.Scan("t", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Scan after commit: %v", err)
+	}
+	tx.Abort() // no-op, must not panic
+}
+
+func TestUnknownTable(t *testing.T) {
+	db := New()
+	tx := db.Begin()
+	if _, err := tx.Insert("nope", 1); err == nil {
+		t.Error("insert into unknown table accepted")
+	}
+	if _, _, err := tx.Get("nope", 1); err == nil {
+		t.Error("get from unknown table accepted")
+	}
+	if err := tx.Scan("nope", func(RowID, interface{}) bool { return true }); err == nil {
+		t.Error("scan of unknown table accepted")
+	}
+	tx.Abort()
+}
+
+func TestScanSnapshotAndOwnWrites(t *testing.T) {
+	db := newTestDB(t)
+	setup := db.Begin()
+	a := mustInsert(t, setup, "t", "a")
+	_ = mustInsert(t, setup, "t", "b")
+	mustCommit(t, setup)
+
+	tx := db.Begin()
+	if err := tx.Delete("t", a); err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, tx, "t", "c")
+	seen := map[interface{}]bool{}
+	if err := tx.Scan("t", func(_ RowID, data interface{}) bool {
+		seen[data] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen["a"] || !seen["b"] || !seen["c"] {
+		t.Errorf("scan view = %v", seen)
+	}
+	tx.Abort()
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	db := newTestDB(t)
+	setup := db.Begin()
+	for i := 0; i < 10; i++ {
+		mustInsert(t, setup, "t", i)
+	}
+	mustCommit(t, setup)
+	tx := db.Begin()
+	n := 0
+	if err := tx.Scan("t", func(RowID, interface{}) bool {
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("visited %d rows after early stop", n)
+	}
+	tx.Abort()
+}
+
+func TestVacuumPrunesOldVersions(t *testing.T) {
+	db := newTestDB(t)
+	setup := db.Begin()
+	id := mustInsert(t, setup, "t", 0)
+	mustCommit(t, setup)
+	for i := 1; i <= 50; i++ {
+		tx := db.Begin()
+		if err := tx.Update("t", id, i); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	db.mu.Lock()
+	nv := len(db.tables["t"].rows[id])
+	db.mu.Unlock()
+	if nv > 2 {
+		t.Errorf("vacuum left %d versions", nv)
+	}
+	// deleted rows disappear entirely
+	tx := db.Begin()
+	if err := tx.Delete("t", id); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	db.mu.Lock()
+	_, exists := db.tables["t"].rows[id]
+	db.mu.Unlock()
+	if exists {
+		t.Error("tombstoned row not vacuumed")
+	}
+}
+
+func TestVacuumRespectsActiveSnapshots(t *testing.T) {
+	db := newTestDB(t)
+	setup := db.Begin()
+	id := mustInsert(t, setup, "t", "old")
+	mustCommit(t, setup)
+
+	holder := db.Begin() // pins the old snapshot
+	writer := db.Begin()
+	if err := writer.Update("t", id, "new"); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, writer)
+
+	if v, _, _ := holder.Get("t", id); v != "old" {
+		t.Fatalf("pinned snapshot sees %v", v)
+	}
+	holder.Abort()
+}
+
+func TestStats(t *testing.T) {
+	db := newTestDB(t)
+	db.CreateTable("u")
+	tx := db.Begin()
+	mustInsert(t, tx, "t", 1)
+	mustInsert(t, tx, "t", 2)
+	mustCommit(t, tx)
+	s := db.Stats()
+	if s["t"] != 2 || s["u"] != 0 {
+		t.Errorf("Stats = %v", s)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	// Many goroutines increment disjoint counters with retries; every
+	// increment must land exactly once (atomicity + isolation under real
+	// concurrency, exercised with the race detector).
+	db := newTestDB(t)
+	const rows = 4
+	const workers = 8
+	const increments = 25
+
+	ids := make([]RowID, rows)
+	setup := db.Begin()
+	for i := range ids {
+		ids[i] = mustInsert(t, setup, "t", 0)
+	}
+	mustCommit(t, setup)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := ids[w%rows]
+			for i := 0; i < increments; i++ {
+				for {
+					tx := db.Begin()
+					v, ok, err := tx.Get("t", id)
+					if err != nil || !ok {
+						tx.Abort()
+						panic(fmt.Sprintf("get: %v %v", ok, err))
+					}
+					if err := tx.Update("t", id, v.(int)+1); err != nil {
+						tx.Abort()
+						continue
+					}
+					if err := tx.Commit(); err == nil {
+						break
+					} else if !errors.Is(err, ErrConflict) {
+						panic(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	check := db.Begin()
+	total := 0
+	for _, id := range ids {
+		v, _, _ := check.Get("t", id)
+		total += v.(int)
+	}
+	check.Abort()
+	if total != workers*increments {
+		t.Errorf("total increments %d, want %d", total, workers*increments)
+	}
+}
+
+func BenchmarkCommitSmall(b *testing.B) {
+	db := New()
+	db.CreateTable("t")
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if _, err := tx.Insert("t", i); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

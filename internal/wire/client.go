@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+// Client talks to a node or mediator service. A client pointed at a node
+// service satisfies mediator.NodeClient and node.PeerFetcher, so a mediator
+// can be assembled over remote nodes and remote nodes can exchange halos.
+type Client struct {
+	base string
+	http *http.Client
+
+	// cached info
+	info *InfoResponse
+}
+
+// NewClient creates a client for the service at base (e.g.
+// "http://127.0.0.1:7070").
+func NewClient(base string) *Client {
+	return &Client{
+		base: base,
+		http: &http.Client{Timeout: 10 * time.Minute},
+	}
+}
+
+// call POSTs req and decodes the response into resp.
+func (c *Client) call(path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	httpResp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("wire: %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return fmt.Errorf("wire: %s: read: %w", path, err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			if e.Kind == "threshold_too_low" {
+				return &query.ErrTooManyPoints{Limit: e.Limit, Seen: e.Seen}
+			}
+			return fmt.Errorf("wire: %s: %s", path, e.Error)
+		}
+		return fmt.Errorf("wire: %s: HTTP %d", path, httpResp.StatusCode)
+	}
+	if resp != nil {
+		if err := json.Unmarshal(data, resp); err != nil {
+			return fmt.Errorf("wire: %s: decode: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Info fetches and caches the service's dataset description.
+func (c *Client) Info() (InfoResponse, error) {
+	if c.info != nil {
+		return *c.info, nil
+	}
+	resp, err := c.http.Get(c.base + PathInfo)
+	if err != nil {
+		return InfoResponse{}, fmt.Errorf("wire: info: %w", err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return InfoResponse{}, fmt.Errorf("wire: info: %w", err)
+	}
+	c.info = &info
+	return info, nil
+}
+
+// GetThreshold implements mediator.NodeClient over HTTP. The sim.Proc is
+// ignored: wire transports run in real mode.
+func (c *Client) GetThreshold(_ *sim.Proc, q query.Threshold) (*node.ThresholdResult, error) {
+	var resp ThresholdResponse
+	if err := c.call(PathThreshold, ThresholdRequestFor(q), &resp); err != nil {
+		return nil, err
+	}
+	return &node.ThresholdResult{
+		Points:    fromDTO(resp.Points),
+		FromCache: resp.FromCache,
+		Breakdown: breakdownFromDTO(resp.Breakdown),
+	}, nil
+}
+
+// GetPDF implements mediator.NodeClient over HTTP.
+func (c *Client) GetPDF(_ *sim.Proc, q query.PDF) (*node.PDFResult, error) {
+	var resp PDFResponse
+	if err := c.call(PathPDF, PDFRequestFor(q), &resp); err != nil {
+		return nil, err
+	}
+	return &node.PDFResult{Counts: resp.Counts, Breakdown: breakdownFromDTO(resp.Breakdown)}, nil
+}
+
+// GetTopK implements mediator.NodeClient over HTTP.
+func (c *Client) GetTopK(_ *sim.Proc, q query.TopK) (*node.TopKResult, error) {
+	var resp TopKResponse
+	if err := c.call(PathTopK, TopKRequestFor(q), &resp); err != nil {
+		return nil, err
+	}
+	return &node.TopKResult{Points: fromDTO(resp.Points), Breakdown: breakdownFromDTO(resp.Breakdown)}, nil
+}
+
+// FetchAtoms implements node.PeerFetcher over HTTP (remote halo exchange).
+func (c *Client) FetchAtoms(_ *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	req := AtomsRequest{Field: rawField, Timestep: step, Codes: make([]uint64, len(codes))}
+	for i, code := range codes {
+		req.Codes[i] = uint64(code)
+	}
+	var resp AtomsResponse
+	if err := c.call(PathAtoms, req, &resp); err != nil {
+		return nil, err
+	}
+	out := make(map[morton.Code][]byte, len(resp.Atoms))
+	for code, blob := range resp.Atoms {
+		out[morton.Code(code)] = blob
+	}
+	return out, nil
+}
+
+// DropCacheEntry implements mediator.NodeClient over HTTP.
+func (c *Client) DropCacheEntry(fieldName string, order, step int) error {
+	return c.call(PathDropCache, DropCacheRequest{Field: fieldName, FDOrder: order, Timestep: step}, nil)
+}
+
+// SetProcesses implements mediator.NodeClient over HTTP.
+func (c *Client) SetProcesses(p int) error {
+	return c.call(PathSetProcesses, SetProcessesRequest{Processes: p}, nil)
+}
+
+// Grid implements mediator.NodeClient; it panics if the service is
+// unreachable (call Info first to surface connectivity errors gracefully).
+func (c *Client) Grid() grid.Grid {
+	info, err := c.Info()
+	if err != nil {
+		panic(fmt.Sprintf("wire: Grid: %v", err))
+	}
+	g, err := grid.New(info.GridN, info.AtomSide, info.Dx)
+	if err != nil {
+		panic(fmt.Sprintf("wire: Grid: %v", err))
+	}
+	return g
+}
+
+// Dataset implements mediator.NodeClient (same caveat as Grid).
+func (c *Client) Dataset() string {
+	info, err := c.Info()
+	if err != nil {
+		panic(fmt.Sprintf("wire: Dataset: %v", err))
+	}
+	return info.Dataset
+}
+
+// Owned returns the node's atom range (nodes only).
+func (c *Client) Owned() (morton.Range, error) {
+	info, err := c.Info()
+	if err != nil {
+		return morton.Range{}, err
+	}
+	return morton.Range{Lo: morton.Code(info.OwnedLo), Hi: morton.Code(info.OwnedHi)}, nil
+}
+
+// PeerSet routes halo-atom fetches to the owning nodes of a cluster of
+// node services — the node.PeerFetcher for HTTP deployments. Ownership is
+// discovered from each service's /info.
+type PeerSet struct {
+	clients []*Client
+	self    int
+}
+
+// NewPeerSet builds a peer set for node self among clients (self is
+// excluded from routing).
+func NewPeerSet(clients []*Client, self int) *PeerSet {
+	return &PeerSet{clients: clients, self: self}
+}
+
+// FetchAtoms implements node.PeerFetcher over HTTP.
+func (ps *PeerSet) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	out := make(map[morton.Code][]byte, len(codes))
+	remaining := len(codes)
+	for i, c := range ps.clients {
+		if i == ps.self || remaining == 0 {
+			continue
+		}
+		owned, err := c.Owned()
+		if err != nil {
+			return nil, err
+		}
+		var mine []morton.Code
+		for _, code := range codes {
+			if owned.Contains(code) {
+				mine = append(mine, code)
+			}
+		}
+		if len(mine) == 0 {
+			continue
+		}
+		blobs, err := c.FetchAtoms(p, rawField, step, mine)
+		if err != nil {
+			return nil, err
+		}
+		for code, blob := range blobs {
+			out[code] = blob
+			remaining--
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("wire: %d halo atoms owned by no peer", remaining)
+	}
+	return out, nil
+}

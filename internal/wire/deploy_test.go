@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/mediator"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sim"
+	"github.com/turbdb/turbdb/internal/store"
+	"github.com/turbdb/turbdb/internal/synth"
+)
+
+// TestFullDeploymentLifecycle exercises the exact path the command-line
+// tools take: synthesize a dataset, save sharded atom tables plus manifest
+// to disk (turbdb-gen), reload each shard into a node served over HTTP
+// (turbdb-server) with HTTP halo exchange, assemble a mediator service
+// (turbdb-mediator), and query end to end — then check the answer against
+// an in-process cluster over the same data.
+func TestFullDeploymentLifecycle(t *testing.T) {
+	const nodes = 2
+	gen, err := synth.New(synth.Params{N: 16, Seed: 77, Kind: synth.Isotropic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Grid()
+	ranges := g.AtomRange().Split(nodes, 1)
+
+	// --- turbdb-gen: write deployment to disk
+	root := t.TempDir()
+	manifest := store.Manifest{
+		Dataset: gen.Name(), GridN: g.N, AtomSide: g.AtomSide, Dx: g.Dx,
+		Steps: 1, Seed: 77,
+	}
+	for _, rf := range gen.RawFields() {
+		manifest.Fields = append(manifest.Fields, store.FieldMeta{Name: rf.Name, NComp: rf.NComp})
+	}
+	for _, r := range ranges {
+		manifest.Shards = append(manifest.Shards, [2]uint64{uint64(r.Lo), uint64(r.Hi)})
+	}
+	if err := store.WriteManifest(root, manifest); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		s, err := store.New(store.Config{Grid: g, Owned: ranges[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fm := range manifest.Fields {
+			if err := s.CreateField(fm); err != nil {
+				t.Fatal(err)
+			}
+			bl, err := gen.Field(fm.Name, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.IngestBlock(fm.Name, 0, bl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Save(store.NodeDir(root, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// --- turbdb-server ×2: reload shards, serve over HTTP
+	m2, err := store.ReadManifest(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*Client
+	var nodeObjs []*node.Node
+	for i := 0; i < nodes; i++ {
+		st, err := store.OpenShard(root, m2, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := node.New(node.Config{ID: i, Dataset: m2.Dataset, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodeObjs = append(nodeObjs, n)
+		srv := httptest.NewServer(NewNodeServer(n).Handler())
+		t.Cleanup(srv.Close)
+		clients = append(clients, NewClient(srv.URL))
+	}
+	for i, n := range nodeObjs {
+		n.SetPeers(NewPeerSet(clients, i))
+	}
+
+	// --- turbdb-mediator: fan out over the node services
+	mcs := make([]mediator.NodeClient, len(clients))
+	for i, c := range clients {
+		mcs[i] = c
+	}
+	med, err := mediator.New(mediator.Config{Nodes: mcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	medSrv := httptest.NewServer(NewMediatorServer(med).Handler())
+	defer medSrv.Close()
+	user := NewClient(medSrv.URL)
+
+	// --- query through the whole stack (derived field → halo over HTTP)
+	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Threshold: 3}
+	res, err := user.GetThreshold(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// --- reference: direct in-process evaluation over the same shards
+	refNodes := make([]*node.Node, nodes)
+	refStores := make([]*store.Store, nodes)
+	for i := 0; i < nodes; i++ {
+		st, err := store.OpenShard(root, m2, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refStores[i] = st
+		refNodes[i], err = node.New(node.Config{ID: i, Dataset: m2.Dataset, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range refNodes {
+		refNodes[i].SetPeers(&refPeers{nodes: refNodes, self: i})
+	}
+	refClients := make([]mediator.NodeClient, nodes)
+	for i, n := range refNodes {
+		refClients[i] = n
+	}
+	refMed, err := mediator.New(mediator.Config{Nodes: refClients})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := refMed.Threshold(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Points) != len(want) {
+		t.Fatalf("deployed stack returned %d points, reference %d", len(res.Points), len(want))
+	}
+	for i := range want {
+		if res.Points[i] != want[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, res.Points[i], want[i])
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("test threshold returned nothing; lower it")
+	}
+}
+
+// refPeers is an in-process fetcher for the reference cluster.
+type refPeers struct {
+	nodes []*node.Node
+	self  int
+}
+
+func (f *refPeers) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	out := make(map[morton.Code][]byte, len(codes))
+	for _, c := range codes {
+		for i, n := range f.nodes {
+			if i == f.self || !n.Owned().Contains(c) {
+				continue
+			}
+			blobs, err := n.FetchAtoms(p, rawField, step, []morton.Code{c})
+			if err != nil {
+				return nil, err
+			}
+			out[c] = blobs[c]
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,272 @@
+// Package wire provides the HTTP + JSON transport of the analysis service:
+// a service wrapper for database nodes (threshold/PDF/top-k evaluation and
+// peer halo fetches), a service wrapper for the mediator (the user-facing
+// Web-services of the paper's Fig. 1), and clients for both.
+//
+// The production JHTDB exposes SOAP Web-services; JSON over HTTP carries
+// the same information with the same proportional-to-result-size transfer
+// behaviour. Wire services always run in real mode (wall-clock); the
+// simulated experiments use the in-process transport instead.
+package wire
+
+import (
+	"time"
+
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+// Paths of the node and mediator services.
+const (
+	PathThreshold    = "/v1/threshold"
+	PathPDF          = "/v1/pdf"
+	PathTopK         = "/v1/topk"
+	PathAtoms        = "/v1/atoms"
+	PathDropCache    = "/v1/drop-cache"
+	PathSetProcesses = "/v1/set-processes"
+	PathInfo         = "/v1/info"
+)
+
+// PointDTO is one result point on the wire: [morton code, value].
+type PointDTO struct {
+	Code  uint64  `json:"z"`
+	Value float32 `json:"v"`
+}
+
+// toDTO converts result points.
+func toDTO(pts []query.ResultPoint) []PointDTO {
+	out := make([]PointDTO, len(pts))
+	for i, p := range pts {
+		out[i] = PointDTO{Code: uint64(p.Code), Value: p.Value}
+	}
+	return out
+}
+
+// fromDTO converts wire points.
+func fromDTO(pts []PointDTO) []query.ResultPoint {
+	out := make([]query.ResultPoint, len(pts))
+	for i, p := range pts {
+		out[i] = query.ResultPoint{Code: morton.Code(p.Code), Value: p.Value}
+	}
+	return out
+}
+
+// BoxDTO is a grid box on the wire.
+type BoxDTO struct {
+	Lo [3]int `json:"lo"`
+	Hi [3]int `json:"hi"`
+}
+
+func boxToDTO(b grid.Box) BoxDTO {
+	return BoxDTO{Lo: [3]int{b.Lo.X, b.Lo.Y, b.Lo.Z}, Hi: [3]int{b.Hi.X, b.Hi.Y, b.Hi.Z}}
+}
+
+func boxFromDTO(d BoxDTO) grid.Box {
+	return grid.Box{
+		Lo: grid.Point{X: d.Lo[0], Y: d.Lo[1], Z: d.Lo[2]},
+		Hi: grid.Point{X: d.Hi[0], Y: d.Hi[1], Z: d.Hi[2]},
+	}
+}
+
+// ThresholdRequest is the wire form of query.Threshold.
+type ThresholdRequest struct {
+	Dataset   string  `json:"dataset"`
+	Field     string  `json:"field"`
+	Timestep  int     `json:"timestep"`
+	Threshold float64 `json:"threshold"`
+	Box       *BoxDTO `json:"box,omitempty"`
+	FDOrder   int     `json:"fdOrder,omitempty"`
+	Limit     int     `json:"limit,omitempty"`
+}
+
+// ToQuery converts to the internal type.
+func (r ThresholdRequest) ToQuery() query.Threshold {
+	q := query.Threshold{
+		Dataset: r.Dataset, Field: r.Field, Timestep: r.Timestep,
+		Threshold: r.Threshold, FDOrder: r.FDOrder, Limit: r.Limit,
+	}
+	if r.Box != nil {
+		q.Box = boxFromDTO(*r.Box)
+	}
+	return q
+}
+
+// ThresholdRequestFor converts from the internal type.
+func ThresholdRequestFor(q query.Threshold) ThresholdRequest {
+	r := ThresholdRequest{
+		Dataset: q.Dataset, Field: q.Field, Timestep: q.Timestep,
+		Threshold: q.Threshold, FDOrder: q.FDOrder, Limit: q.Limit,
+	}
+	if q.Box != (grid.Box{}) {
+		b := boxToDTO(q.Box)
+		r.Box = &b
+	}
+	return r
+}
+
+// BreakdownDTO mirrors node.Breakdown with millisecond durations.
+type BreakdownDTO struct {
+	CacheLookupMS  float64 `json:"cacheLookupMs"`
+	IOMS           float64 `json:"ioMs"`
+	ComputeMS      float64 `json:"computeMs"`
+	CacheUpdateMS  float64 `json:"cacheUpdateMs"`
+	TotalMS        float64 `json:"totalMs"`
+	AtomsRead      int     `json:"atomsRead"`
+	HaloAtoms      int     `json:"haloAtoms"`
+	PointsExamined int     `json:"pointsExamined"`
+}
+
+func breakdownToDTO(b node.Breakdown) BreakdownDTO {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return BreakdownDTO{
+		CacheLookupMS: ms(b.CacheLookup), IOMS: ms(b.IO), ComputeMS: ms(b.Compute),
+		CacheUpdateMS: ms(b.CacheUpdate), TotalMS: ms(b.Total),
+		AtomsRead: b.AtomsRead, HaloAtoms: b.HaloAtoms, PointsExamined: b.PointsExamined,
+	}
+}
+
+func breakdownFromDTO(d BreakdownDTO) node.Breakdown {
+	dur := func(msv float64) time.Duration { return time.Duration(msv * float64(time.Millisecond)) }
+	return node.Breakdown{
+		CacheLookup: dur(d.CacheLookupMS), IO: dur(d.IOMS), Compute: dur(d.ComputeMS),
+		CacheUpdate: dur(d.CacheUpdateMS), Total: dur(d.TotalMS),
+		AtomsRead: d.AtomsRead, HaloAtoms: d.HaloAtoms, PointsExamined: d.PointsExamined,
+	}
+}
+
+// ThresholdResponse is the wire form of a node or mediator threshold result.
+type ThresholdResponse struct {
+	Points    []PointDTO   `json:"points"`
+	FromCache bool         `json:"fromCache"`
+	Breakdown BreakdownDTO `json:"breakdown"`
+}
+
+// PDFRequest is the wire form of query.PDF.
+type PDFRequest struct {
+	Dataset  string  `json:"dataset"`
+	Field    string  `json:"field"`
+	Timestep int     `json:"timestep"`
+	Box      *BoxDTO `json:"box,omitempty"`
+	Bins     int     `json:"bins"`
+	Min      float64 `json:"min"`
+	Width    float64 `json:"width"`
+	FDOrder  int     `json:"fdOrder,omitempty"`
+}
+
+// ToQuery converts to the internal type.
+func (r PDFRequest) ToQuery() query.PDF {
+	q := query.PDF{
+		Dataset: r.Dataset, Field: r.Field, Timestep: r.Timestep,
+		Bins: r.Bins, Min: r.Min, Width: r.Width, FDOrder: r.FDOrder,
+	}
+	if r.Box != nil {
+		q.Box = boxFromDTO(*r.Box)
+	}
+	return q
+}
+
+// PDFRequestFor converts from the internal type.
+func PDFRequestFor(q query.PDF) PDFRequest {
+	r := PDFRequest{
+		Dataset: q.Dataset, Field: q.Field, Timestep: q.Timestep,
+		Bins: q.Bins, Min: q.Min, Width: q.Width, FDOrder: q.FDOrder,
+	}
+	if q.Box != (grid.Box{}) {
+		b := boxToDTO(q.Box)
+		r.Box = &b
+	}
+	return r
+}
+
+// PDFResponse is the wire form of a PDF result.
+type PDFResponse struct {
+	Counts    []int64      `json:"counts"`
+	Breakdown BreakdownDTO `json:"breakdown"`
+}
+
+// TopKRequest is the wire form of query.TopK.
+type TopKRequest struct {
+	Dataset  string  `json:"dataset"`
+	Field    string  `json:"field"`
+	Timestep int     `json:"timestep"`
+	Box      *BoxDTO `json:"box,omitempty"`
+	K        int     `json:"k"`
+	FDOrder  int     `json:"fdOrder,omitempty"`
+}
+
+// ToQuery converts to the internal type.
+func (r TopKRequest) ToQuery() query.TopK {
+	q := query.TopK{
+		Dataset: r.Dataset, Field: r.Field, Timestep: r.Timestep,
+		K: r.K, FDOrder: r.FDOrder,
+	}
+	if r.Box != nil {
+		q.Box = boxFromDTO(*r.Box)
+	}
+	return q
+}
+
+// TopKRequestFor converts from the internal type.
+func TopKRequestFor(q query.TopK) TopKRequest {
+	r := TopKRequest{
+		Dataset: q.Dataset, Field: q.Field, Timestep: q.Timestep,
+		K: q.K, FDOrder: q.FDOrder,
+	}
+	if q.Box != (grid.Box{}) {
+		b := boxToDTO(q.Box)
+		r.Box = &b
+	}
+	return r
+}
+
+// TopKResponse is the wire form of a top-k result.
+type TopKResponse struct {
+	Points    []PointDTO   `json:"points"`
+	Breakdown BreakdownDTO `json:"breakdown"`
+}
+
+// AtomsRequest asks a node for raw atom blobs (peer halo exchange).
+type AtomsRequest struct {
+	Field    string   `json:"field"`
+	Timestep int      `json:"timestep"`
+	Codes    []uint64 `json:"codes"`
+}
+
+// AtomsResponse returns the blobs, base64-encoded by encoding/json.
+type AtomsResponse struct {
+	Atoms map[uint64][]byte `json:"atoms"`
+}
+
+// DropCacheRequest clears cached entries for a (field, order, step).
+type DropCacheRequest struct {
+	Field    string `json:"field"`
+	FDOrder  int    `json:"fdOrder"`
+	Timestep int    `json:"timestep"`
+}
+
+// SetProcessesRequest sets a node's worker count.
+type SetProcessesRequest struct {
+	Processes int `json:"processes"`
+}
+
+// InfoResponse describes a node or mediator.
+type InfoResponse struct {
+	Dataset  string  `json:"dataset"`
+	GridN    int     `json:"gridN"`
+	AtomSide int     `json:"atomSide"`
+	Dx       float64 `json:"dx"`
+	OwnedLo  uint64  `json:"ownedLo,omitempty"`
+	OwnedHi  uint64  `json:"ownedHi,omitempty"`
+}
+
+// ErrorResponse is the error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind distinguishes typed errors the client must surface, e.g.
+	// "threshold_too_low".
+	Kind  string `json:"kind,omitempty"`
+	Seen  int    `json:"seen,omitempty"`
+	Limit int    `json:"limit,omitempty"`
+}

@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/turbdb/turbdb/internal/mediator"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+// writeJSON writes a 200 response body.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps errors to HTTP statuses, preserving the typed
+// threshold-too-low error so clients can tell users to raise the threshold.
+func writeError(w http.ResponseWriter, err error) {
+	resp := ErrorResponse{Error: err.Error()}
+	status := http.StatusBadRequest
+	var tooMany *query.ErrTooManyPoints
+	if errors.As(err, &tooMany) {
+		resp.Kind = "threshold_too_low"
+		resp.Seen = tooMany.Seen
+		resp.Limit = tooMany.Limit
+		status = http.StatusRequestEntityTooLarge
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// decode reads a JSON request body.
+func decode(r *http.Request, v interface{}) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("wire: bad request body: %w", err)
+	}
+	return nil
+}
+
+// post wraps a handler to require POST.
+func post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// NodeServer exposes one database node over HTTP.
+type NodeServer struct {
+	n *node.Node
+}
+
+// NewNodeServer wraps a node.
+func NewNodeServer(n *node.Node) *NodeServer { return &NodeServer{n: n} }
+
+// Handler returns the node's HTTP mux.
+func (s *NodeServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathThreshold, post(s.handleThreshold))
+	mux.HandleFunc(PathPDF, post(s.handlePDF))
+	mux.HandleFunc(PathTopK, post(s.handleTopK))
+	mux.HandleFunc(PathAtoms, post(s.handleAtoms))
+	mux.HandleFunc(PathDropCache, post(s.handleDropCache))
+	mux.HandleFunc(PathSetProcesses, post(s.handleSetProcesses))
+	mux.HandleFunc(PathInfo, s.handleInfo)
+	return mux
+}
+
+func (s *NodeServer) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	var req ThresholdRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.n.GetThreshold(nil, req.ToQuery())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, ThresholdResponse{
+		Points: toDTO(res.Points), FromCache: res.FromCache,
+		Breakdown: breakdownToDTO(res.Breakdown),
+	})
+}
+
+func (s *NodeServer) handlePDF(w http.ResponseWriter, r *http.Request) {
+	var req PDFRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.n.GetPDF(nil, req.ToQuery())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, PDFResponse{Counts: res.Counts, Breakdown: breakdownToDTO(res.Breakdown)})
+}
+
+func (s *NodeServer) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.n.GetTopK(nil, req.ToQuery())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, TopKResponse{Points: toDTO(res.Points), Breakdown: breakdownToDTO(res.Breakdown)})
+}
+
+func (s *NodeServer) handleAtoms(w http.ResponseWriter, r *http.Request) {
+	var req AtomsRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	codes := make([]morton.Code, len(req.Codes))
+	for i, c := range req.Codes {
+		codes[i] = morton.Code(c)
+	}
+	blobs, err := s.n.FetchAtoms(nil, req.Field, req.Timestep, codes)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := AtomsResponse{Atoms: make(map[uint64][]byte, len(blobs))}
+	for c, b := range blobs {
+		resp.Atoms[uint64(c)] = b
+	}
+	writeJSON(w, resp)
+}
+
+func (s *NodeServer) handleDropCache(w http.ResponseWriter, r *http.Request) {
+	var req DropCacheRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.n.DropCacheEntry(req.Field, req.FDOrder, req.Timestep); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *NodeServer) handleSetProcesses(w http.ResponseWriter, r *http.Request) {
+	var req SetProcessesRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.n.SetProcesses(req.Processes); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *NodeServer) handleInfo(w http.ResponseWriter, r *http.Request) {
+	g := s.n.Grid()
+	writeJSON(w, InfoResponse{
+		Dataset: s.n.Dataset(), GridN: g.N, AtomSide: g.AtomSide, Dx: g.Dx,
+		OwnedLo: uint64(s.n.Owned().Lo), OwnedHi: uint64(s.n.Owned().Hi),
+	})
+}
+
+// MediatorServer exposes the mediator (the user-facing Web-services) over
+// HTTP.
+type MediatorServer struct {
+	m *mediator.Mediator
+}
+
+// NewMediatorServer wraps a mediator.
+func NewMediatorServer(m *mediator.Mediator) *MediatorServer { return &MediatorServer{m: m} }
+
+// Handler returns the mediator's HTTP mux.
+func (s *MediatorServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathThreshold, post(s.handleThreshold))
+	mux.HandleFunc(PathPDF, post(s.handlePDF))
+	mux.HandleFunc(PathTopK, post(s.handleTopK))
+	mux.HandleFunc(PathInfo, s.handleInfo)
+	return mux
+}
+
+func (s *MediatorServer) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	var req ThresholdRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	pts, stats, err := s.m.Threshold(nil, req.ToQuery())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, ThresholdResponse{
+		Points:    toDTO(pts),
+		FromCache: stats.CacheHits == len(s.m.Nodes()),
+		Breakdown: breakdownToDTO(stats.NodeCritical),
+	})
+}
+
+func (s *MediatorServer) handlePDF(w http.ResponseWriter, r *http.Request) {
+	var req PDFRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	counts, stats, err := s.m.PDF(nil, req.ToQuery())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, PDFResponse{Counts: counts, Breakdown: breakdownToDTO(stats.NodeCritical)})
+}
+
+func (s *MediatorServer) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req TopKRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	pts, stats, err := s.m.TopK(nil, req.ToQuery())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, TopKResponse{Points: toDTO(pts), Breakdown: breakdownToDTO(stats.NodeCritical)})
+}
+
+func (s *MediatorServer) handleInfo(w http.ResponseWriter, r *http.Request) {
+	g := s.m.Grid()
+	writeJSON(w, InfoResponse{
+		Dataset: s.m.Dataset(), GridN: g.N, AtomSide: g.AtomSide, Dx: g.Dx,
+	})
+}

@@ -1,0 +1,115 @@
+// Package workload generates threshold-query streams with the structured
+// locality the production JHTDB observes: "the workload is very structured
+// and queries tend to examine the same regions in space and time" (paper
+// Sec. 5.2), which is what makes the semantic cache effective.
+//
+// A stream interleaves revisits of recently queried (field, time-step)
+// pairs — usually at the same or a higher threshold, the cache-hittable
+// pattern — with exploratory queries of new time-steps and lower
+// thresholds.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+// Params configures a workload stream.
+type Params struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Queries is the stream length.
+	Queries int
+	// Dataset is the dataset name queried.
+	Dataset string
+	// Fields are the field names drawn uniformly.
+	Fields []string
+	// Steps is the number of available time-steps.
+	Steps int
+	// Revisit is the probability that a query revisits the most recent
+	// (field, step) pairs instead of exploring a new one. Higher values
+	// model the focused analysis sessions the production system sees.
+	Revisit float64
+	// RevisitWindow is how many recent (field, step) pairs stay "hot".
+	RevisitWindow int
+	// Thresholds maps each field to the ascending threshold levels used;
+	// revisits draw the same or a higher level than before (cache-friendly),
+	// while exploratory queries draw any level.
+	Thresholds map[string][]float64
+}
+
+// Query is one generated query with bookkeeping for analysis.
+type Query struct {
+	query.Threshold
+	// Revisit reports whether the generator emitted this as a revisit of a
+	// hot (field, step) pair.
+	Revisit bool
+}
+
+// Generate builds the stream.
+func Generate(p Params) ([]Query, error) {
+	switch {
+	case p.Queries < 0:
+		return nil, fmt.Errorf("workload: negative query count")
+	case p.Dataset == "":
+		return nil, fmt.Errorf("workload: missing dataset")
+	case len(p.Fields) == 0:
+		return nil, fmt.Errorf("workload: no fields")
+	case p.Steps < 1:
+		return nil, fmt.Errorf("workload: steps must be ≥ 1")
+	case p.Revisit < 0 || p.Revisit > 1:
+		return nil, fmt.Errorf("workload: revisit probability %g outside [0,1]", p.Revisit)
+	}
+	if p.RevisitWindow == 0 {
+		p.RevisitWindow = 4
+	}
+	for _, f := range p.Fields {
+		if len(p.Thresholds[f]) == 0 {
+			return nil, fmt.Errorf("workload: no thresholds for field %q", f)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	type key struct {
+		field string
+		step  int
+		level int // threshold level index last used
+	}
+	var hot []key
+	out := make([]Query, 0, p.Queries)
+	for i := 0; i < p.Queries; i++ {
+		var q Query
+		if len(hot) > 0 && rng.Float64() < p.Revisit {
+			k := hot[rng.Intn(len(hot))]
+			levels := p.Thresholds[k.field]
+			// same or higher threshold than last time → answerable from cache
+			level := k.level + rng.Intn(len(levels)-k.level)
+			q = Query{
+				Threshold: query.Threshold{
+					Dataset: p.Dataset, Field: k.field, Timestep: k.step,
+					Threshold: levels[level],
+				},
+				Revisit: true,
+			}
+		} else {
+			f := p.Fields[rng.Intn(len(p.Fields))]
+			levels := p.Thresholds[f]
+			level := rng.Intn(len(levels))
+			step := rng.Intn(p.Steps)
+			q = Query{
+				Threshold: query.Threshold{
+					Dataset: p.Dataset, Field: f, Timestep: step,
+					Threshold: levels[level],
+				},
+			}
+			hot = append(hot, key{field: f, step: step, level: level})
+			if len(hot) > p.RevisitWindow {
+				hot = hot[len(hot)-p.RevisitWindow:]
+			}
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package workload
+
+import "testing"
+
+func validParams() Params {
+	return Params{
+		Seed: 1, Queries: 200, Dataset: "mhd",
+		Fields: []string{"vorticity", "current"},
+		Steps:  8, Revisit: 0.7,
+		Thresholds: map[string][]float64{
+			"vorticity": {2, 4, 8},
+			"current":   {1, 3},
+		},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Queries = -1 },
+		func(p *Params) { p.Dataset = "" },
+		func(p *Params) { p.Fields = nil },
+		func(p *Params) { p.Steps = 0 },
+		func(p *Params) { p.Revisit = 1.5 },
+		func(p *Params) { p.Thresholds = nil },
+	}
+	for i, mutate := range bad {
+		p := validParams()
+		mutate(&p)
+		if _, err := Generate(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Generate(validParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(validParams())
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestStreamShape(t *testing.T) {
+	qs, err := Generate(validParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 200 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	revisits := 0
+	for _, q := range qs {
+		if q.Dataset != "mhd" {
+			t.Fatal("wrong dataset")
+		}
+		if q.Timestep < 0 || q.Timestep >= 8 {
+			t.Fatalf("step %d out of range", q.Timestep)
+		}
+		levels := validParams().Thresholds[q.Field]
+		found := false
+		for _, l := range levels {
+			if q.Threshold.Threshold == l {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("threshold %g not a configured level for %s", q.Threshold.Threshold, q.Field)
+		}
+		if q.Revisit {
+			revisits++
+		}
+	}
+	// with p=0.7 over 200 queries expect a substantial fraction of revisits
+	if revisits < 100 || revisits == len(qs) {
+		t.Errorf("revisits = %d of %d", revisits, len(qs))
+	}
+}
+
+func TestZeroRevisit(t *testing.T) {
+	p := validParams()
+	p.Revisit = 0
+	qs, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.Revisit {
+			t.Fatal("revisit emitted with probability 0")
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	p := validParams()
+	p.Queries = 0
+	qs, err := Generate(p)
+	if err != nil || len(qs) != 0 {
+		t.Errorf("empty stream: %d, %v", len(qs), err)
+	}
+}

@@ -1,0 +1,80 @@
+package turbdb
+
+import (
+	"fmt"
+
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/wire"
+)
+
+// RemoteDB queries a running turbdb mediator service (cmd/turbdb-mediator)
+// over HTTP — the Web-services access path of the paper's architecture.
+type RemoteDB struct {
+	client *wire.Client
+	info   wire.InfoResponse
+}
+
+// OpenRemote connects to a mediator service at url (e.g.
+// "http://localhost:7080") and fetches its dataset description.
+func OpenRemote(url string) (*RemoteDB, error) {
+	c := wire.NewClient(url)
+	info, err := c.Info()
+	if err != nil {
+		return nil, fmt.Errorf("turbdb: connect %s: %w", url, err)
+	}
+	return &RemoteDB{client: c, info: info}, nil
+}
+
+// Dataset returns the remote dataset name.
+func (r *RemoteDB) Dataset() string { return r.info.Dataset }
+
+// GridN returns the remote grid side.
+func (r *RemoteDB) GridN() int { return r.info.GridN }
+
+// Threshold evaluates a threshold query remotely. Stats carry the node-side
+// breakdown reported by the service.
+func (r *RemoteDB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
+	res, err := r.client.GetThreshold(nil, query.Threshold{
+		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
+		Threshold: q.Threshold, Box: q.Region.internal(),
+		FDOrder: q.FDOrder, Limit: q.Limit,
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return fromResult(res.Points), Stats{
+		Total:       res.Breakdown.Total,
+		CacheLookup: res.Breakdown.CacheLookup,
+		IO:          res.Breakdown.IO,
+		Compute:     res.Breakdown.Compute,
+		CacheUpdate: res.Breakdown.CacheUpdate,
+		Points:      len(res.Points),
+		AtomsRead:   res.Breakdown.AtomsRead,
+		HaloAtoms:   res.Breakdown.HaloAtoms,
+	}, nil
+}
+
+// PDF evaluates a histogram query remotely.
+func (r *RemoteDB) PDF(q PDFQuery) ([]int64, error) {
+	res, err := r.client.GetPDF(nil, query.PDF{
+		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
+		Box: q.Region.internal(), Bins: q.Bins, Min: q.Min, Width: q.Width,
+		FDOrder: q.FDOrder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Counts, nil
+}
+
+// TopK evaluates a top-k query remotely.
+func (r *RemoteDB) TopK(q TopKQuery) ([]Point, error) {
+	res, err := r.client.GetTopK(nil, query.TopK{
+		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
+		Box: q.Region.internal(), K: q.K, FDOrder: q.FDOrder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromResult(res.Points), nil
+}

@@ -1,0 +1,15 @@
+package turbdb
+
+import (
+	"net/http"
+
+	"github.com/turbdb/turbdb/internal/wire"
+)
+
+// Handler returns an http.Handler exposing this database's mediator as the
+// user-facing Web service (the JSON analogue of the paper's SOAP
+// Web-services). Serve it with net/http and query it with OpenRemote or
+// any HTTP client.
+func (db *DB) Handler() http.Handler {
+	return wire.NewMediatorServer(db.c.Mediator).Handler()
+}

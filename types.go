@@ -1,0 +1,154 @@
+package turbdb
+
+import (
+	"time"
+
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/synth"
+)
+
+// Kind selects which simulation the synthetic dataset mimics.
+type Kind int
+
+// Dataset kinds.
+const (
+	// Isotropic mimics the forced isotropic turbulence dataset: stores
+	// velocity and pressure.
+	Isotropic Kind = iota
+	// MHD mimics the magnetohydrodynamics dataset: stores velocity,
+	// pressure and magnetic field.
+	MHD
+)
+
+// String names the kind ("isotropic", "mhd") — also the dataset name used
+// in queries and caches.
+func (k Kind) String() string { return k.synth().String() }
+
+func (k Kind) synth() synth.Kind {
+	if k == MHD {
+		return synth.MHD
+	}
+	return synth.Isotropic
+}
+
+// Standard queryable field names. Raw fields are stored; the rest are
+// derived on demand. Additional fields can be registered on a DB before
+// first use via RegisterField.
+const (
+	FieldVelocity   = "velocity"   // raw, 3 components
+	FieldPressure   = "pressure"   // raw, scalar
+	FieldMagnetic   = "magnetic"   // raw, 3 components (MHD only)
+	FieldVorticity  = "vorticity"  // ∇×velocity
+	FieldCurrent    = "current"    // ∇×magnetic (MHD only)
+	FieldQCriterion = "qcriterion" // ½(‖Ω‖²−‖S‖²) of ∇velocity
+	FieldRInvariant = "rinvariant" // −det(∇velocity)
+	FieldGradNorm   = "gradnorm"   // ‖∇velocity‖_F
+)
+
+// Point is one result location: integer grid coordinates and the field's
+// norm there.
+type Point struct {
+	X, Y, Z int
+	Value   float64
+}
+
+// fromResult converts internal result points.
+func fromResult(pts []query.ResultPoint) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		c := p.Coords()
+		out[i] = Point{X: c.X, Y: c.Y, Z: c.Z, Value: float64(p.Value)}
+	}
+	return out
+}
+
+// Box is a half-open axis-aligned region of grid points: Lo ≤ p < Hi per
+// axis. The zero Box means the whole domain.
+type Box struct {
+	Lo, Hi [3]int
+}
+
+// internal converts to the internal box type.
+func (b Box) internal() grid.Box {
+	return grid.Box{
+		Lo: grid.Point{X: b.Lo[0], Y: b.Lo[1], Z: b.Lo[2]},
+		Hi: grid.Point{X: b.Hi[0], Y: b.Hi[1], Z: b.Hi[2]},
+	}
+}
+
+// ThresholdQuery asks for every grid location where the norm (or absolute
+// value) of Field is at least Threshold.
+type ThresholdQuery struct {
+	// Field is a registered field name (see the Field… constants).
+	Field string
+	// Timestep selects the time-step, in [0, Config.Steps).
+	Timestep int
+	// Threshold is compared against the field's Euclidean norm.
+	Threshold float64
+	// Region restricts the query spatially; the zero Box means the whole
+	// domain (the common case).
+	Region Box
+	// FDOrder is the centered finite-difference order (2, 4, 6 or 8);
+	// 0 uses the default order 4.
+	FDOrder int
+	// Limit caps the result size; 0 uses the production limit of 10⁶
+	// points. Queries over the limit fail with ErrThresholdTooLow.
+	Limit int
+}
+
+// PDFQuery asks for the histogram of the field's norm.
+type PDFQuery struct {
+	Field    string
+	Timestep int
+	Region   Box
+	// Bins buckets of Width starting at Min; the last bin is open-ended.
+	Bins    int
+	Min     float64
+	Width   float64
+	FDOrder int
+}
+
+// TopKQuery asks for the K locations with the largest field norms.
+type TopKQuery struct {
+	Field    string
+	Timestep int
+	Region   Box
+	K        int
+	FDOrder  int
+}
+
+// Stats reports the timing of one query. In simulation mode the durations
+// are virtual cluster time; in real mode they are wall-clock.
+type Stats struct {
+	// Total is end-to-end: submission to results delivered.
+	Total time.Duration
+	// CacheLookup, IO, Compute and CacheUpdate are the slowest node's phase
+	// times (the cluster critical path).
+	CacheLookup time.Duration
+	IO          time.Duration
+	Compute     time.Duration
+	CacheUpdate time.Duration
+	// MediatorDBComm and MediatorUserComm are the communication phases
+	// (zero in real in-process mode).
+	MediatorDBComm   time.Duration
+	MediatorUserComm time.Duration
+	// Points is the result size.
+	Points int
+	// CacheHits counts nodes answering from their semantic cache; a query
+	// is a full cache hit when CacheHits == Nodes.
+	CacheHits int
+	// Nodes is the cluster size.
+	Nodes int
+	// AtomsRead and HaloAtoms count storage records read (including
+	// redundant halo re-reads) and peer-fetched halo atoms.
+	AtomsRead int
+	HaloAtoms int
+}
+
+// FullCacheHit reports whether every node answered from its cache.
+func (s Stats) FullCacheHit() bool { return s.Nodes > 0 && s.CacheHits == s.Nodes }
+
+// ErrThresholdTooLow is returned when a threshold query would exceed its
+// result-point limit; raise the threshold or examine the PDF instead.
+var ErrThresholdTooLow = query.ErrThresholdTooLow
