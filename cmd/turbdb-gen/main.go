@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/store"
 	"github.com/turbdb/turbdb/internal/synth"
 )
@@ -29,7 +30,7 @@ func main() {
 		out      = flag.String("out", "", "output deployment directory (required)")
 		kindName = flag.String("kind", "mhd", `dataset kind: "isotropic" or "mhd"`)
 		gridN    = flag.Int("grid", 64, "grid side (power of two)")
-		atomSide = flag.Int("atom", 8, "database atom side")
+		atomSide = flag.Int("atom", grid.DefaultAtomSide, "database atom side")
 		steps    = flag.Int("steps", 4, "number of time-steps")
 		nodes    = flag.Int("nodes", 4, "number of database nodes (shards)")
 		seed     = flag.Int64("seed", 2015, "random seed")

@@ -58,7 +58,7 @@ func main() {
 	width := fs.Float64("width", 1, "PDF bin width")
 	minv := fs.Float64("min", 0, "PDF first bin lower edge")
 	k := fs.Int("k", 10, "top-k size")
-	_ = fs.Parse(flag.Args()[1:])
+	_ = fs.Parse(flag.Args()[1:]) //lint:allow droppederr ExitOnError flag set exits on bad input
 
 	switch cmd {
 	case "info":

@@ -1,0 +1,84 @@
+// Command turbdb-vet runs the repository's custom static-analysis suite
+// (internal/lint): lockcheck, droppederr, floateq and magicatom. It is part
+// of the standard check gate (scripts/check.sh, CI) and exits non-zero when
+// any finding is reported.
+//
+// Usage:
+//
+//	turbdb-vet [-checks lockcheck,droppederr] [-tests] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Suppress a
+// deliberate finding with a `//lint:allow <check> <reason>` comment on the
+// flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/turbdb/turbdb/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *checks != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "turbdb-vet: unknown check %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbdb-vet:", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = *tests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turbdb-vet:", err)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "turbdb-vet: %s: type error: %v\n", pkg.ImportPath, terr)
+			exit = 2
+		}
+		for _, d := range lint.Analyze(pkg, analyzers) {
+			fmt.Println(d)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

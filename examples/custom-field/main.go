@@ -61,7 +61,10 @@ func main() {
 	}
 
 	// Custom-field results are cached like built-ins.
-	q, _ := db.NormQuantile("enstrophy", 0, 0.999)
+	q, err := db.NormQuantile("enstrophy", 0, 0.999)
+	if err != nil {
+		log.Fatal(err)
+	}
 	_, warm, err := db.Threshold(turbdb.ThresholdQuery{Field: "enstrophy", Threshold: q})
 	if err != nil {
 		log.Fatal(err)

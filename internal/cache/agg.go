@@ -75,7 +75,7 @@ func (c *Cache) touchAgg(id txn.RowID) {
 	row := data.(AggRow)
 	row.LastUsed = now
 	if tx.Update(TableAgg, id, row) == nil {
-		_ = tx.Commit()
+		_ = tx.Commit() //lint:allow droppederr LRU touch is best-effort, ErrConflict acceptable
 	}
 }
 
@@ -131,7 +131,9 @@ func (c *Cache) tryStoreAgg(dataset, fieldName string, step int, key string, cou
 	for live >= c.aggEntries {
 		victim := -1
 		for i, e := range all {
-			if _, ok, _ := tx.Get(TableAgg, e.id); !ok {
+			if _, ok, err := tx.Get(TableAgg, e.id); err != nil {
+				return err
+			} else if !ok {
 				continue
 			}
 			if victim == -1 || e.row.LastUsed < all[victim].row.LastUsed {

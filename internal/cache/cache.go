@@ -235,7 +235,7 @@ func (c *Cache) touch(id txn.RowID) {
 	row := data.(InfoRow)
 	row.LastUsed = now
 	if tx.Update(TableInfo, id, row) == nil {
-		_ = tx.Commit() // ErrConflict acceptable
+		_ = tx.Commit() //lint:allow droppederr LRU touch is best-effort, ErrConflict acceptable
 	}
 }
 
@@ -309,7 +309,9 @@ func (c *Cache) tryStore(dataset, fieldName string, step int, k float64, region 
 				if r.Dataset == dataset && r.Field == fieldName && r.Timestep == step && r.Region == region {
 					continue // already replaced above
 				}
-				if _, ok, _ := tx.Get(TableInfo, e.id); !ok {
+				if _, ok, err := tx.Get(TableInfo, e.id); err != nil {
+					return err
+				} else if !ok {
 					continue // deleted earlier in this loop
 				}
 				if victim == -1 || e.row.LastUsed < all[victim].row.LastUsed {
@@ -411,6 +413,7 @@ func (c *Cache) Entries() []InfoRow {
 	tx := c.db.Begin()
 	defer tx.Abort()
 	var out []InfoRow
+	//lint:allow droppederr table always exists and tx is open, Scan cannot fail
 	_ = tx.Scan(TableInfo, func(_ txn.RowID, data interface{}) bool {
 		out = append(out, data.(InfoRow))
 		return true

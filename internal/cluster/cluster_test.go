@@ -108,7 +108,11 @@ func selectiveThreshold(t testing.TB, c *Cluster, dataset, fieldName string, fra
 }
 
 func TestSimulatedQueryTimings(t *testing.T) {
-	c := buildTest(t, Config{Nodes: 4, Processes: 4, WithCache: true, Simulate: true}, synth.MHD, 64)
+	gridN := 64
+	if testing.Short() {
+		gridN = 32 // keeps the -race -short lane fast; assertions are ratios, not absolutes
+	}
+	c := buildTest(t, Config{Nodes: 4, Processes: 4, WithCache: true, Simulate: true}, synth.MHD, gridN)
 	thr := selectiveThreshold(t, c, "mhd", derived.Vorticity, 0.001)
 	q := query.Threshold{Dataset: "mhd", Field: derived.Vorticity, Threshold: thr}
 
@@ -158,17 +162,26 @@ func TestSimulatedQueryTimings(t *testing.T) {
 		t.Fatalf("hit %d points vs miss %d", hitPts, missPts)
 	}
 	// The paper's headline: cache hits are over an order of magnitude
-	// faster. Allow 5× here as the test grid is small.
-	if hitTotal*5 > missTotal {
+	// faster. Allow 5× here as the test grid is small, and 2× on the even
+	// smaller -short grid where the fixed lookup cost is a larger share.
+	factor := time.Duration(5)
+	if testing.Short() {
+		factor = 2
+	}
+	if hitTotal*factor > missTotal {
 		t.Errorf("cache hit %v not ≪ miss %v", hitTotal, missTotal)
 	}
 }
 
 func TestScaleOutSpeedsUpSimulatedQueries(t *testing.T) {
+	gridN := 64
+	if testing.Short() {
+		gridN = 32
+	}
 	var times []time.Duration
 	var thr float64
 	for _, nodes := range []int{1, 4} {
-		c := buildTest(t, Config{Nodes: nodes, Simulate: true}, synth.Isotropic, 64)
+		c := buildTest(t, Config{Nodes: nodes, Simulate: true}, synth.Isotropic, gridN)
 		if thr == 0 {
 			thr = selectiveThreshold(t, c, "isotropic", derived.Vorticity, 0.005)
 		}

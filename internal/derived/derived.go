@@ -106,16 +106,16 @@ func (f *Field) Norm(st stencil.Stencil, bls []*field.Block, p grid.Point, dx fl
 // NewRegistry (which pre-populates the standard catalog) or Standard().
 type Registry struct {
 	mu     sync.RWMutex
-	fields map[string]*Field
+	fields map[string]*Field // guarded by mu
 }
 
 // NewRegistry returns a registry pre-populated with the standard catalog.
 func NewRegistry() *Registry {
-	r := &Registry{fields: make(map[string]*Field)}
+	fields := make(map[string]*Field)
 	for _, f := range standardCatalog() {
-		r.fields[f.Name] = f
+		fields[f.Name] = f
 	}
-	return r
+	return &Registry{fields: fields}
 }
 
 var std = NewRegistry()

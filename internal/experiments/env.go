@@ -82,7 +82,7 @@ type memoSource struct {
 	g   grid.Grid // may override the generator's atom side
 
 	mu     *sync.Mutex
-	blocks map[string]*field.Block
+	blocks map[string]*field.Block // guarded by mu
 }
 
 func (m *memoSource) Grid() grid.Grid             { return m.g }
@@ -112,6 +112,8 @@ func (m *memoSource) withAtomSide(atomSide int) (*memoSource, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return &memoSource{gen: m.gen, g: g, blocks: m.blocks, mu: m.mu}, nil
 }
 

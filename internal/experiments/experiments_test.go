@@ -14,6 +14,15 @@ var (
 	envErr  error
 )
 
+// skipIfShort drops the heavy paper-figure reproductions from the -short
+// lane (the race-detector CI job); the fast shape tests still run there.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy experiment skipped in -short mode")
+	}
+}
+
 func testEnv(t *testing.T) *Env {
 	t.Helper()
 	envOnce.Do(func() {
@@ -26,6 +35,7 @@ func testEnv(t *testing.T) *Env {
 }
 
 func TestLevelsMatchPaperFractions(t *testing.T) {
+	skipIfShort(t)
 	e := testEnv(t)
 	c, err := e.Cluster(ClusterOpts{})
 	if err != nil {
@@ -127,6 +137,7 @@ func TestFig3Worms(t *testing.T) {
 }
 
 func TestTable1Shapes(t *testing.T) {
+	skipIfShort(t)
 	e := testEnv(t)
 	r, err := e.Table1CacheEffectiveness(0)
 	if err != nil {
@@ -151,6 +162,7 @@ func TestTable1Shapes(t *testing.T) {
 }
 
 func TestFig7aScaleUpShape(t *testing.T) {
+	skipIfShort(t)
 	e := testEnv(t)
 	r, err := e.Fig7aScaleUp(0)
 	if err != nil {
@@ -184,6 +196,7 @@ func TestFig7aScaleUpShape(t *testing.T) {
 }
 
 func TestFig7bScaleOutShape(t *testing.T) {
+	skipIfShort(t)
 	e := testEnv(t)
 	r, err := e.Fig7bScaleOut(0)
 	if err != nil {
@@ -233,6 +246,7 @@ func TestFig8IOShape(t *testing.T) {
 }
 
 func TestFig9Shapes(t *testing.T) {
+	skipIfShort(t)
 	e := testEnv(t)
 	r, err := e.Fig9Breakdown(0)
 	if err != nil {
@@ -314,6 +328,7 @@ func TestFDOrderSweep(t *testing.T) {
 }
 
 func TestAtomSizeSweep(t *testing.T) {
+	skipIfShort(t)
 	e := testEnv(t)
 	r, err := e.AtomSizeSweep(0)
 	if err != nil {
@@ -334,6 +349,9 @@ func TestAtomSizeSweep(t *testing.T) {
 }
 
 func TestWorkloadSweep(t *testing.T) {
+	// CapacitySweep covers the same cache machinery in the -short lane at a
+	// fraction of the cost, so this sweep runs only in full mode.
+	skipIfShort(t)
 	e := testEnv(t)
 	r, err := e.WorkloadSweep(30)
 	if err != nil {
@@ -354,7 +372,11 @@ func TestWorkloadSweep(t *testing.T) {
 
 func TestCapacitySweep(t *testing.T) {
 	e := testEnv(t)
-	r, err := e.CapacitySweep(30)
+	iters := 30
+	if testing.Short() {
+		iters = 12
+	}
+	r, err := e.CapacitySweep(iters)
 	if err != nil {
 		t.Fatal(err)
 	}

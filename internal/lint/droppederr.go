@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags silently discarded errors:
+//
+//   - a call used as a bare expression statement whose results include an
+//     error (`tx.Commit()` on its own line);
+//   - `defer f()` / `go f()` where f returns an error nobody will see;
+//   - assignments that discard an error result into the blank identifier
+//     (`_ = f()`, `v, _ := g()` where the blank lines up with an error).
+//
+// Deliberate discards carry a `//lint:allow droppederr <reason>` comment.
+// Calls into the fmt package and print-like best-effort writers
+// ((*bytes.Buffer), (*strings.Builder)) are exempt: their error results are
+// conventionally ignored.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flag discarded error results outside the explicit allowlist",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call, "go ")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedCall reports a call whose error result(s) vanish.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, kind string) {
+	if _, ok := call.Fun.(*ast.FuncLit); ok {
+		return // a literal invoked in place has its own statements checked
+	}
+	if isExemptCallee(pass, call) {
+		return
+	}
+	t, ok := pass.Info.Types[call]
+	if !ok {
+		return
+	}
+	if typeContainsError(t.Type) {
+		pass.Reportf(call.Pos(), "%sresult of %s includes an error that is discarded", kind, calleeName(call))
+	}
+}
+
+// checkBlankAssign reports blank identifiers that swallow an error result.
+func checkBlankAssign(pass *Pass, assign *ast.AssignStmt) {
+	// form: lhs... = f()  (single call on the right)
+	if len(assign.Rhs) == 1 {
+		if call, ok := assign.Rhs[0].(*ast.CallExpr); ok && len(assign.Lhs) > 1 {
+			if isExemptCallee(pass, call) {
+				return
+			}
+			sig, ok := pass.Info.Types[call].Type.(*types.Tuple)
+			if !ok || sig.Len() != len(assign.Lhs) {
+				return
+			}
+			for i, lhs := range assign.Lhs {
+				if isBlank(lhs) && isErrorType(sig.At(i).Type()) {
+					pass.Reportf(lhs.Pos(), "error result of %s discarded into _", calleeName(call))
+				}
+			}
+			return
+		}
+	}
+	// form: _ = expr (including _ = f() with a single result)
+	if len(assign.Lhs) == len(assign.Rhs) {
+		for i, lhs := range assign.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			if call, ok := assign.Rhs[i].(*ast.CallExpr); ok {
+				if isExemptCallee(pass, call) {
+					continue
+				}
+				if t, ok := pass.Info.Types[call]; ok && typeContainsError(t.Type) {
+					pass.Reportf(lhs.Pos(), "error result of %s discarded into _", calleeName(call))
+				}
+			}
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// typeContainsError reports whether a call's result type is, or includes,
+// an error.
+func typeContainsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// exemptTypes are receiver types whose write-style methods never fail in
+// practice (they grow in memory).
+var exemptTypes = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+}
+
+// isExemptCallee reports whether errors from this call are conventionally
+// ignored: anything in package fmt, and methods on in-memory writers.
+func isExemptCallee(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch obj := pass.Info.Uses[sel.Sel].(type) {
+	case *types.Func:
+		if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			return true
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return false
+		}
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return exemptTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+		}
+	}
+	return false
+}
+
+// calleeName renders the called expression for diagnostics.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags `==` and `!=` between floating-point operands. In the
+// numeric kernels (derived fields, stencils, FFT, synthesis) exact float
+// equality is almost always a bug: values arrive through rounded
+// arithmetic, so a tolerance comparison (math.Abs(a-b) <= eps) is required.
+//
+// Two cases are exempt:
+//
+//   - comparisons where either side is a compile-time constant equal to
+//     exactly zero — the "unset sentinel" idiom (cfg.RMS == 0) and
+//     origin checks (k2 == 0 for integer-valued wavenumbers) are exact;
+//   - comparisons where both sides are constants (decided at compile time).
+//
+// Intentional exact comparisons (e.g. sort tie-breaks) carry a
+// `//lint:allow floateq <reason>` comment.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on floating-point operands where tolerance comparison is required",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.Info.Types[be.X]
+			yt, yok := pass.Info.Types[be.Y]
+			if !xok || !yok {
+				return true
+			}
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant expression, decided at compile time
+			}
+			if isExactZero(xt.Value) || isExactZero(yt.Value) {
+				return true // exact-zero sentinel comparison
+			}
+			pass.Reportf(be.OpPos, "%s on float operands; use a tolerance comparison", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex kind.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isExactZero reports whether a constant value is exactly zero.
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}

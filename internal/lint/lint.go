@@ -1,0 +1,147 @@
+// Package lint implements turbdb-vet, the repository's custom static-
+// analysis suite. It is built directly on the standard library's go/parser
+// and go/types (no golang.org/x/tools dependency) and ships four
+// repo-specific analyzers:
+//
+//	lockcheck  — fields annotated `// guarded by <mu>` may only be accessed
+//	             by functions that hold that mutex;
+//	droppederr — error results may not be silently discarded (`_ = f()`,
+//	             bare calls, blank assignments, defer/go of error-returning
+//	             calls) outside an explicit allowlist;
+//	floateq    — `==`/`!=` on float operands in numeric code, where a
+//	             tolerance comparison is almost always intended (comparisons
+//	             against an exact-zero sentinel are exempt);
+//	magicatom  — hard-coded 8/512 atom-geometry literals outside the
+//	             grid/morton constant definitions, keeping the atom size a
+//	             single source of truth (grid.DefaultAtomSide).
+//
+// Findings are suppressed with a `//lint:allow <check>[,<check>] reason`
+// comment on the flagged line or on the line directly above it. The reason
+// is required by convention (turbdb-vet does not parse it, reviewers do).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checker complaints; analysis proceeds on a
+	// best-effort basis but the driver surfaces these loudly.
+	TypeErrors []error
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// Pass gives one analyzer access to one package.
+type Pass struct {
+	*Package
+	check  string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full turbdb-vet suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{LockCheck, DroppedErr, FloatEq, MagicAtom}
+}
+
+// allowRe matches suppression directives: //lint:allow check1[,check2] reason
+var allowRe = regexp.MustCompile(`^lint:allow\s+([a-z][a-z0-9,]*)`)
+
+// allowedLines extracts, per check name, the set of source lines a
+// suppression directive covers: the directive's own line and the line below
+// it (so the directive can trail the flagged statement or sit above it).
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	allowed := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				m := allowRe.FindStringSubmatch(strings.TrimSpace(text))
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, check := range strings.Split(m[1], ",") {
+					if allowed[check] == nil {
+						allowed[check] = make(map[int]bool)
+					}
+					allowed[check][line] = true
+					allowed[check][line+1] = true
+				}
+			}
+		}
+	}
+	return allowed
+}
+
+// Analyze runs the given analyzers over one package and returns the
+// unsuppressed findings sorted by position.
+func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allowed := allowedLines(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Package: pkg,
+			check:   a.Name,
+			report: func(d Diagnostic) {
+				if allowed[d.Check][d.Pos.Line] {
+					return
+				}
+				diags = append(diags, d)
+			},
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

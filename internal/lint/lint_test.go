@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture packages live under testdata/src (its own tiny module, so the
+// loader resolves them like any other module). Expected findings are marked
+// in the fixture source as:
+//
+//	someExpr // want `regex matched against the diagnostic message`
+//
+// Every diagnostic must be matched by a want on its line, and every want
+// must be matched by a diagnostic — so the fixtures prove both detection
+// (positive cases) and suppression/exemption (negative cases stay silent).
+var wantRe = regexp.MustCompile("want `([^`]+)`")
+
+// fixtureExpectations scans a fixture directory for want markers, keyed by
+// (file base name, line).
+func fixtureExpectations(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[string][]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				key := keyFor(e.Name(), i+1)
+				wants[key] = append(wants[key], m[1])
+			}
+		}
+	}
+	return wants
+}
+
+func keyFor(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+func TestAnalyzers(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lockcheck", "droppederr", "floateq", "magicatom"} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join(root, name)
+			pkgs, err := loader.Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			}
+			pkg := pkgs[0]
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("fixture does not type-check: %v", terr)
+			}
+			diags := Analyze(pkg, []*Analyzer{analyzerByName(t, name)})
+			wants := fixtureExpectations(t, dir)
+			matched := make(map[string]int)
+			for _, d := range diags {
+				key := keyFor(filepath.Base(d.Pos.Filename), d.Pos.Line)
+				exps := wants[key]
+				ok := false
+				for i, exp := range exps {
+					if i < matched[key] {
+						continue
+					}
+					if regexp.MustCompile(exp).MatchString(d.Message) {
+						matched[key]++
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+				}
+			}
+			for key, exps := range wants {
+				if matched[key] < len(exps) {
+					t.Errorf("missing diagnostic at %s: want %q, matched %d of %d",
+						key, exps, matched[key], len(exps))
+				}
+			}
+			if len(diags) == 0 {
+				t.Error("fixture produced no diagnostics at all; detection is broken")
+			}
+		})
+	}
+}
+
+// TestAllowDirectiveScope pins the suppression contract: a directive covers
+// its own line and the line directly below, nothing else.
+func TestAllowDirectiveScope(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(filepath.Join(root, "droppederr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := allowedLines(pkgs[0].Fset, pkgs[0].Files)
+	lines := allowed["droppederr"]
+	if len(lines) == 0 {
+		t.Fatal("no droppederr allow directives found in fixture")
+	}
+	for line := range lines {
+		if !lines[line] {
+			t.Errorf("line %d marked but not allowed", line)
+		}
+	}
+	if allowed["lockcheck"] != nil {
+		t.Error("droppederr directives leaked into lockcheck's allow set")
+	}
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MagicAtom keeps the atom geometry a single source of truth. The database
+// atom is an 8³ sub-cube (512 points), defined once as
+// grid.DefaultAtomSide; hard-coding 8 or 512 in atom-related contexts
+// elsewhere silently breaks when a deployment re-atomizes the data (the
+// atom-size ablation does exactly that).
+//
+// A literal 8 or 512 is flagged outside the grid and morton packages when
+// it appears in an atom-flavored context:
+//
+//   - a composite-literal field whose name mentions Atom (AtomSide: 8);
+//   - an argument position of grid.New's atomSide parameter;
+//   - a binary expression whose other operand mentions Atom
+//     (g.AtomSide == 8, n*8 where n is atomsPerSide…);
+//   - an assignment or declaration whose target mentions atom;
+//   - a call to flag.Int/flag.IntVar registering a flag whose name or
+//     usage string mentions atom.
+var MagicAtom = &Analyzer{
+	Name: "magicatom",
+	Doc:  "flag hard-coded 8/512 atom-geometry literals outside grid/morton",
+	Run:  runMagicAtom,
+}
+
+// magicAtomExemptPkgs define the atom geometry and may use the raw numbers.
+var magicAtomExemptPkgs = map[string]bool{
+	"grid":   true,
+	"morton": true,
+}
+
+func runMagicAtom(pass *Pass) {
+	if pass.Types != nil && magicAtomExemptPkgs[pass.Types.Name()] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok && mentionsAtom(key.Name) && isAtomLit(n.Value) {
+					pass.Reportf(n.Value.Pos(), "hard-coded atom geometry %s in %s; use grid.DefaultAtomSide", litText(n.Value), key.Name)
+				}
+			case *ast.BinaryExpr:
+				if isAtomLit(n.X) && mentionsAtomExpr(n.Y) {
+					pass.Reportf(n.X.Pos(), "hard-coded atom geometry %s compared/combined with %s; use the grid constants", litText(n.X), exprText(n.Y))
+				}
+				if isAtomLit(n.Y) && mentionsAtomExpr(n.X) {
+					pass.Reportf(n.Y.Pos(), "hard-coded atom geometry %s compared/combined with %s; use the grid constants", litText(n.Y), exprText(n.X))
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && isAtomLit(rhs) && mentionsAtomExpr(n.Lhs[i]) {
+						pass.Reportf(rhs.Pos(), "hard-coded atom geometry %s assigned to %s; use grid.DefaultAtomSide", litText(rhs), exprText(n.Lhs[i]))
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i < len(n.Names) && isAtomLit(v) && mentionsAtom(n.Names[i].Name) {
+						pass.Reportf(v.Pos(), "hard-coded atom geometry %s in %s; use grid.DefaultAtomSide", litText(v), n.Names[i].Name)
+					}
+				}
+			case *ast.CallExpr:
+				checkMagicAtomCall(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMagicAtomCall flags atom literals passed to grid.New's atomSide
+// parameter and to flag registrations for atom-related flags.
+func checkMagicAtomCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case strings.HasSuffix(fn.Pkg().Path(), "internal/grid") && fn.Name() == "New" && len(call.Args) >= 2:
+		if isAtomLit(call.Args[1]) {
+			pass.Reportf(call.Args[1].Pos(), "hard-coded atom side %s passed to grid.New; use grid.DefaultAtomSide", litText(call.Args[1]))
+		}
+	case fn.Pkg().Path() == "flag" && (fn.Name() == "Int" || fn.Name() == "IntVar"):
+		atomFlag := false
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.BasicLit); ok && strings.Contains(strings.ToLower(lit.Value), "atom") {
+				atomFlag = true
+			}
+		}
+		if !atomFlag {
+			return
+		}
+		for _, arg := range call.Args {
+			if isAtomLit(arg) {
+				pass.Reportf(arg.Pos(), "hard-coded atom side %s as flag default; use grid.DefaultAtomSide", litText(arg))
+			}
+		}
+	}
+}
+
+// isAtomLit reports whether e is the literal 8 or 512.
+func isAtomLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && (lit.Value == "8" || lit.Value == "512")
+}
+
+func litText(e ast.Expr) string {
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return "?"
+}
+
+// mentionsAtom reports whether an identifier looks atom-geometry related.
+func mentionsAtom(name string) bool {
+	return strings.Contains(strings.ToLower(name), "atom")
+}
+
+// mentionsAtomExpr reports whether an expression's leaf identifier looks
+// atom-geometry related (g.AtomSide, atomSide, s.PointsPerAtom()…).
+func mentionsAtomExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return mentionsAtom(e.Name)
+	case *ast.SelectorExpr:
+		return mentionsAtom(e.Sel.Name)
+	case *ast.CallExpr:
+		return mentionsAtomExpr(e.Fun)
+	case *ast.StarExpr:
+		return mentionsAtomExpr(e.X)
+	case *ast.ParenExpr:
+		return mentionsAtomExpr(e.X)
+	}
+	return false
+}
+
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "()"
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprText(e.X) + ")"
+	}
+	return "expr"
+}

@@ -1,0 +1,47 @@
+// Package droppederr exercises the discarded-error analyzer.
+package droppederr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+func mayFail() error { return errors.New("x") }
+
+func pair() (int, error) { return 0, errors.New("x") }
+
+func clean() (int, int) { return 1, 2 }
+
+func bad() {
+	mayFail()         // want `result of mayFail includes an error that is discarded`
+	_ = mayFail()     // want `error result of mayFail discarded into _`
+	_, _ = pair()     // want `error result of pair discarded into _`
+	defer mayFail()   // want `deferred result of mayFail includes an error that is discarded`
+	go mayFail()      // want `go result of mayFail includes an error that is discarded`
+	v, _ := pair()    // want `error result of pair discarded into _`
+	_ = v
+}
+
+func good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	_ = v
+	_, a := clean() // no error in the tuple: fine
+	_ = a
+	return err
+}
+
+func exempt() {
+	fmt.Println("fmt calls are conventionally unchecked")
+	var b bytes.Buffer
+	b.WriteString("in-memory writers never fail")
+}
+
+func suppressed() {
+	_ = mayFail() //lint:allow droppederr best-effort by design in this fixture
+	//lint:allow droppederr the directive may also sit on the line above
+	mayFail()
+}

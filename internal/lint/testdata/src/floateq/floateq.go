@@ -1,0 +1,40 @@
+// Package floateq exercises the float-equality analyzer.
+package floateq
+
+func compare(a, b float64, c complex128) bool {
+	if a == b { // want `== on float operands; use a tolerance comparison`
+		return true
+	}
+	if a != b { // want `!= on float operands; use a tolerance comparison`
+		return true
+	}
+	if c == 1+2i { // want `== on float operands; use a tolerance comparison`
+		return true
+	}
+	return false
+}
+
+func sentinels(a float64) bool {
+	if a == 0 { // exact-zero sentinel: exempt
+		return true
+	}
+	if 0.0 != a { // exempt on either side
+		return true
+	}
+	const zero = 0.0
+	return a == zero // named exact-zero constant: exempt
+}
+
+func constants() bool {
+	const x = 0.1
+	const y = 0.2
+	return x+y == 0.3 // both sides constant: compile-time, exempt
+}
+
+func ints(a, b int) bool {
+	return a == b // integers: not this analyzer's business
+}
+
+func suppressed(a, b float64) bool {
+	return a != b //lint:allow floateq exact tie-break in this fixture
+}

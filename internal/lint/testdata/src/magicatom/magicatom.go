@@ -1,0 +1,41 @@
+// Package magicatom exercises the atom-geometry literal analyzer.
+package magicatom
+
+import (
+	"flag"
+
+	"fixtures/internal/grid"
+)
+
+type config struct {
+	AtomSide int
+	Workers  int
+}
+
+func literals(g grid.Geometry) {
+	_ = config{AtomSide: 8} // want `hard-coded atom geometry 8 in AtomSide; use grid.DefaultAtomSide`
+	_ = config{Workers: 8}  // field name does not mention atom: fine
+
+	if g.AtomSide == 8 { // want `hard-coded atom geometry 8 compared/combined with g.AtomSide`
+		return
+	}
+	atoms := g.N / 8 // no atom-flavored operand next to the literal: fine
+	atoms = 512      // want `hard-coded atom geometry 512 assigned to atoms`
+	_ = atoms
+
+	var atomPoints = 512 // want `hard-coded atom geometry 512 in atomPoints`
+	_ = atomPoints
+
+	_, _ = grid.New(64, 8, 0.1) // want `hard-coded atom side 8 passed to grid.New; use grid.DefaultAtomSide`
+	_, _ = grid.New(64, grid.DefaultAtomSide, 0.1)
+}
+
+func flags() {
+	_ = flag.Int("atom", 8, "atom side") // want `hard-coded atom side 8 as flag default`
+	_ = flag.Int("workers", 8, "worker count")
+	_ = flag.Int("atomdefault", grid.DefaultAtomSide, "atom side")
+}
+
+func suppressed() {
+	_ = config{AtomSide: 8} //lint:allow magicatom fixture pins the production value
+}

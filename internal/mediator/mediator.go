@@ -262,7 +262,7 @@ func (m *Mediator) TopK(p *sim.Proc, q query.TopK) ([]query.ResultPoint, *QueryS
 		stats.NodeCritical.Max(r.Breakdown)
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].Value != all[j].Value {
+		if all[i].Value != all[j].Value { //lint:allow floateq exact tie-break keeps the order total and deterministic
 			return all[i].Value > all[j].Value
 		}
 		return all[i].Code < all[j].Code

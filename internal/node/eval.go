@@ -90,7 +90,7 @@ type poolKey struct {
 
 type bufferPool struct {
 	mu   sync.Mutex
-	seen map[poolKey]bool
+	seen map[poolKey]bool // guarded by mu
 }
 
 func newBufferPool() *bufferPool {

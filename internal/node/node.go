@@ -69,11 +69,11 @@ type Node struct {
 	cache     *cache.Cache
 	registry  *derived.Registry
 	peers     PeerFetcher
-	processes int
+	processes int // guarded by mu
 	exec      *Exec
 	costs     CostModel
 
-	mu sync.Mutex // guards processes updates
+	mu sync.Mutex
 }
 
 // New validates the config and builds a Node.

@@ -174,7 +174,7 @@ func (n *Node) GetTopK(p *sim.Proc, q query.TopK) (*TopKResult, error) {
 		all = append(all, h...)
 	}
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].Value != all[j].Value {
+		if all[i].Value != all[j].Value { //lint:allow floateq exact tie-break keeps the order total and deterministic
 			return all[i].Value > all[j].Value
 		}
 		return all[i].Code < all[j].Code

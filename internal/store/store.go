@@ -53,8 +53,8 @@ type Store struct {
 	partitions int          // number of table partitions (files)
 
 	mu     sync.RWMutex
-	fields map[string]FieldMeta
-	data   map[string]map[Key][]byte
+	fields map[string]FieldMeta      // guarded by mu
+	data   map[string]map[Key][]byte // guarded by mu
 
 	// simulation hooks (nil in real mode)
 	kernel *sim.Kernel
@@ -298,7 +298,7 @@ func (s *Store) saveFile(path string, meta FieldMeta, step int, keys []Key, tbl 
 	if err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow droppederr backstop for early returns; the success path checks f.Close below
 	w := bufio.NewWriter(f)
 	if _, err := w.WriteString(fileMagic); err != nil {
 		return err
@@ -356,7 +356,7 @@ func (s *Store) loadFile(path string, meta FieldMeta) error {
 	if err != nil {
 		return fmt.Errorf("store: load: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:allow droppederr read-only file, close errors carry no data loss
 	r := bufio.NewReader(f)
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {

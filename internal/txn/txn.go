@@ -52,9 +52,9 @@ type table struct {
 // DB is a multi-version row store. The zero value is not usable; call New.
 type DB struct {
 	mu     sync.Mutex
-	clock  uint64
-	tables map[string]*table
-	active map[*Tx]struct{}
+	clock  uint64            // guarded by mu
+	tables map[string]*table // guarded by mu
+	active map[*Tx]struct{}  // guarded by mu
 }
 
 // New creates an empty database.
@@ -74,7 +74,8 @@ func (db *DB) CreateTable(name string) {
 	}
 }
 
-func (db *DB) table(name string) (*table, error) {
+// tableLocked resolves a table by name. Caller holds db.mu.
+func (db *DB) tableLocked(name string) (*table, error) {
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("txn: unknown table %q", name)
@@ -139,7 +140,7 @@ func (tx *Tx) Get(tableName string, id RowID) (interface{}, bool, error) {
 	}
 	tx.db.mu.Lock()
 	defer tx.db.mu.Unlock()
-	t, err := tx.db.table(tableName)
+	t, err := tx.db.tableLocked(tableName)
 	if err != nil {
 		return nil, false, err
 	}
@@ -155,7 +156,7 @@ func (tx *Tx) Scan(tableName string, fn func(id RowID, data interface{}) bool) e
 		return ErrClosed
 	}
 	tx.db.mu.Lock()
-	t, err := tx.db.table(tableName)
+	t, err := tx.db.tableLocked(tableName)
 	if err != nil {
 		tx.db.mu.Unlock()
 		return err
@@ -211,7 +212,7 @@ func (tx *Tx) Insert(tableName string, data interface{}) (RowID, error) {
 		return 0, fmt.Errorf("txn: cannot insert nil")
 	}
 	tx.db.mu.Lock()
-	t, err := tx.db.table(tableName)
+	t, err := tx.db.tableLocked(tableName)
 	if err != nil {
 		tx.db.mu.Unlock()
 		return 0, err
@@ -277,7 +278,7 @@ func (tx *Tx) Commit() error {
 
 	// validate: no row we wrote may have a version committed after startTS
 	for tableName, rows := range tx.writes {
-		t, err := db.table(tableName)
+		t, err := db.tableLocked(tableName)
 		if err != nil {
 			return err
 		}

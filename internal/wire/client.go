@@ -45,7 +45,7 @@ func (c *Client) call(path string, req, resp interface{}) error {
 	if err != nil {
 		return fmt.Errorf("wire: %s: %w", path, err)
 	}
-	defer httpResp.Body.Close()
+	defer httpResp.Body.Close() //lint:allow droppederr response-body close is best-effort
 	data, err := io.ReadAll(httpResp.Body)
 	if err != nil {
 		return fmt.Errorf("wire: %s: read: %w", path, err)
@@ -77,7 +77,7 @@ func (c *Client) Info() (InfoResponse, error) {
 	if err != nil {
 		return InfoResponse{}, fmt.Errorf("wire: info: %w", err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //lint:allow droppederr response-body close is best-effort
 	var info InfoResponse
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
 		return InfoResponse{}, fmt.Errorf("wire: info: %w", err)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 
 	"github.com/turbdb/turbdb/internal/mediator"
@@ -12,10 +13,13 @@ import (
 	"github.com/turbdb/turbdb/internal/query"
 )
 
-// writeJSON writes a 200 response body.
+// writeJSON writes a 200 response body. Encode failures cannot be reported
+// to the client (the status line is already out), so they are logged.
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("wire: encoding response: %v", err)
+	}
 }
 
 // writeError maps errors to HTTP statuses, preserving the typed
@@ -32,12 +36,14 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(resp)
+	if encErr := json.NewEncoder(w).Encode(resp); encErr != nil {
+		log.Printf("wire: encoding error response: %v", encErr)
+	}
 }
 
 // decode reads a JSON request body.
 func decode(r *http.Request, v interface{}) error {
-	defer r.Body.Close()
+	defer r.Body.Close() //lint:allow droppederr request-body close is best-effort
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {

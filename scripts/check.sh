@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh runs the same gate as CI (.github/workflows/ci.yml), in the same
+# order: cheap static checks first, the race-detector lane last.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> turbdb-vet ./...'
+go run ./cmd/turbdb-vet ./...
+
+echo '>> go test ./...'
+go test ./...
+
+echo '>> go test -race -short ./...'
+go test -race -short ./...
+
+echo 'All checks passed.'

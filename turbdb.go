@@ -54,7 +54,7 @@ type DB struct {
 	cfg      Config
 	c        *cluster.Cluster
 	registry *derived.Registry
-	custom   []string // names registered via RegisterField, in order
+	custom   []string // names registered via RegisterField, in order; guarded by mu
 
 	mu sync.Mutex // serializes simulated queries
 }
@@ -109,7 +109,9 @@ func (db *DB) Fields() []string {
 		}
 		out = append(out, name)
 	}
+	db.mu.Lock()
 	out = append(out, db.custom...)
+	db.mu.Unlock()
 	return out
 }
 
@@ -288,7 +290,7 @@ func (db *DB) fineHistogram(field string, step int) (*hist.Histogram, error) {
 		return nil, err
 	}
 	if len(top) == 0 || top[0].Value <= 0 {
-		h, _ := hist.New(0, 1, 1)
+		h, _ := hist.New(0, 1, 1) //lint:allow droppederr constant arguments satisfy hist.New's validation
 		return h, nil
 	}
 	maxV := top[0].Value

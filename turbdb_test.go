@@ -490,3 +490,28 @@ func TestCachePDFExtension(t *testing.T) {
 		t.Error("different PDF parameters served from cache")
 	}
 }
+
+// TestFieldsRegisterRace exercises concurrent RegisterField and Fields calls;
+// run with -race to catch unsynchronized access to the custom-field list
+// (Fields previously read db.custom without db.mu).
+func TestFieldsRegisterRace(t *testing.T) {
+	db := openTest(t, Config{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			name := "r" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+			if err := db.RegisterField(name, "abs(pressure)"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		db.Fields()
+	}
+	<-done
+	if n := len(db.Fields()); n < 50 {
+		t.Errorf("expected ≥ 50 fields after concurrent registration, got %d", n)
+	}
+}
