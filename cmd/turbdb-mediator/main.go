@@ -7,27 +7,66 @@
 //
 //	turbdb-mediator -addr :7080 \
 //	    -nodes http://127.0.0.1:7070,http://127.0.0.1:7071
+//
+// -allow-partial answers from the surviving nodes when one stays
+// unreachable after retries, annotating responses with the coverage of
+// the Morton space actually scanned; the default is strict all-or-
+// nothing. SIGINT/SIGTERM drain in-flight queries for -drain, then cancel
+// them.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/turbdb/turbdb/internal/mediator"
 	"github.com/turbdb/turbdb/internal/wire"
 )
+
+// serveGracefully runs srv until a termination signal, then drains for at
+// most drain before force-closing connections.
+func serveGracefully(srv *http.Server, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining in-flight requests (up to %s)", drain)
+	sdCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		log.Printf("drain deadline passed, canceling in-flight requests: %v", err)
+		return srv.Close()
+	}
+	log.Printf("drained cleanly")
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("turbdb-mediator: ")
 
 	var (
-		addr  = flag.String("addr", ":7080", "listen address")
-		nodes = flag.String("nodes", "", "comma-separated URLs of the node services (required)")
+		addr    = flag.String("addr", ":7080", "listen address")
+		nodes   = flag.String("nodes", "", "comma-separated URLs of the node services (required)")
+		partial = flag.Bool("allow-partial", false, "answer from surviving nodes when a node is unreachable (responses carry coverage)")
+		connTO  = flag.Duration("connect-timeout", 30*time.Second, "deadline for contacting every node at startup")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 	if *nodes == "" {
@@ -37,18 +76,21 @@ func main() {
 
 	var clients []mediator.NodeClient
 	for _, url := range strings.Split(*nodes, ",") {
-		c := wire.NewClient(strings.TrimSpace(url))
-		if _, err := c.Info(); err != nil {
-			log.Fatalf("node %s unreachable: %v", url, err)
-		}
-		clients = append(clients, c)
+		clients = append(clients, wire.NewClient(strings.TrimSpace(url)))
 	}
 
-	m, err := mediator.New(mediator.Config{Nodes: clients})
+	ctx, cancel := context.WithTimeout(context.Background(), *connTO)
+	m, err := mediator.New(mediator.Config{
+		Nodes: clients, AllowPartial: *partial, DescribeCtx: ctx,
+	})
+	cancel()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mediator for %s (%d nodes, %d³ grid) on %s\n",
-		m.Dataset(), len(clients), m.Grid().N, *addr)
-	log.Fatal(http.ListenAndServe(*addr, wire.NewMediatorServer(m).Handler()))
+	fmt.Printf("mediator for %s (%d nodes, %d³ grid, partial=%v) on %s\n",
+		m.Dataset(), len(clients), m.Grid().N, *partial, *addr)
+	srv := &http.Server{Addr: *addr, Handler: wire.NewMediatorServer(m).Handler()}
+	if err := serveGracefully(srv, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
 }

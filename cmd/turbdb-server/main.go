@@ -10,21 +10,55 @@
 //
 // -peers lists ALL node URLs in node order (including this node, which is
 // skipped); peers supply the halo band for derived-field kernels.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-
+// flight queries get -drain to finish, then remaining connections are cut
+// (their request contexts cancel, aborting the evaluations server-side).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/turbdb/turbdb/internal/cache"
 	"github.com/turbdb/turbdb/internal/node"
 	"github.com/turbdb/turbdb/internal/store"
 	"github.com/turbdb/turbdb/internal/wire"
 )
+
+// serveGracefully runs srv until a termination signal, then drains for at
+// most drain before force-closing connections.
+func serveGracefully(srv *http.Server, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining in-flight requests (up to %s)", drain)
+	sdCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		log.Printf("drain deadline passed, canceling in-flight requests: %v", err)
+		return srv.Close()
+	}
+	log.Printf("drained cleanly")
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -38,6 +72,8 @@ func main() {
 		withCache = flag.Bool("cache", true, "enable the semantic query-result cache")
 		cacheCap  = flag.Int64("cache-capacity", 0, "cache capacity in bytes (0 = unlimited)")
 		processes = flag.Int("processes", 1, "worker processes per query")
+		partial   = flag.Bool("allow-partial-halo", false, "skip atoms whose halo band is unreachable instead of failing the query")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -74,6 +110,7 @@ func main() {
 	n, err := node.New(node.Config{
 		ID: *nodeID, Dataset: manifest.Dataset, Store: st, Cache: ca,
 		Peers: fetcher, Processes: *processes,
+		AllowPartialHalo: *partial,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -81,5 +118,8 @@ func main() {
 
 	fmt.Printf("node %d serving %s shard %v on %s (cache=%v, %d processes)\n",
 		*nodeID, manifest.Dataset, st.Owned(), *addr, *withCache, *processes)
-	log.Fatal(http.ListenAndServe(*addr, wire.NewNodeServer(n).Handler()))
+	srv := &http.Server{Addr: *addr, Handler: wire.NewNodeServer(n).Handler()}
+	if err := serveGracefully(srv, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
 }

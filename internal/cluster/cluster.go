@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -75,6 +76,11 @@ type Config struct {
 	Costs node.CostModel
 	// Registry resolves field names; nil uses the standard catalog.
 	Registry *derived.Registry
+	// AllowPartial enables graceful degradation end to end: the mediator
+	// answers from surviving nodes when one stays unreachable (with
+	// coverage accounting), and nodes skip atoms whose halo cannot be
+	// fetched instead of failing their whole shard. Real mode only.
+	AllowPartial bool
 }
 
 // Cluster is an assembled analysis cluster over one synthetic dataset.
@@ -98,7 +104,10 @@ type peerFetcher struct {
 }
 
 // FetchAtoms implements node.PeerFetcher.
-func (f *peerFetcher) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+func (f *peerFetcher) FetchAtoms(ctx context.Context, p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	byOwner := make(map[int][]morton.Code)
 	for _, code := range codes {
 		owner := -1
@@ -124,7 +133,7 @@ func (f *peerFetcher) FetchAtoms(p *sim.Proc, rawField string, step int, codes [
 	errs := make([]error, len(owners))
 	fetchOne := func(i int, fp *sim.Proc) {
 		owner := owners[i]
-		blobs, err := f.c.nodes[owner].FetchAtoms(fp, rawField, step, byOwner[owner])
+		blobs, err := f.c.nodes[owner].FetchAtoms(ctx, fp, rawField, step, byOwner[owner])
 		if err != nil {
 			errs[i] = err
 			return
@@ -258,6 +267,7 @@ func Build(gen Source, cfg Config) (*Cluster, error) {
 			ID: i, Dataset: gen.Name(),
 			Store: st, Cache: ca, Registry: cfg.Registry,
 			Processes: cfg.Processes, Exec: exec, Costs: cfg.Costs,
+			AllowPartialHalo: cfg.AllowPartial && !cfg.Simulate,
 		})
 		if err != nil {
 			return nil, err
@@ -312,6 +322,7 @@ func Build(gen Source, cfg Config) (*Cluster, error) {
 	}
 	med, err := mediator.New(mediator.Config{
 		Nodes: clients, Kernel: c.Kernel, NodeLinks: nodeLinks, UserLink: c.user,
+		AllowPartial: cfg.AllowPartial && !cfg.Simulate,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -54,7 +55,7 @@ func TestBuildValidation(t *testing.T) {
 func TestRealModeQueryAcrossNodes(t *testing.T) {
 	c := buildTest(t, Config{Nodes: 4, WithCache: true}, synth.Isotropic, 16)
 	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0}
-	pts, stats, err := c.Mediator.Threshold(nil, q)
+	pts, stats, err := c.Mediator.Threshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestRealModeQueryAcrossNodes(t *testing.T) {
 		t.Errorf("first query hit %d caches", stats.CacheHits)
 	}
 	// warm query hits all 4 node caches and returns the same points
-	pts2, stats2, err := c.Mediator.Threshold(nil, q)
+	pts2, stats2, err := c.Mediator.Threshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func selectiveThreshold(t testing.TB, c *Cluster, dataset, fieldName string, fra
 	}
 	var thr float64
 	_, err := c.RunQuery(func(p *sim.Proc) error {
-		top, _, err := c.Mediator.TopK(p, query.TopK{Dataset: dataset, Field: fieldName, K: k})
+		top, _, err := c.Mediator.TopK(context.Background(), p, query.TopK{Dataset: dataset, Field: fieldName, K: k})
 		if err != nil {
 			return err
 		}
@@ -119,7 +120,7 @@ func TestSimulatedQueryTimings(t *testing.T) {
 	var missPts, hitPts int
 	var missTotal, hitTotal time.Duration
 	dur, err := c.RunQuery(func(p *sim.Proc) error {
-		pts, stats, err := c.Mediator.Threshold(p, q)
+		pts, stats, err := c.Mediator.Threshold(context.Background(), p, q)
 		if err != nil {
 			return err
 		}
@@ -141,7 +142,7 @@ func TestSimulatedQueryTimings(t *testing.T) {
 	}
 
 	_, err = c.RunQuery(func(p *sim.Proc) error {
-		pts, stats, err := c.Mediator.Threshold(p, q)
+		pts, stats, err := c.Mediator.Threshold(context.Background(), p, q)
 		if err != nil {
 			return err
 		}
@@ -188,7 +189,7 @@ func TestScaleOutSpeedsUpSimulatedQueries(t *testing.T) {
 		q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Threshold: thr}
 		var total time.Duration
 		_, err := c.RunQuery(func(p *sim.Proc) error {
-			_, stats, err := c.Mediator.Threshold(p, q)
+			_, stats, err := c.Mediator.Threshold(context.Background(), p, q)
 			if err != nil {
 				return err
 			}
@@ -211,7 +212,7 @@ func TestSimulatedResultsMatchRealResults(t *testing.T) {
 	cReal := buildTest(t, Config{Nodes: 2}, synth.Isotropic, 16)
 	cSim := buildTest(t, Config{Nodes: 2, Simulate: true}, synth.Isotropic, 16)
 
-	realPts, _, err := cReal.Mediator.Threshold(nil, q)
+	realPts, _, err := cReal.Mediator.Threshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestSimulatedResultsMatchRealResults(t *testing.T) {
 		realFirst = uint64(realPts[0].Code)
 	}
 	_, err = cSim.RunQuery(func(p *sim.Proc) error {
-		pts, _, err := cSim.Mediator.Threshold(p, q)
+		pts, _, err := cSim.Mediator.Threshold(context.Background(), p, q)
 		if err != nil {
 			return err
 		}
@@ -242,7 +243,7 @@ func TestSimulatedResultsMatchRealResults(t *testing.T) {
 
 func TestPDFAndTopKThroughMediator(t *testing.T) {
 	c := buildTest(t, Config{Nodes: 2}, synth.MHD, 16)
-	counts, _, err := c.Mediator.PDF(nil, query.PDF{
+	counts, _, err := c.Mediator.PDF(context.Background(), nil, query.PDF{
 		Dataset: "mhd", Field: derived.Current, Bins: 10, Width: 0.5,
 	})
 	if err != nil {
@@ -255,7 +256,7 @@ func TestPDFAndTopKThroughMediator(t *testing.T) {
 	if total != 16*16*16 {
 		t.Errorf("PDF total %d", total)
 	}
-	top, _, err := c.Mediator.TopK(nil, query.TopK{
+	top, _, err := c.Mediator.TopK(context.Background(), nil, query.TopK{
 		Dataset: "mhd", Field: derived.Current, K: 10,
 	})
 	if err != nil {
@@ -274,13 +275,13 @@ func TestPDFAndTopKThroughMediator(t *testing.T) {
 func TestDropCacheForcesRecomputation(t *testing.T) {
 	c := buildTest(t, Config{Nodes: 2, WithCache: true}, synth.Isotropic, 16)
 	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0}
-	if _, _, err := c.Mediator.Threshold(nil, q); err != nil {
+	if _, _, err := c.Mediator.Threshold(context.Background(), nil, q); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Mediator.DropCache(derived.Vorticity, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	_, stats, err := c.Mediator.Threshold(nil, q)
+	_, stats, err := c.Mediator.Threshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestDropCacheForcesRecomputation(t *testing.T) {
 func TestHaloTrafficOnlyForDerivedFields(t *testing.T) {
 	c := buildTest(t, Config{Nodes: 4}, synth.MHD, 16)
 	// raw magnetic field: kernel of one point, no halo
-	_, stats, err := c.Mediator.Threshold(nil, query.Threshold{
+	_, stats, err := c.Mediator.Threshold(context.Background(), nil, query.Threshold{
 		Dataset: "mhd", Field: derived.Magnetic, Threshold: 1.0,
 	})
 	if err != nil {
@@ -302,7 +303,7 @@ func TestHaloTrafficOnlyForDerivedFields(t *testing.T) {
 		t.Errorf("raw field fetched %d halo atoms", stats.NodeCritical.HaloAtoms)
 	}
 	// derived current: needs halo
-	_, stats, err = c.Mediator.Threshold(nil, query.Threshold{
+	_, stats, err = c.Mediator.Threshold(context.Background(), nil, query.Threshold{
 		Dataset: "mhd", Field: derived.Current, Threshold: 1.0,
 	})
 	if err != nil {

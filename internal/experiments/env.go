@@ -20,6 +20,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -199,7 +200,7 @@ func RunThreshold(c *cluster.Cluster, q query.Threshold) ([]query.ResultPoint, *
 	var stats *mediator.QueryStats
 	_, err := c.RunQuery(func(p *sim.Proc) error {
 		var qerr error
-		pts, stats, qerr = c.Mediator.Threshold(p, q)
+		pts, stats, qerr = c.Mediator.Threshold(context.Background(), p, q)
 		return qerr
 	})
 	if err != nil {
@@ -214,7 +215,7 @@ func RunPDF(c *cluster.Cluster, q query.PDF) ([]int64, *mediator.QueryStats, err
 	var stats *mediator.QueryStats
 	_, err := c.RunQuery(func(p *sim.Proc) error {
 		var qerr error
-		counts, stats, qerr = c.Mediator.PDF(p, q)
+		counts, stats, qerr = c.Mediator.PDF(context.Background(), p, q)
 		return qerr
 	})
 	if err != nil {
@@ -229,7 +230,7 @@ func RunTopK(c *cluster.Cluster, q query.TopK) ([]query.ResultPoint, *mediator.Q
 	var stats *mediator.QueryStats
 	_, err := c.RunQuery(func(p *sim.Proc) error {
 		var qerr error
-		pts, stats, qerr = c.Mediator.TopK(p, q)
+		pts, stats, qerr = c.Mediator.TopK(context.Background(), p, q)
 		return qerr
 	})
 	if err != nil {

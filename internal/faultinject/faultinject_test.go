@@ -1,0 +1,193 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/faulttol"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+func TestRuleCounting(t *testing.T) {
+	p := NewPlan(1, &Rule{Match: "/a", After: 1, Count: 2})
+	fires := []bool{}
+	for i := 0; i < 5; i++ {
+		r, _ := p.evaluate("/a")
+		fires = append(fires, r != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("call %d fired=%v, want %v (all: %v)", i, fires[i], want[i], fires)
+		}
+	}
+	if r, _ := p.evaluate("/other"); r != nil {
+		t.Error("rule fired on a non-matching key")
+	}
+	if p.Fired() != 2 {
+		t.Errorf("Fired() = %d, want 2", p.Fired())
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	seq := func(seed int64) []bool {
+		p := NewPlan(seed, &Rule{Prob: 0.5})
+		out := make([]bool, 32)
+		for i := range out {
+			r, _ := p.evaluate("k")
+			out[i] = r != nil
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("prob 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestInjectedErrorIsTransient(t *testing.T) {
+	err := error(&InjectedError{Key: "/v1/threshold", Call: 3})
+	if !faulttol.Transient(err) {
+		t.Error("injected error must classify transient")
+	}
+	if !strings.Contains(err.Error(), "/v1/threshold") {
+		t.Errorf("error message lost the key: %v", err)
+	}
+}
+
+func TestTransportModes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, `{"ok":true,"pad":"0123456789012345678901234567890123456789"}`)
+	}))
+	defer srv.Close()
+
+	get := func(plan *Plan, path string, ctx context.Context) (*http.Response, error) {
+		c := &http.Client{Transport: NewTransport(nil, plan)}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Do(req)
+	}
+
+	t.Run("error", func(t *testing.T) {
+		plan := NewPlan(1, &Rule{Match: "/q", Mode: ModeError})
+		if _, err := get(plan, "/q", context.Background()); err == nil {
+			t.Fatal("fault not injected")
+		} else if !faulttol.Transient(err) {
+			t.Errorf("transport error not transient through url.Error: %v", err)
+		}
+		resp, err := get(plan, "/other", context.Background())
+		if err != nil {
+			t.Fatalf("non-matching path failed: %v", err)
+		}
+		defer resp.Body.Close() //lint:allow droppederr response-body close is best-effort
+	})
+
+	t.Run("status", func(t *testing.T) {
+		plan := NewPlan(1, &Rule{Mode: ModeStatus, Status: 503})
+		resp, err := get(plan, "/q", context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close() //lint:allow droppederr response-body close is best-effort
+		if resp.StatusCode != 503 {
+			t.Errorf("status = %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("partial", func(t *testing.T) {
+		plan := NewPlan(1, &Rule{Mode: ModePartial, TruncateTo: 5})
+		resp, err := get(plan, "/q", context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close() //lint:allow droppederr response-body close is best-effort
+		data, err := io.ReadAll(resp.Body)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("read err = %v, want unexpected EOF", err)
+		}
+		if len(data) > 5 {
+			t.Errorf("read %d bytes past the cut", len(data))
+		}
+	})
+
+	t.Run("hang", func(t *testing.T) {
+		plan := NewPlan(1, &Rule{Mode: ModeHang})
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		if _, err := get(plan, "/q", ctx); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("hang err = %v, want deadline exceeded", err)
+		}
+	})
+}
+
+// memFetcher returns one byte per requested code.
+type memFetcher struct{ calls int }
+
+func (m *memFetcher) FetchAtoms(_ context.Context, _ *sim.Proc, _ string, _ int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	m.calls++
+	out := make(map[morton.Code][]byte, len(codes))
+	for _, c := range codes {
+		out[c] = []byte{byte(c)}
+	}
+	return out, nil
+}
+
+func TestPeerFetcherModes(t *testing.T) {
+	codes := []morton.Code{3, 1, 2}
+
+	t.Run("error", func(t *testing.T) {
+		f := NewPeerFetcher(&memFetcher{}, NewPlan(1, &Rule{Match: "velocity", Mode: ModeError}))
+		if _, err := f.FetchAtoms(context.Background(), nil, "velocity", 0, codes); err == nil {
+			t.Fatal("fault not injected")
+		}
+		if out, err := f.FetchAtoms(context.Background(), nil, "pressure", 0, codes); err != nil || len(out) != 3 {
+			t.Errorf("non-matching field: out=%v err=%v", out, err)
+		}
+	})
+
+	t.Run("partial keeps lowest codes deterministically", func(t *testing.T) {
+		f := NewPeerFetcher(&memFetcher{}, NewPlan(1, &Rule{Mode: ModePartial, TruncateTo: 2}))
+		out, err := f.FetchAtoms(context.Background(), nil, "velocity", 0, codes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 2 {
+			t.Fatalf("kept %d atoms, want 2", len(out))
+		}
+		if _, ok := out[morton.Code(1)]; !ok {
+			t.Error("lowest code dropped")
+		}
+		if _, ok := out[morton.Code(3)]; ok {
+			t.Error("highest code kept")
+		}
+	})
+
+	t.Run("hang honors ctx", func(t *testing.T) {
+		f := NewPeerFetcher(&memFetcher{}, NewPlan(1, &Rule{Mode: ModeHang}))
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		if _, err := f.FetchAtoms(ctx, nil, "velocity", 0, codes); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("err = %v, want deadline exceeded", err)
+		}
+	})
+}

@@ -1,0 +1,269 @@
+package faulttol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeClock drives Policy.Now / Policy.Sleep / BreakerConfig.Now without
+// wall-time sleeps: Sleep just advances the virtual clock.
+type fakeClock struct {
+	t      time.Time
+	slept  []time.Duration
+	cancel context.CancelFunc // optional: cancel the ctx after the first sleep
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Now()} }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	c.slept = append(c.slept, d)
+	c.t = c.t.Add(d)
+	if c.cancel != nil {
+		c.cancel()
+	}
+	return ctx.Err()
+}
+
+// deterministic policy: no jitter randomness, fake clock.
+func testPolicy(c *fakeClock, attempts int, base time.Duration) Policy {
+	return Policy{
+		MaxAttempts: attempts, BaseDelay: base, MaxDelay: 10 * base,
+		Sleep: c.sleep, Now: c.now, Rand: func() float64 { return 0.5 }, // jitter factor exactly 1
+	}
+}
+
+type transientErr struct{ msg string }
+
+func (e transientErr) Error() string   { return e.msg }
+func (e transientErr) Transient() bool { return true }
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	c := newFakeClock()
+	calls := 0
+	err := testPolicy(c, 5, 10*time.Millisecond).Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return transientErr{"flaky"}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	// backoff doubles: 10ms then 20ms (jitter factor pinned to 1)
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(c.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", c.slept, want)
+	}
+	for i := range want {
+		if c.slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, c.slept[i], want[i])
+		}
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	c := newFakeClock()
+	calls := 0
+	permanent := errors.New("bad query")
+	err := testPolicy(c, 5, time.Millisecond).Do(context.Background(), func(context.Context) error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (no retries on permanent errors)", calls)
+	}
+}
+
+func TestAttemptsExhausted(t *testing.T) {
+	c := newFakeClock()
+	calls := 0
+	err := testPolicy(c, 3, time.Millisecond).Do(context.Background(), func(context.Context) error {
+		calls++
+		return transientErr{"down"}
+	})
+	var ae *AttemptsError
+	if !errors.As(err, &ae) {
+		t.Fatalf("Do = %v, want *AttemptsError", err)
+	}
+	if calls != 3 || ae.Attempts != 3 || ae.BudgetExhausted {
+		t.Errorf("calls=%d attempts=%d budget=%v", calls, ae.Attempts, ae.BudgetExhausted)
+	}
+	if !errors.As(err, new(transientErr)) {
+		t.Error("last error not wrapped")
+	}
+}
+
+func TestDeadlineBudgetStopsRetries(t *testing.T) {
+	// Deadline is 15ms of virtual time away; the first backoff (10ms)
+	// fits, the second (20ms) would overrun it, so the loop stops after
+	// two attempts without sleeping past the deadline.
+	c := newFakeClock()
+	ctx, cancel := context.WithDeadline(context.Background(), c.t.Add(15*time.Millisecond))
+	defer cancel()
+	calls := 0
+	err := testPolicy(c, 10, 10*time.Millisecond).Do(ctx, func(context.Context) error {
+		calls++
+		return transientErr{"down"}
+	})
+	var ae *AttemptsError
+	if !errors.As(err, &ae) {
+		t.Fatalf("Do = %v, want *AttemptsError", err)
+	}
+	if !ae.BudgetExhausted {
+		t.Error("loop did not report budget exhaustion")
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (second backoff would overrun the deadline)", calls)
+	}
+	if len(c.slept) != 1 {
+		t.Errorf("slept %v, want exactly one backoff", c.slept)
+	}
+}
+
+func TestCancellationAbortsBackoff(t *testing.T) {
+	c := newFakeClock()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.cancel = cancel // ctx dies during the first backoff wait
+	calls := 0
+	err := testPolicy(c, 10, time.Millisecond).Do(ctx, func(context.Context) error {
+		calls++
+		return transientErr{"down"}
+	})
+	var ae *AttemptsError
+	if !errors.As(err, &ae) {
+		t.Fatalf("Do = %v, want *AttemptsError", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (cancel during backoff must stop the loop)", calls)
+	}
+}
+
+func TestTransientClassifier(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{context.Canceled, false},
+		{fmt.Errorf("wrapped: %w", context.Canceled), false},
+		{context.DeadlineExceeded, true},
+		{syscall.ECONNREFUSED, true},
+		{fmt.Errorf("dial: %w", syscall.ECONNRESET), true},
+		{io.ErrUnexpectedEOF, true},
+		{&net.OpError{Op: "dial", Err: errors.New("refused")}, true},
+		{transientErr{"self-reported"}, true},
+		{ErrCircuitOpen, true},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	c := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Second, Now: c.now})
+
+	// three consecutive failures open the circuit
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow %d = %v", i, err)
+		}
+		b.RecordFailure()
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow while open = %v", err)
+	}
+
+	// cooldown elapses → exactly one half-open probe admitted
+	c.t = c.t.Add(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe not admitted: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+
+	// failed probe re-opens with a fresh cooldown
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	c.t = c.t.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe not admitted: %v", err)
+	}
+	b.RecordSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after recovery = %v", err)
+	}
+}
+
+func TestExecutorFailsFastWhenOpen(t *testing.T) {
+	c := newFakeClock()
+	e := &Executor{
+		Policy:  testPolicy(c, 1, 0),
+		Breaker: NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour, Now: c.now}),
+	}
+	calls := 0
+	op := func(context.Context) error { calls++; return transientErr{"down"} }
+	for i := 0; i < 2; i++ {
+		if err := e.Do(context.Background(), op); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d", calls)
+	}
+	err := e.Do(context.Background(), op)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Do with open breaker = %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("open breaker still let a call through (calls = %d)", calls)
+	}
+}
+
+func TestExecutorPermanentErrorKeepsBreakerClosed(t *testing.T) {
+	c := newFakeClock()
+	e := &Executor{
+		Policy:  testPolicy(c, 1, 0),
+		Breaker: NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour, Now: c.now}),
+	}
+	permanent := errors.New("dataset mismatch")
+	for i := 0; i < 5; i++ {
+		if err := e.Do(context.Background(), func(context.Context) error { return permanent }); !errors.Is(err, permanent) {
+			t.Fatalf("Do = %v", err)
+		}
+	}
+	if e.Breaker.State() != Closed {
+		t.Errorf("permanent errors opened the breaker (state = %v)", e.Breaker.State())
+	}
+}

@@ -11,7 +11,10 @@ import (
 //     error (`tx.Commit()` on its own line);
 //   - `defer f()` / `go f()` where f returns an error nobody will see;
 //   - assignments that discard an error result into the blank identifier
-//     (`_ = f()`, `v, _ := g()` where the blank lines up with an error).
+//     (`_ = f()`, `v, _ := g()` where the blank lines up with an error);
+//   - context.CancelFunc results dropped the same ways (`ctx, _ :=
+//     context.WithTimeout(...)`): an uncalled cancel leaks the context's
+//     timer and goroutine until the parent is canceled.
 //
 // Deliberate discards carry a `//lint:allow droppederr <reason>` comment.
 // Calls into the fmt package and print-like best-effort writers
@@ -58,6 +61,9 @@ func checkDiscardedCall(pass *Pass, call *ast.CallExpr, kind string) {
 	if typeContainsError(t.Type) {
 		pass.Reportf(call.Pos(), "%sresult of %s includes an error that is discarded", kind, calleeName(call))
 	}
+	if typeContainsCancelFunc(t.Type) {
+		pass.Reportf(call.Pos(), "%sresult of %s includes a context cancel function that is never called", kind, calleeName(call))
+	}
 }
 
 // checkBlankAssign reports blank identifiers that swallow an error result.
@@ -73,8 +79,14 @@ func checkBlankAssign(pass *Pass, assign *ast.AssignStmt) {
 				return
 			}
 			for i, lhs := range assign.Lhs {
-				if isBlank(lhs) && isErrorType(sig.At(i).Type()) {
+				if !isBlank(lhs) {
+					continue
+				}
+				if isErrorType(sig.At(i).Type()) {
 					pass.Reportf(lhs.Pos(), "error result of %s discarded into _", calleeName(call))
+				}
+				if isCancelFuncType(sig.At(i).Type()) {
+					pass.Reportf(lhs.Pos(), "cancel function from %s discarded into _; the context leaks until its parent ends", calleeName(call))
 				}
 			}
 			return
@@ -90,8 +102,13 @@ func checkBlankAssign(pass *Pass, assign *ast.AssignStmt) {
 				if isExemptCallee(pass, call) {
 					continue
 				}
-				if t, ok := pass.Info.Types[call]; ok && typeContainsError(t.Type) {
-					pass.Reportf(lhs.Pos(), "error result of %s discarded into _", calleeName(call))
+				if t, ok := pass.Info.Types[call]; ok {
+					if typeContainsError(t.Type) {
+						pass.Reportf(lhs.Pos(), "error result of %s discarded into _", calleeName(call))
+					}
+					if typeContainsCancelFunc(t.Type) {
+						pass.Reportf(lhs.Pos(), "cancel function from %s discarded into _; the context leaks until its parent ends", calleeName(call))
+					}
 				}
 			}
 		}
@@ -124,6 +141,37 @@ func typeContainsError(t types.Type) bool {
 		return false
 	}
 	return isErrorType(t)
+}
+
+// isCancelFuncType reports whether t is context.CancelFunc (or the cause
+// variant), possibly through a named alias.
+func isCancelFuncType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return false
+	}
+	return obj.Name() == "CancelFunc" || obj.Name() == "CancelCauseFunc"
+}
+
+// typeContainsCancelFunc reports whether a call's result type is, or
+// includes, a context cancel function.
+func typeContainsCancelFunc(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isCancelFuncType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isCancelFuncType(t)
 }
 
 // exemptTypes are receiver types whose write-style methods never fail in

@@ -3,8 +3,10 @@ package droppederr
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 func mayFail() error { return errors.New("x") }
@@ -14,12 +16,12 @@ func pair() (int, error) { return 0, errors.New("x") }
 func clean() (int, int) { return 1, 2 }
 
 func bad() {
-	mayFail()         // want `result of mayFail includes an error that is discarded`
-	_ = mayFail()     // want `error result of mayFail discarded into _`
-	_, _ = pair()     // want `error result of pair discarded into _`
-	defer mayFail()   // want `deferred result of mayFail includes an error that is discarded`
-	go mayFail()      // want `go result of mayFail includes an error that is discarded`
-	v, _ := pair()    // want `error result of pair discarded into _`
+	mayFail()       // want `result of mayFail includes an error that is discarded`
+	_ = mayFail()   // want `error result of mayFail discarded into _`
+	_, _ = pair()   // want `error result of pair discarded into _`
+	defer mayFail() // want `deferred result of mayFail includes an error that is discarded`
+	go mayFail()    // want `go result of mayFail includes an error that is discarded`
+	v, _ := pair()  // want `error result of pair discarded into _`
 	_ = v
 }
 
@@ -38,6 +40,26 @@ func exempt() {
 	fmt.Println("fmt calls are conventionally unchecked")
 	var b bytes.Buffer
 	b.WriteString("in-memory writers never fail")
+}
+
+func droppedCancel(parent context.Context) {
+	ctx, _ := context.WithCancel(parent) // want `cancel function from context.WithCancel discarded into _`
+	_ = ctx
+	ctx2, _ := context.WithTimeout(parent, time.Second) // want `cancel function from context.WithTimeout discarded into _`
+	_ = ctx2
+	context.WithCancel(parent)        // want `result of context.WithCancel includes a context cancel function that is never called`
+	_, _ = context.WithCancel(parent) // want `cancel function from context.WithCancel discarded into _`
+}
+
+func keptCancel(parent context.Context) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	_ = ctx
+}
+
+func suppressedCancel(parent context.Context) {
+	ctx, _ := context.WithCancel(parent) //lint:allow droppederr ctx lives for the process
+	_ = ctx
 }
 
 func suppressed() {

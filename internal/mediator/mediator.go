@@ -8,14 +8,25 @@
 // breakdowns report: per-phase node times (cache lookup, I/O, compute) on
 // the cluster critical path, mediator↔DB communication, and mediator↔user
 // communication — both of which grow proportionally to the result size.
+//
+// On a real cluster the mediator must survive slow and dead nodes. Every
+// node RPC runs under a per-node circuit breaker and a retry policy with
+// exponential backoff whose budget never exceeds the caller's context
+// deadline. When a node stays unreachable, strict mode (the default)
+// fails the query with the node's error; partial mode (Config.
+// AllowPartial) answers from the surviving nodes and annotates QueryStats
+// with the fraction of the Morton space that was actually scanned.
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"github.com/turbdb/turbdb/internal/faulttol"
 	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/netmodel"
 	"github.com/turbdb/turbdb/internal/node"
 	"github.com/turbdb/turbdb/internal/query"
@@ -27,15 +38,16 @@ const RequestWireBytes = 512
 
 // NodeClient is the mediator's view of one database node. *node.Node
 // satisfies it directly; the wire package provides an HTTP-backed
-// implementation.
+// implementation. Query methods honor ctx cancellation and deadlines;
+// management methods (cache drop, worker count) are bounded by the
+// transport's own request timeout.
 type NodeClient interface {
-	GetThreshold(p *sim.Proc, q query.Threshold) (*node.ThresholdResult, error)
-	GetPDF(p *sim.Proc, q query.PDF) (*node.PDFResult, error)
-	GetTopK(p *sim.Proc, q query.TopK) (*node.TopKResult, error)
+	GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold) (*node.ThresholdResult, error)
+	GetPDF(ctx context.Context, p *sim.Proc, q query.PDF) (*node.PDFResult, error)
+	GetTopK(ctx context.Context, p *sim.Proc, q query.TopK) (*node.TopKResult, error)
 	DropCacheEntry(fieldName string, order, step int) error
 	SetProcesses(p int) error
-	Grid() grid.Grid
-	Dataset() string
+	Describe(ctx context.Context) (node.Description, error)
 }
 
 // Config assembles a Mediator.
@@ -50,26 +62,63 @@ type Config struct {
 	NodeLinks []*netmodel.Link
 	// UserLink is the mediator↔user path; required in simulation mode.
 	UserLink *netmodel.Link
+
+	// AllowPartial degrades gracefully when a node stays unreachable
+	// after retries: the query is answered from the surviving nodes and
+	// QueryStats records Coverage < 1 plus the per-node failures. Strict
+	// mode (false, the default) keeps all-or-nothing semantics. Only
+	// availability-class (transient) failures are degradable — a node
+	// rejecting the query as malformed always fails it.
+	AllowPartial bool
+	// Retry overrides the per-node retry policy; nil uses
+	// faulttol.DefaultPolicy(). Set MaxAttempts to 1 to disable retries.
+	Retry *faulttol.Policy
+	// Breaker overrides the per-node circuit-breaker tuning; nil uses
+	// faulttol defaults.
+	Breaker *faulttol.BreakerConfig
+
+	// DescribeCtx bounds the constructor's Describe round-trips; nil
+	// means context.Background().
+	DescribeCtx context.Context
 }
 
 // Mediator is the query front end. Safe for concurrent use in real mode.
 type Mediator struct {
 	nodes     []NodeClient
+	descs     []node.Description
 	kernel    *sim.Kernel
 	nodeLinks []*netmodel.Link
 	userLink  *netmodel.Link
 	exec      *node.Exec
+
+	allowPartial bool
+	ft           []*faulttol.Executor // nil in simulation mode
 }
 
-// New validates the config and builds a Mediator.
+// New validates the config, contacts every node for its description
+// (dataset, geometry, owned range) and builds a Mediator. A node that is
+// unreachable at assembly time is a constructor error — queries never
+// panic on an unavailable topology.
 func New(cfg Config) (*Mediator, error) {
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("mediator: at least one node required")
 	}
-	ds := cfg.Nodes[0].Dataset()
-	for _, n := range cfg.Nodes[1:] {
-		if n.Dataset() != ds {
-			return nil, fmt.Errorf("mediator: nodes serve different datasets (%q vs %q)", ds, n.Dataset())
+	ctx := cfg.DescribeCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	descs := make([]node.Description, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		d, err := n.Describe(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("mediator: node %d unreachable: %w", i, err)
+		}
+		descs[i] = d
+	}
+	ds := descs[0].Dataset
+	for _, d := range descs[1:] {
+		if d.Dataset != ds {
+			return nil, fmt.Errorf("mediator: nodes serve different datasets (%q vs %q)", ds, d.Dataset)
 		}
 	}
 	if cfg.Kernel != nil {
@@ -80,23 +129,64 @@ func New(cfg Config) (*Mediator, error) {
 			return nil, fmt.Errorf("mediator: user link required in simulation mode")
 		}
 	}
-	return &Mediator{
-		nodes:     cfg.Nodes,
-		kernel:    cfg.Kernel,
-		nodeLinks: cfg.NodeLinks,
-		userLink:  cfg.UserLink,
-		exec:      &node.Exec{Kernel: cfg.Kernel},
-	}, nil
+	m := &Mediator{
+		nodes:        cfg.Nodes,
+		descs:        descs,
+		kernel:       cfg.Kernel,
+		nodeLinks:    cfg.NodeLinks,
+		userLink:     cfg.UserLink,
+		exec:         &node.Exec{Kernel: cfg.Kernel},
+		allowPartial: cfg.AllowPartial,
+	}
+	// Fault tolerance runs in real mode only: the simulation models a
+	// fault-free cluster on a virtual clock, where wall-clock backoff is
+	// meaningless.
+	if cfg.Kernel == nil {
+		policy := faulttol.DefaultPolicy()
+		if cfg.Retry != nil {
+			policy = *cfg.Retry
+		}
+		var bcfg faulttol.BreakerConfig
+		if cfg.Breaker != nil {
+			bcfg = *cfg.Breaker
+		}
+		m.ft = make([]*faulttol.Executor, len(cfg.Nodes))
+		for i := range m.ft {
+			m.ft[i] = &faulttol.Executor{Policy: policy, Breaker: faulttol.NewBreaker(bcfg)}
+		}
+	}
+	return m, nil
 }
 
 // Nodes returns the mediator's node clients.
 func (m *Mediator) Nodes() []NodeClient { return m.nodes }
 
-// Grid returns the dataset geometry.
-func (m *Mediator) Grid() grid.Grid { return m.nodes[0].Grid() }
+// Grid returns the dataset geometry (cached at assembly time).
+func (m *Mediator) Grid() grid.Grid { return m.descs[0].Grid }
 
-// Dataset returns the dataset name served.
-func (m *Mediator) Dataset() string { return m.nodes[0].Dataset() }
+// Dataset returns the dataset name served (cached at assembly time).
+func (m *Mediator) Dataset() string { return m.descs[0].Dataset }
+
+// BreakerState reports node i's circuit-breaker state (Closed in
+// simulation mode, where breakers are disabled).
+func (m *Mediator) BreakerState(i int) faulttol.State {
+	if m.ft == nil || m.ft[i].Breaker == nil {
+		return faulttol.Closed
+	}
+	return m.ft[i].Breaker.State()
+}
+
+// NodeFailure records one node the mediator degraded around in a partial
+// answer.
+type NodeFailure struct {
+	// Node is the node index within the cluster.
+	Node int
+	// Owned is the Morton range the node owns — the part of the domain
+	// the answer is missing.
+	Owned morton.Range
+	// Err is the failure after retries (or the open circuit).
+	Err error
+}
 
 // QueryStats is the cluster-level accounting of one query — the inputs to
 // the paper's Fig. 6/8/9 measurements.
@@ -118,13 +208,74 @@ type QueryStats struct {
 	CacheHits int
 	// ResponseBytes is the total modeled size of node responses.
 	ResponseBytes int
+
+	// Coverage is the fraction of the dataset's Morton codes whose owning
+	// node contributed to the answer: 1 for a complete answer, < 1 when
+	// partial mode degraded around dead nodes.
+	Coverage float64
+	// Failures lists the nodes the answer is missing (partial mode only;
+	// nil for a complete answer).
+	Failures []NodeFailure
+}
+
+// Partial reports whether this answer is missing part of the domain.
+func (s *QueryStats) Partial() bool { return len(s.Failures) > 0 }
+
+// callNode runs one node RPC under the node's breaker and retry policy
+// (a direct call in simulation mode).
+func (m *Mediator) callNode(ctx context.Context, i int, op func(context.Context) error) error {
+	if m.ft == nil {
+		return op(ctx)
+	}
+	return m.ft[i].Do(ctx, op)
+}
+
+// collectFailures partitions per-node fan-out errors into a fatal error
+// (strict mode, or a non-degradable failure) and the recorded partial-
+// mode failures, and computes the Morton-space coverage of the answer.
+func (m *Mediator) collectFailures(errs []error, stats *QueryStats) error {
+	stats.Coverage = 1
+	var failures []NodeFailure
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !m.allowPartial || !faulttol.Transient(err) {
+			return fmt.Errorf("mediator: node %d: %w", i, err)
+		}
+		failures = append(failures, NodeFailure{Node: i, Owned: m.descs[i].Owned, Err: err})
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	if len(failures) == len(m.nodes) {
+		return fmt.Errorf("mediator: all %d nodes failed, first: %w", len(m.nodes), failures[0].Err)
+	}
+	var total, missing uint64
+	for i := range m.nodes {
+		total += m.descs[i].Owned.CellCount()
+	}
+	for _, f := range failures {
+		missing += f.Owned.CellCount()
+	}
+	if total > 0 {
+		stats.Coverage = 1 - float64(missing)/float64(total)
+	} else {
+		// Degenerate topology (unknown ranges): fall back to node counts.
+		stats.Coverage = 1 - float64(len(failures))/float64(len(m.nodes))
+	}
+	stats.Failures = failures
+	return nil
 }
 
 // Threshold evaluates a threshold query across the cluster: the query is
 // submitted to every node asynchronously, per-node results are merged and
 // ordered, the global result limit is enforced, and the result is delivered
-// to the user.
-func (m *Mediator) Threshold(p *sim.Proc, q query.Threshold) ([]query.ResultPoint, *QueryStats, error) {
+// to the user. ctx bounds the whole fan-out, including retries.
+func (m *Mediator) Threshold(ctx context.Context, p *sim.Proc, q query.Threshold) ([]query.ResultPoint, *QueryStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	domain := m.Grid().Domain()
 	q = q.Normalize(domain)
 	if err := q.Validate(domain); err != nil {
@@ -140,20 +291,25 @@ func (m *Mediator) Threshold(p *sim.Proc, q query.Threshold) ([]query.ResultPoin
 		if m.kernel != nil {
 			m.nodeLinks[i].Transfer(wp, RequestWireBytes)
 		}
-		results[i], errs[i] = m.nodes[i].GetThreshold(wp, q)
+		errs[i] = m.callNode(ctx, i, func(ctx context.Context) error {
+			r, err := m.nodes[i].GetThreshold(ctx, wp, q)
+			results[i] = r
+			return err
+		})
 		if m.kernel != nil && errs[i] == nil {
 			m.nodeLinks[i].Transfer(wp, query.WireBytes(len(results[i].Points)))
 		}
 	})
 	fanout := m.exec.Now() - start
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
+	if err := m.collectFailures(errs, stats); err != nil {
+		return nil, nil, err
 	}
 
 	var pts []query.ResultPoint
-	for _, r := range results {
+	for i, r := range results {
+		if errs[i] != nil {
+			continue
+		}
 		pts = append(pts, r.Points...)
 		stats.NodeCritical.Max(r.Breakdown)
 		if r.FromCache {
@@ -184,7 +340,10 @@ func (m *Mediator) Threshold(p *sim.Proc, q query.Threshold) ([]query.ResultPoin
 
 // PDF evaluates a histogram query across the cluster and merges per-node
 // bin counts.
-func (m *Mediator) PDF(p *sim.Proc, q query.PDF) ([]int64, *QueryStats, error) {
+func (m *Mediator) PDF(ctx context.Context, p *sim.Proc, q query.PDF) ([]int64, *QueryStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	domain := m.Grid().Domain()
 	q = q.Normalize(domain)
 	if err := q.Validate(domain); err != nil {
@@ -198,21 +357,26 @@ func (m *Mediator) PDF(p *sim.Proc, q query.PDF) ([]int64, *QueryStats, error) {
 		if m.kernel != nil {
 			m.nodeLinks[i].Transfer(wp, RequestWireBytes)
 		}
-		results[i], errs[i] = m.nodes[i].GetPDF(wp, q)
+		errs[i] = m.callNode(ctx, i, func(ctx context.Context) error {
+			r, err := m.nodes[i].GetPDF(ctx, wp, q)
+			results[i] = r
+			return err
+		})
 		if m.kernel != nil && errs[i] == nil {
 			m.nodeLinks[i].Transfer(wp, 16*q.Bins)
 		}
 	})
 	fanout := m.exec.Now() - start
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
+	if err := m.collectFailures(errs, stats); err != nil {
+		return nil, nil, err
 	}
 	counts := make([]int64, q.Bins)
-	for _, r := range results {
-		for i, c := range r.Counts {
-			counts[i] += c
+	for i, r := range results {
+		if errs[i] != nil {
+			continue
+		}
+		for j, c := range r.Counts {
+			counts[j] += c
 		}
 		stats.NodeCritical.Max(r.Breakdown)
 	}
@@ -231,7 +395,10 @@ func (m *Mediator) PDF(p *sim.Proc, q query.PDF) ([]int64, *QueryStats, error) {
 
 // TopK evaluates a top-k query across the cluster: every node returns its k
 // best candidates and the mediator keeps the global k largest.
-func (m *Mediator) TopK(p *sim.Proc, q query.TopK) ([]query.ResultPoint, *QueryStats, error) {
+func (m *Mediator) TopK(ctx context.Context, p *sim.Proc, q query.TopK) ([]query.ResultPoint, *QueryStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	domain := m.Grid().Domain()
 	q = q.Normalize(domain)
 	if err := q.Validate(domain); err != nil {
@@ -245,19 +412,24 @@ func (m *Mediator) TopK(p *sim.Proc, q query.TopK) ([]query.ResultPoint, *QueryS
 		if m.kernel != nil {
 			m.nodeLinks[i].Transfer(wp, RequestWireBytes)
 		}
-		results[i], errs[i] = m.nodes[i].GetTopK(wp, q)
+		errs[i] = m.callNode(ctx, i, func(ctx context.Context) error {
+			r, err := m.nodes[i].GetTopK(ctx, wp, q)
+			results[i] = r
+			return err
+		})
 		if m.kernel != nil && errs[i] == nil {
 			m.nodeLinks[i].Transfer(wp, query.WireBytes(len(results[i].Points)))
 		}
 	})
 	fanout := m.exec.Now() - start
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
-		}
+	if err := m.collectFailures(errs, stats); err != nil {
+		return nil, nil, err
 	}
 	var all []query.ResultPoint
-	for _, r := range results {
+	for i, r := range results {
+		if errs[i] != nil {
+			continue
+		}
 		all = append(all, r.Points...)
 		stats.NodeCritical.Max(r.Breakdown)
 	}

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"testing"
@@ -59,14 +60,14 @@ type fanFetcher struct {
 	self  int
 }
 
-func (f *fanFetcher) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+func (f *fanFetcher) FetchAtoms(ctx context.Context, p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
 	out := make(map[morton.Code][]byte, len(codes))
 	for _, c := range codes {
 		for i, n := range f.nodes {
 			if i == f.self || !n.Owned().Contains(c) {
 				continue
 			}
-			blobs, err := n.FetchAtoms(p, rawField, step, []morton.Code{c})
+			blobs, err := n.FetchAtoms(ctx, p, rawField, step, []morton.Code{c})
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +106,7 @@ func TestNewValidation(t *testing.T) {
 func TestThresholdMergesAndSorts(t *testing.T) {
 	nodes, _ := buildNodes(t, 4)
 	m := mediatorOver(t, nodes)
-	pts, stats, err := m.Threshold(nil, query.Threshold{
+	pts, stats, err := m.Threshold(context.Background(), nil, query.Threshold{
 		Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0,
 	})
 	if err != nil {
@@ -126,7 +127,7 @@ func TestThresholdMergesAndSorts(t *testing.T) {
 	// single-node result must equal 4-node result
 	single, _ := buildNodes(t, 1)
 	ms := mediatorOver(t, single)
-	pts1, _, err := ms.Threshold(nil, query.Threshold{
+	pts1, _, err := ms.Threshold(context.Background(), nil, query.Threshold{
 		Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0,
 	})
 	if err != nil {
@@ -145,7 +146,7 @@ func TestThresholdMergesAndSorts(t *testing.T) {
 func TestGlobalLimitEnforced(t *testing.T) {
 	nodes, _ := buildNodes(t, 2)
 	m := mediatorOver(t, nodes)
-	_, _, err := m.Threshold(nil, query.Threshold{
+	_, _, err := m.Threshold(context.Background(), nil, query.Threshold{
 		Dataset: "isotropic", Field: derived.Velocity, Threshold: 0, Limit: 50,
 	})
 	if !errors.Is(err, query.ErrThresholdTooLow) {
@@ -156,13 +157,13 @@ func TestGlobalLimitEnforced(t *testing.T) {
 func TestInvalidQueryRejected(t *testing.T) {
 	nodes, _ := buildNodes(t, 1)
 	m := mediatorOver(t, nodes)
-	if _, _, err := m.Threshold(nil, query.Threshold{Field: "f", Threshold: 1}); err == nil {
+	if _, _, err := m.Threshold(context.Background(), nil, query.Threshold{Field: "f", Threshold: 1}); err == nil {
 		t.Error("missing dataset accepted")
 	}
-	if _, _, err := m.PDF(nil, query.PDF{Dataset: "isotropic", Field: "f", Bins: 0, Width: 1}); err == nil {
+	if _, _, err := m.PDF(context.Background(), nil, query.PDF{Dataset: "isotropic", Field: "f", Bins: 0, Width: 1}); err == nil {
 		t.Error("bad PDF accepted")
 	}
-	if _, _, err := m.TopK(nil, query.TopK{Dataset: "isotropic", Field: "f", K: 0}); err == nil {
+	if _, _, err := m.TopK(context.Background(), nil, query.TopK{Dataset: "isotropic", Field: "f", K: 0}); err == nil {
 		t.Error("bad TopK accepted")
 	}
 }
@@ -170,7 +171,7 @@ func TestInvalidQueryRejected(t *testing.T) {
 func TestPDFMergesCounts(t *testing.T) {
 	nodes, _ := buildNodes(t, 4)
 	m := mediatorOver(t, nodes)
-	counts, stats, err := m.PDF(nil, query.PDF{
+	counts, stats, err := m.PDF(context.Background(), nil, query.PDF{
 		Dataset: "isotropic", Field: derived.Pressure, Bins: 6, Width: 0.5,
 	})
 	if err != nil {
@@ -191,7 +192,7 @@ func TestPDFMergesCounts(t *testing.T) {
 func TestTopKGlobalMerge(t *testing.T) {
 	nodes, _ := buildNodes(t, 4)
 	m := mediatorOver(t, nodes)
-	top, _, err := m.TopK(nil, query.TopK{Dataset: "isotropic", Field: derived.Vorticity, K: 7})
+	top, _, err := m.TopK(context.Background(), nil, query.TopK{Dataset: "isotropic", Field: derived.Vorticity, K: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestTopKGlobalMerge(t *testing.T) {
 		t.Fatalf("got %d", len(top))
 	}
 	// cross-check: the max from a threshold-0-ish scan must equal top[0]
-	pts, _, err := m.Threshold(nil, query.Threshold{
+	pts, _, err := m.Threshold(context.Background(), nil, query.Threshold{
 		Dataset: "isotropic", Field: derived.Vorticity, Threshold: float64(top[6].Value),
 	})
 	if err != nil {

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -30,6 +32,10 @@ type Breakdown struct {
 	AtomsRead      int
 	HaloAtoms      int
 	PointsExamined int
+	// AtomsSkipped counts shard atoms left unevaluated because their halo
+	// band was unreachable (partial-halo degradation). Non-zero means the
+	// result is partial and must not be cached.
+	AtomsSkipped int
 }
 
 // Add accumulates another breakdown (used by the mediator for summaries).
@@ -42,6 +48,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.AtomsRead += o.AtomsRead
 	b.HaloAtoms += o.HaloAtoms
 	b.PointsExamined += o.PointsExamined
+	b.AtomsSkipped += o.AtomsSkipped
 }
 
 // Max keeps the element-wise maximum of phase durations (used to form the
@@ -65,7 +72,13 @@ func (b *Breakdown) Max(o Breakdown) {
 	b.AtomsRead += o.AtomsRead
 	b.HaloAtoms += o.HaloAtoms
 	b.PointsExamined += o.PointsExamined
+	b.AtomsSkipped += o.AtomsSkipped
 }
+
+// errAtomMissing marks an atom block absent at assembly time — after a
+// degraded halo fetch this is expected, and partial-halo mode skips just
+// the affected shard atom instead of failing the query.
+var errAtomMissing = errors.New("node: atom missing")
 
 // workerData is the outcome of one worker's I/O phase: per raw field, the
 // atom blocks the shard's kernel computations need.
@@ -117,10 +130,13 @@ func (b *bufferPool) admit(fieldName string, codes []morton.Code) (cold, warm []
 // every atom the shard's kernel computations touch — the shard itself plus
 // a halo band of one kernel half-width, with halo atoms owned by other
 // nodes fetched from peers.
-func (n *Node) gather(wp *sim.Proc, rawFields []derived.RawInput, step int, shard []morton.Code, qbox grid.Box, hw int, pool *bufferPool) workerData {
+func (n *Node) gather(ctx context.Context, wp *sim.Proc, rawFields []derived.RawInput, step int, shard []morton.Code, qbox grid.Box, hw int, pool *bufferPool) workerData {
 	out := workerData{blocks: make(map[string]map[morton.Code]*field.Block, len(rawFields))}
 	for _, rf := range rawFields {
-		one := n.gatherField(wp, rf.Name, step, shard, qbox, hw, pool)
+		if err := ctx.Err(); err != nil {
+			return workerData{err: err}
+		}
+		one := n.gatherField(ctx, wp, rf.Name, step, shard, qbox, hw, pool)
 		if one.err != nil {
 			return one
 		}
@@ -134,7 +150,7 @@ func (n *Node) gather(wp *sim.Proc, rawFields []derived.RawInput, step int, shar
 }
 
 // gatherField is gather for one raw field.
-func (n *Node) gatherField(wp *sim.Proc, rawField string, step int, shard []morton.Code, qbox grid.Box, hw int, pool *bufferPool) workerData {
+func (n *Node) gatherField(ctx context.Context, wp *sim.Proc, rawField string, step int, shard []morton.Code, qbox grid.Box, hw int, pool *bufferPool) workerData {
 	g := n.store.Grid()
 	meta, err := n.store.FieldMeta(rawField)
 	if err != nil {
@@ -194,10 +210,10 @@ func (n *Node) gatherField(wp *sim.Proc, rawField string, step int, shard []mort
 		} else if len(remote) > 0 {
 			var coldBlobs, warmRemote map[morton.Code][]byte
 			if len(remoteCold) > 0 {
-				coldBlobs, remoteErr = n.peers.FetchAtoms(fp, rawField, step, remoteCold)
+				coldBlobs, remoteErr = n.peers.FetchAtoms(ctx, fp, rawField, step, remoteCold)
 			}
 			if remoteErr == nil && len(remoteWarm) > 0 {
-				warmRemote, remoteErr = n.peers.FetchAtoms(nil, rawField, step, remoteWarm)
+				warmRemote, remoteErr = n.peers.FetchAtoms(ctx, nil, rawField, step, remoteWarm)
 			}
 			remoteBlobs = make(map[morton.Code][]byte, len(remote))
 			for c, b := range coldBlobs {
@@ -215,7 +231,13 @@ func (n *Node) gatherField(wp *sim.Proc, rawField string, step int, shard []mort
 		return workerData{err: warmErr}
 	}
 	if remoteErr != nil {
-		return workerData{err: fmt.Errorf("node %d: halo fetch: %w", n.id, remoteErr)}
+		// Partial-halo degradation: with unreachable peers, proceed with
+		// whatever halo atoms did arrive — the compute phase skips (and
+		// counts) exactly the shard atoms whose band stayed incomplete.
+		// Cancellation is the caller giving up, never a degradation.
+		if !n.partialHalo || ctx.Err() != nil {
+			return workerData{err: fmt.Errorf("node %d: halo fetch: %w", n.id, remoteErr)}
+		}
 	}
 	for c, b := range warmBlobs {
 		blobs[c] = b
@@ -247,7 +269,7 @@ func assembleExtended(g grid.Grid, blocks map[morton.Code]*field.Block, box grid
 		code := g.AtomCode(wrapped)
 		bl, ok := blocks[code]
 		if !ok {
-			return nil, fmt.Errorf("node: atom %v missing during assembly of %v", code, box)
+			return nil, fmt.Errorf("%w: atom %v during assembly of %v", errAtomMissing, code, box)
 		}
 		offset := grid.Point{X: origin.X - wrapped.X, Y: origin.Y - wrapped.Y, Z: origin.Z - wrapped.Z}
 		if err := ext.CopyFrom(bl, offset); err != nil {
@@ -262,6 +284,7 @@ func assembleExtended(g grid.Grid, blocks map[morton.Code]*field.Block, box grid
 // for each. visit returning false aborts the scan (result-limit
 // enforcement). Compute time is charged to the simulated CPU per atom.
 func (n *Node) scanShard(
+	ctx context.Context,
 	wp *sim.Proc,
 	f *derived.Field,
 	st stencil.Stencil,
@@ -271,13 +294,17 @@ func (n *Node) scanShard(
 	qbox grid.Box,
 	hw int,
 	visit func(pt grid.Point, norm float64) bool,
-) (pointsExamined int, err error) {
+) (pointsExamined, atomsSkipped int, err error) {
 	g := n.store.Grid()
 	dx := g.Dx
 	scratch := make([]float64, f.OutComp)
 	perPoint := n.costs.Cost(f.Name)
 	exts := make([]*field.Block, len(f.Raws))
+scan:
 	for _, c := range shard {
+		if err := ctx.Err(); err != nil {
+			return pointsExamined, atomsSkipped, err
+		}
 		abox := g.AtomBox(c)
 		roi := abox.Intersect(qbox)
 		if roi.Empty() {
@@ -288,12 +315,19 @@ func (n *Node) scanShard(
 			if hw == 0 {
 				exts[i] = fieldBlocks[c]
 				if exts[i] == nil {
-					return pointsExamined, fmt.Errorf("node: atom %v of %q missing", c, rf.Name)
+					return pointsExamined, atomsSkipped, fmt.Errorf("node: atom %v of %q missing", c, rf.Name)
 				}
 			} else {
 				exts[i], err = assembleExtended(g, fieldBlocks, abox.Expand(hw), rf.NComp)
 				if err != nil {
-					return pointsExamined, err
+					if n.partialHalo && errors.Is(err, errAtomMissing) {
+						// The halo band of this atom stayed incomplete
+						// after a degraded peer fetch: fail this atom
+						// only, not the query.
+						atomsSkipped++
+						continue scan
+					}
+					return pointsExamined, atomsSkipped, err
 				}
 			}
 		}
@@ -305,13 +339,13 @@ func (n *Node) scanShard(
 					norm := f.Norm(st, exts, pt, dx, scratch)
 					pointsExamined++
 					if !visit(pt, norm) {
-						return pointsExamined, nil
+						return pointsExamined, atomsSkipped, nil
 					}
 				}
 			}
 		}
 	}
-	return pointsExamined, nil
+	return pointsExamined, atomsSkipped, nil
 }
 
 // sortCodes sorts Morton codes ascending.
@@ -331,6 +365,7 @@ func sortCodes(cs []morton.Code) {
 // over this node's shard of qbox and reports phase timings. makeVisitor
 // builds a per-worker visit callback plus a completion hook.
 func (n *Node) evalPhases(
+	ctx context.Context,
 	p *sim.Proc,
 	f *derived.Field,
 	st stencil.Stencil,
@@ -354,7 +389,7 @@ func (n *Node) evalPhases(
 	ioStart := n.exec.Now()
 	data := make([]workerData, procs)
 	n.exec.Fork(p, procs, func(i int, wp *sim.Proc) {
-		data[i] = n.gather(wp, f.Raws, step, shards[i], qbox, hw, pool)
+		data[i] = n.gather(ctx, wp, f.Raws, step, shards[i], qbox, hw, pool)
 	})
 	bd.IO = n.exec.Now() - ioStart
 	for _, d := range data {
@@ -369,8 +404,9 @@ func (n *Node) evalPhases(
 	compStart := n.exec.Now()
 	errs := make([]error, procs)
 	examined := make([]int, procs)
+	skipped := make([]int, procs)
 	n.exec.Fork(p, procs, func(i int, wp *sim.Proc) {
-		examined[i], errs[i] = n.scanShard(wp, f, st, step, shards[i], data[i].blocks, qbox, hw, visitFor(i))
+		examined[i], skipped[i], errs[i] = n.scanShard(ctx, wp, f, st, step, shards[i], data[i].blocks, qbox, hw, visitFor(i))
 	})
 	bd.Compute = n.exec.Now() - compStart
 	for i, e := range errs {
@@ -378,6 +414,7 @@ func (n *Node) evalPhases(
 			return bd, e
 		}
 		bd.PointsExamined += examined[i]
+		bd.AtomsSkipped += skipped[i]
 	}
 	return bd, nil
 }

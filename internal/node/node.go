@@ -15,6 +15,7 @@
 package node
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -28,9 +29,19 @@ import (
 
 // PeerFetcher retrieves atom blobs owned by other nodes of the cluster (the
 // halo band of a kernel computation). Implementations charge any transfer
-// costs themselves.
+// costs themselves and honor ctx cancellation for remote transports.
 type PeerFetcher interface {
-	FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error)
+	FetchAtoms(ctx context.Context, p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error)
+}
+
+// Description is what a mediator needs to know about a node at assembly
+// time: the dataset it serves, the grid geometry, and the Morton range it
+// owns. Remote implementations fetch it over the wire, so retrieval can
+// fail and honors ctx.
+type Description struct {
+	Dataset string
+	Grid    grid.Grid
+	Owned   morton.Range
 }
 
 // Config assembles a Node.
@@ -53,6 +64,11 @@ type Config struct {
 	// Processes is the number of worker processes used per query (the
 	// paper's scale-up knob, 1–8). Defaults to 1.
 	Processes int
+	// AllowPartialHalo degrades gracefully when peer nodes are
+	// unreachable: atoms whose halo band cannot be fetched are skipped
+	// (counted in Breakdown.AtomsSkipped) instead of failing the whole
+	// shard evaluation. Partial results are never cached.
+	AllowPartialHalo bool
 	// Exec supplies the execution environment (simulated or real).
 	Exec *Exec
 	// Costs models per-point compute durations for simulation charging;
@@ -68,10 +84,11 @@ type Node struct {
 	store     *store.Store
 	cache     *cache.Cache
 	registry  *derived.Registry
-	peers     PeerFetcher
-	processes int // guarded by mu
-	exec      *Exec
-	costs     CostModel
+	peers       PeerFetcher
+	processes   int // guarded by mu
+	exec        *Exec
+	costs       CostModel
+	partialHalo bool
 
 	mu sync.Mutex
 }
@@ -97,15 +114,16 @@ func New(cfg Config) (*Node, error) {
 		cfg.Exec = RealExec()
 	}
 	return &Node{
-		id:        cfg.ID,
-		dataset:   cfg.Dataset,
-		store:     cfg.Store,
-		cache:     cfg.Cache,
-		registry:  cfg.Registry,
-		peers:     cfg.Peers,
-		processes: cfg.Processes,
-		exec:      cfg.Exec,
-		costs:     cfg.Costs,
+		id:          cfg.ID,
+		dataset:     cfg.Dataset,
+		store:       cfg.Store,
+		cache:       cfg.Cache,
+		registry:    cfg.Registry,
+		peers:       cfg.Peers,
+		processes:   cfg.Processes,
+		exec:        cfg.Exec,
+		costs:       cfg.Costs,
+		partialHalo: cfg.AllowPartialHalo,
 	}, nil
 }
 
@@ -120,6 +138,12 @@ func (n *Node) Grid() grid.Grid { return n.store.Grid() }
 
 // Owned returns the node's atom-code range.
 func (n *Node) Owned() morton.Range { return n.store.Owned() }
+
+// Describe implements the mediator's client view; for an in-process node
+// it never fails.
+func (n *Node) Describe(_ context.Context) (Description, error) {
+	return Description{Dataset: n.dataset, Grid: n.store.Grid(), Owned: n.store.Owned()}, nil
+}
 
 // Cache returns the node's cache (nil when caching is disabled).
 func (n *Node) Cache() *cache.Cache { return n.cache }
@@ -186,7 +210,12 @@ func splitWork(codes []morton.Code, nParts int) [][]morton.Code {
 // memory (the paper credits exactly this effect — "SQL Server also benefits
 // from a larger buffer pool, which reduces the I/O time"). The requesting
 // peer charges the inter-node network transfer instead.
-func (n *Node) FetchAtoms(_ *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+func (n *Node) FetchAtoms(ctx context.Context, _ *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	return n.store.ReadAtoms(nil, rawField, step, codes)
 }
 

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -26,7 +27,7 @@ type testFetcher struct {
 	self  int
 }
 
-func (f *testFetcher) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+func (f *testFetcher) FetchAtoms(ctx context.Context, p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
 	out := make(map[morton.Code][]byte, len(codes))
 	for _, c := range codes {
 		served := false
@@ -34,7 +35,7 @@ func (f *testFetcher) FetchAtoms(p *sim.Proc, rawField string, step int, codes [
 			if i == f.self || !n.Owned().Contains(c) {
 				continue
 			}
-			blobs, err := n.FetchAtoms(p, rawField, step, []morton.Code{c})
+			blobs, err := n.FetchAtoms(ctx, p, rawField, step, []morton.Code{c})
 			if err != nil {
 				return nil, err
 			}
@@ -163,7 +164,7 @@ func runThreshold(t testing.TB, nodes []*Node, q query.Threshold) ([]query.Resul
 	var all []query.ResultPoint
 	var rs []*ThresholdResult
 	for _, n := range nodes {
-		r, err := n.GetThreshold(nil, q)
+		r, err := n.GetThreshold(context.Background(), nil, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,18 +291,18 @@ func TestRawFieldNoHalo(t *testing.T) {
 
 func TestUnknownFieldAndDataset(t *testing.T) {
 	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, false, 1)
-	if _, err := nodes[0].GetThreshold(nil, query.Threshold{
+	if _, err := nodes[0].GetThreshold(context.Background(), nil, query.Threshold{
 		Dataset: "isotropic", Field: "nonsense", Threshold: 1,
 	}); err == nil {
 		t.Error("unknown field accepted")
 	}
 	// isotropic dataset lacks the magnetic raw field
-	if _, err := nodes[0].GetThreshold(nil, query.Threshold{
+	if _, err := nodes[0].GetThreshold(context.Background(), nil, query.Threshold{
 		Dataset: "isotropic", Field: derived.Current, Threshold: 1,
 	}); err == nil {
 		t.Error("current on isotropic accepted")
 	}
-	if _, err := nodes[0].GetThreshold(nil, query.Threshold{
+	if _, err := nodes[0].GetThreshold(context.Background(), nil, query.Threshold{
 		Dataset: "mhd", Field: derived.Vorticity, Threshold: 1,
 	}); err == nil {
 		t.Error("wrong dataset accepted")
@@ -310,7 +311,7 @@ func TestUnknownFieldAndDataset(t *testing.T) {
 
 func TestLimitEnforced(t *testing.T) {
 	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, false, 1)
-	_, err := nodes[0].GetThreshold(nil, query.Threshold{
+	_, err := nodes[0].GetThreshold(context.Background(), nil, query.Threshold{
 		Dataset: "isotropic", Field: derived.Velocity, Timestep: 0, Threshold: 0, Limit: 100,
 	})
 	var tooMany *query.ErrTooManyPoints
@@ -375,11 +376,11 @@ func TestCacheMissThenHit(t *testing.T) {
 func TestCacheKeyIncludesFDOrder(t *testing.T) {
 	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, true, 1)
 	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Timestep: 0, Threshold: 1.0, FDOrder: 4}
-	if _, err := nodes[0].GetThreshold(nil, q); err != nil {
+	if _, err := nodes[0].GetThreshold(context.Background(), nil, q); err != nil {
 		t.Fatal(err)
 	}
 	q.FDOrder = 2
-	r, err := nodes[0].GetThreshold(nil, q)
+	r, err := nodes[0].GetThreshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,13 +392,13 @@ func TestCacheKeyIncludesFDOrder(t *testing.T) {
 func TestDropCacheEntry(t *testing.T) {
 	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, true, 1)
 	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Timestep: 0, Threshold: 1.0}
-	if _, err := nodes[0].GetThreshold(nil, q); err != nil {
+	if _, err := nodes[0].GetThreshold(context.Background(), nil, q); err != nil {
 		t.Fatal(err)
 	}
 	if err := nodes[0].DropCacheEntry(derived.Vorticity, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	r, err := nodes[0].GetThreshold(nil, q)
+	r, err := nodes[0].GetThreshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,12 +426,12 @@ func TestSubBoxQuery(t *testing.T) {
 func TestSecondTimestepDiffers(t *testing.T) {
 	nodes, _ := buildCluster(t, 1, 16, synth.Isotropic, false, 1)
 	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0}
-	r0, err := nodes[0].GetThreshold(nil, q)
+	r0, err := nodes[0].GetThreshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q.Timestep = 1
-	r1, err := nodes[0].GetThreshold(nil, q)
+	r1, err := nodes[0].GetThreshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +460,7 @@ func TestPDFMatchesBruteForce(t *testing.T) {
 	}
 	total := make([]int64, q.Bins)
 	for _, n := range nodes {
-		r, err := n.GetPDF(nil, q)
+		r, err := n.GetPDF(context.Background(), nil, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -492,7 +493,7 @@ func TestTopKMatchesBruteForce(t *testing.T) {
 	q := query.TopK{Dataset: "isotropic", Field: derived.Vorticity, K: K}
 	var all []query.ResultPoint
 	for _, n := range nodes {
-		r, err := n.GetTopK(nil, q)
+		r, err := n.GetTopK(context.Background(), nil, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -548,7 +549,7 @@ func TestSimulatedEvaluationChargesPhases(t *testing.T) {
 	var res *ThresholdResult
 	k.Go("query", func(p *sim.Proc) {
 		var qerr error
-		res, qerr = n.GetThreshold(p, query.Threshold{
+		res, qerr = n.GetThreshold(context.Background(), p, query.Threshold{
 			Dataset: "isotropic", Field: derived.Vorticity, Threshold: 1.0,
 		})
 		if qerr != nil {

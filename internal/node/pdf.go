@@ -2,6 +2,7 @@ package node
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,7 +36,10 @@ func pdfCacheKey(q query.PDF) string {
 // when the node's cache is configured with an aggregate budget
 // (cache.Config.AggEntries), per-node PDF histograms are cached under an
 // exact parameter key.
-func (n *Node) GetPDF(p *sim.Proc, q query.PDF) (*PDFResult, error) {
+func (n *Node) GetPDF(ctx context.Context, p *sim.Proc, q query.PDF) (*PDFResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	domain := n.Grid().Domain()
 	q = q.Normalize(domain)
 	if err := q.Validate(domain); err != nil {
@@ -80,7 +84,7 @@ func (n *Node) GetPDF(p *sim.Proc, q query.PDF) (*PDFResult, error) {
 			return true
 		}
 	}
-	bd, err := n.evalPhases(p, f, st, q.Timestep, q.Box, hw, visitFor)
+	bd, err := n.evalPhases(ctx, p, f, st, q.Timestep, q.Box, hw, visitFor)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +94,8 @@ func (n *Node) GetPDF(p *sim.Proc, q query.PDF) (*PDFResult, error) {
 			res.Counts[i] += c
 		}
 	}
-	if n.cache != nil {
+	// A degraded (partial-halo) histogram is never cached.
+	if n.cache != nil && bd.AtomsSkipped == 0 {
 		if err := n.cache.StoreAgg(p, q.Dataset, ckey, q.Timestep, pdfCacheKey(q), res.Counts); err != nil {
 			return nil, err
 		}
@@ -128,7 +133,10 @@ func (h *minHeap) Pop() interface{} {
 // derived-field scores are non-monotone kernel computations over
 // neighborhoods — so the node evaluates its full shard and keeps a k-sized
 // heap.
-func (n *Node) GetTopK(p *sim.Proc, q query.TopK) (*TopKResult, error) {
+func (n *Node) GetTopK(ctx context.Context, p *sim.Proc, q query.TopK) (*TopKResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	domain := n.Grid().Domain()
 	q = q.Normalize(domain)
 	if err := q.Validate(domain); err != nil {
@@ -164,7 +172,7 @@ func (n *Node) GetTopK(p *sim.Proc, q query.TopK) (*TopKResult, error) {
 			return true
 		}
 	}
-	bd, err := n.evalPhases(p, f, st, q.Timestep, q.Box, hw, visitFor)
+	bd, err := n.evalPhases(ctx, p, f, st, q.Timestep, q.Box, hw, visitFor)
 	if err != nil {
 		return nil, err
 	}

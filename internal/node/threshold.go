@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -59,7 +60,14 @@ func (n *Node) resolveField(fieldName string) (*derived.Field, error) {
 //
 // The result-point limit is enforced: queries that would return more than
 // q.Limit points fail with *query.ErrTooManyPoints, and nothing is cached.
-func (n *Node) GetThreshold(p *sim.Proc, q query.Threshold) (*ThresholdResult, error) {
+//
+// ctx bounds the evaluation: cancellation or an expired deadline aborts
+// both the I/O and compute phases between atoms. A nil ctx means no
+// deadline (accepted for in-process convenience).
+func (n *Node) GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold) (*ThresholdResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	domain := n.Grid().Domain()
 	q = q.Normalize(domain)
 	if err := q.Validate(domain); err != nil {
@@ -120,12 +128,13 @@ func (n *Node) GetThreshold(p *sim.Proc, q query.Threshold) (*ThresholdResult, e
 			return true
 		}
 	}
-	bd, err := n.evalPhases(p, f, st, q.Timestep, q.Box, hw, visitFor)
+	bd, err := n.evalPhases(ctx, p, f, st, q.Timestep, q.Box, hw, visitFor)
 	res.Breakdown.IO = bd.IO
 	res.Breakdown.Compute = bd.Compute
 	res.Breakdown.AtomsRead = bd.AtomsRead
 	res.Breakdown.HaloAtoms = bd.HaloAtoms
 	res.Breakdown.PointsExamined = bd.PointsExamined
+	res.Breakdown.AtomsSkipped = bd.AtomsSkipped
 	if err != nil {
 		return nil, err
 	}
@@ -141,8 +150,9 @@ func (n *Node) GetThreshold(p *sim.Proc, q query.Threshold) (*ThresholdResult, e
 
 	// Algorithm 1, line 37: update the cacheInfo and cacheData tables.
 	// Caching is best-effort: a result too large for the cache is simply
-	// served uncached.
-	if n.cache != nil {
+	// served uncached. A degraded (partial-halo) result is never cached —
+	// it would poison later complete queries.
+	if n.cache != nil && bd.AtomsSkipped == 0 {
 		t0 := n.exec.Now()
 		err := n.cache.Store(p, q.Dataset, ckey, q.Timestep, q.Threshold, q.Box, pts)
 		if err != nil && !errors.Is(err, cache.ErrEntryTooLarge) {

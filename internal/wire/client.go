@@ -2,12 +2,15 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
+	"github.com/turbdb/turbdb/internal/faulttol"
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/node"
@@ -15,53 +18,136 @@ import (
 	"github.com/turbdb/turbdb/internal/sim"
 )
 
+// DefaultRequestTimeout bounds a single request when the caller's context
+// carries no deadline. Threshold scans over cold data are minutes-long, so
+// the floor is generous; callers wanting tighter bounds pass a ctx
+// deadline.
+const DefaultRequestTimeout = 10 * time.Minute
+
+// maxErrorBody caps how much of an error response body is read: a
+// misbehaving server must not make the client buffer an unbounded body
+// just to produce an error message.
+const maxErrorBody = 64 << 10
+
+// StatusError is a non-200 response that did not carry a typed error the
+// client maps to a domain error. Availability-class statuses (5xx, 429,
+// 408) classify as transient so the fault-tolerance stack retries them.
+type StatusError struct {
+	Path   string
+	Status int
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("wire: %s: HTTP %d: %s", e.Path, e.Status, e.Msg)
+	}
+	return fmt.Sprintf("wire: %s: HTTP %d", e.Path, e.Status)
+}
+
+// Transient reports whether the status indicates a retryable availability
+// fault rather than a request the server rejected.
+func (e *StatusError) Transient() bool {
+	return e.Status >= 500 || e.Status == http.StatusTooManyRequests || e.Status == http.StatusRequestTimeout
+}
+
 // Client talks to a node or mediator service. A client pointed at a node
 // service satisfies mediator.NodeClient and node.PeerFetcher, so a mediator
 // can be assembled over remote nodes and remote nodes can exchange halos.
+// Safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	base       string
+	http       *http.Client
+	reqTimeout time.Duration
 
-	// cached info
+	mu   sync.Mutex
 	info *InfoResponse
+}
+
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithRequestTimeout sets the per-request deadline applied when the
+// caller's context has none (0 disables the default bound).
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.reqTimeout = d }
+}
+
+// WithTransport replaces the underlying round tripper — used by chaos
+// tests to inject faults, and by deployments needing custom TLS or
+// connection pooling.
+func WithTransport(rt http.RoundTripper) ClientOption {
+	return func(c *Client) { c.http.Transport = rt }
 }
 
 // NewClient creates a client for the service at base (e.g.
 // "http://127.0.0.1:7070").
-func NewClient(base string) *Client {
-	return &Client{
-		base: base,
-		http: &http.Client{Timeout: 10 * time.Minute},
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:       base,
+		http:       &http.Client{},
+		reqTimeout: DefaultRequestTimeout,
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// call POSTs req and decodes the response into resp.
-func (c *Client) call(path string, req, resp interface{}) error {
+// withDeadline applies the client's default request timeout when ctx has
+// no deadline of its own. The returned cancel must always be called.
+func (c *Client) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, ok := ctx.Deadline(); !ok && c.reqTimeout > 0 {
+		return context.WithTimeout(ctx, c.reqTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// drainClose consumes a bounded remainder of the body and closes it, so
+// the underlying connection can be reused. Best-effort on both counts.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, maxErrorBody)) //lint:allow droppederr best-effort drain for connection reuse
+	_ = body.Close()                                              //lint:allow droppederr close error on a read body is unactionable
+}
+
+// call POSTs req and decodes the response into resp, honoring ctx for
+// cancellation and deadline.
+func (c *Client) call(ctx context.Context, path string, req, resp interface{}) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("wire: marshal: %w", err)
 	}
-	httpResp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("wire: %s: %w", path, err)
 	}
-	defer httpResp.Body.Close() //lint:allow droppederr response-body close is best-effort
-	data, err := io.ReadAll(httpResp.Body)
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
-		return fmt.Errorf("wire: %s: read: %w", path, err)
+		return fmt.Errorf("wire: %s: %w", path, err)
 	}
+	defer drainClose(httpResp.Body)
 	if httpResp.StatusCode != http.StatusOK {
+		data, err := io.ReadAll(io.LimitReader(httpResp.Body, maxErrorBody))
+		if err != nil {
+			return &StatusError{Path: path, Status: httpResp.StatusCode, Msg: fmt.Sprintf("unreadable error body: %v", err)}
+		}
 		var e ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			if e.Kind == "threshold_too_low" {
 				return &query.ErrTooManyPoints{Limit: e.Limit, Seen: e.Seen}
 			}
-			return fmt.Errorf("wire: %s: %s", path, e.Error)
+			return &StatusError{Path: path, Status: httpResp.StatusCode, Msg: e.Error}
 		}
-		return fmt.Errorf("wire: %s: HTTP %d", path, httpResp.StatusCode)
+		return &StatusError{Path: path, Status: httpResp.StatusCode}
 	}
 	if resp != nil {
-		if err := json.Unmarshal(data, resp); err != nil {
+		if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
 			return fmt.Errorf("wire: %s: decode: %w", path, err)
 		}
 	}
@@ -69,28 +155,64 @@ func (c *Client) call(path string, req, resp interface{}) error {
 }
 
 // Info fetches and caches the service's dataset description.
-func (c *Client) Info() (InfoResponse, error) {
+func (c *Client) Info(ctx context.Context) (InfoResponse, error) {
+	c.mu.Lock()
 	if c.info != nil {
-		return *c.info, nil
+		info := *c.info
+		c.mu.Unlock()
+		return info, nil
 	}
-	resp, err := c.http.Get(c.base + PathInfo)
+	c.mu.Unlock()
+
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathInfo, nil)
 	if err != nil {
 		return InfoResponse{}, fmt.Errorf("wire: info: %w", err)
 	}
-	defer resp.Body.Close() //lint:allow droppederr response-body close is best-effort
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return InfoResponse{}, fmt.Errorf("wire: info: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return InfoResponse{}, &StatusError{Path: PathInfo, Status: resp.StatusCode}
+	}
 	var info InfoResponse
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
 		return InfoResponse{}, fmt.Errorf("wire: info: %w", err)
 	}
+	c.mu.Lock()
 	c.info = &info
+	c.mu.Unlock()
 	return info, nil
+}
+
+// Describe implements mediator.NodeClient: the service's dataset, grid
+// geometry and owned range, fetched (and cached) from /info. Unlike the
+// panicking Grid()/Dataset() accessors it replaces, an unreachable service
+// is an ordinary error the caller handles at assembly time.
+func (c *Client) Describe(ctx context.Context) (node.Description, error) {
+	info, err := c.Info(ctx)
+	if err != nil {
+		return node.Description{}, err
+	}
+	g, err := grid.New(info.GridN, info.AtomSide, info.Dx)
+	if err != nil {
+		return node.Description{}, fmt.Errorf("wire: describe: %w", err)
+	}
+	return node.Description{
+		Dataset: info.Dataset,
+		Grid:    g,
+		Owned:   morton.Range{Lo: morton.Code(info.OwnedLo), Hi: morton.Code(info.OwnedHi)},
+	}, nil
 }
 
 // GetThreshold implements mediator.NodeClient over HTTP. The sim.Proc is
 // ignored: wire transports run in real mode.
-func (c *Client) GetThreshold(_ *sim.Proc, q query.Threshold) (*node.ThresholdResult, error) {
+func (c *Client) GetThreshold(ctx context.Context, _ *sim.Proc, q query.Threshold) (*node.ThresholdResult, error) {
 	var resp ThresholdResponse
-	if err := c.call(PathThreshold, ThresholdRequestFor(q), &resp); err != nil {
+	if err := c.call(ctx, PathThreshold, ThresholdRequestFor(q), &resp); err != nil {
 		return nil, err
 	}
 	return &node.ThresholdResult{
@@ -101,31 +223,41 @@ func (c *Client) GetThreshold(_ *sim.Proc, q query.Threshold) (*node.ThresholdRe
 }
 
 // GetPDF implements mediator.NodeClient over HTTP.
-func (c *Client) GetPDF(_ *sim.Proc, q query.PDF) (*node.PDFResult, error) {
+func (c *Client) GetPDF(ctx context.Context, _ *sim.Proc, q query.PDF) (*node.PDFResult, error) {
 	var resp PDFResponse
-	if err := c.call(PathPDF, PDFRequestFor(q), &resp); err != nil {
+	if err := c.call(ctx, PathPDF, PDFRequestFor(q), &resp); err != nil {
 		return nil, err
 	}
 	return &node.PDFResult{Counts: resp.Counts, Breakdown: breakdownFromDTO(resp.Breakdown)}, nil
 }
 
 // GetTopK implements mediator.NodeClient over HTTP.
-func (c *Client) GetTopK(_ *sim.Proc, q query.TopK) (*node.TopKResult, error) {
+func (c *Client) GetTopK(ctx context.Context, _ *sim.Proc, q query.TopK) (*node.TopKResult, error) {
 	var resp TopKResponse
-	if err := c.call(PathTopK, TopKRequestFor(q), &resp); err != nil {
+	if err := c.call(ctx, PathTopK, TopKRequestFor(q), &resp); err != nil {
 		return nil, err
 	}
 	return &node.TopKResult{Points: fromDTO(resp.Points), Breakdown: breakdownFromDTO(resp.Breakdown)}, nil
 }
 
+// ThresholdStats runs a threshold query against a mediator service and
+// also returns the coverage annotation of the answer (1 for complete).
+func (c *Client) ThresholdStats(ctx context.Context, q query.Threshold) ([]query.ResultPoint, *ThresholdResponse, error) {
+	var resp ThresholdResponse
+	if err := c.call(ctx, PathThreshold, ThresholdRequestFor(q), &resp); err != nil {
+		return nil, nil, err
+	}
+	return fromDTO(resp.Points), &resp, nil
+}
+
 // FetchAtoms implements node.PeerFetcher over HTTP (remote halo exchange).
-func (c *Client) FetchAtoms(_ *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+func (c *Client) FetchAtoms(ctx context.Context, _ *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
 	req := AtomsRequest{Field: rawField, Timestep: step, Codes: make([]uint64, len(codes))}
 	for i, code := range codes {
 		req.Codes[i] = uint64(code)
 	}
 	var resp AtomsResponse
-	if err := c.call(PathAtoms, req, &resp); err != nil {
+	if err := c.call(ctx, PathAtoms, req, &resp); err != nil {
 		return nil, err
 	}
 	out := make(map[morton.Code][]byte, len(resp.Atoms))
@@ -135,42 +267,20 @@ func (c *Client) FetchAtoms(_ *sim.Proc, rawField string, step int, codes []mort
 	return out, nil
 }
 
-// DropCacheEntry implements mediator.NodeClient over HTTP.
+// DropCacheEntry implements mediator.NodeClient over HTTP. Management
+// calls are bounded by the client's default request timeout.
 func (c *Client) DropCacheEntry(fieldName string, order, step int) error {
-	return c.call(PathDropCache, DropCacheRequest{Field: fieldName, FDOrder: order, Timestep: step}, nil)
+	return c.call(context.Background(), PathDropCache, DropCacheRequest{Field: fieldName, FDOrder: order, Timestep: step}, nil)
 }
 
 // SetProcesses implements mediator.NodeClient over HTTP.
 func (c *Client) SetProcesses(p int) error {
-	return c.call(PathSetProcesses, SetProcessesRequest{Processes: p}, nil)
-}
-
-// Grid implements mediator.NodeClient; it panics if the service is
-// unreachable (call Info first to surface connectivity errors gracefully).
-func (c *Client) Grid() grid.Grid {
-	info, err := c.Info()
-	if err != nil {
-		panic(fmt.Sprintf("wire: Grid: %v", err))
-	}
-	g, err := grid.New(info.GridN, info.AtomSide, info.Dx)
-	if err != nil {
-		panic(fmt.Sprintf("wire: Grid: %v", err))
-	}
-	return g
-}
-
-// Dataset implements mediator.NodeClient (same caveat as Grid).
-func (c *Client) Dataset() string {
-	info, err := c.Info()
-	if err != nil {
-		panic(fmt.Sprintf("wire: Dataset: %v", err))
-	}
-	return info.Dataset
+	return c.call(context.Background(), PathSetProcesses, SetProcessesRequest{Processes: p}, nil)
 }
 
 // Owned returns the node's atom range (nodes only).
-func (c *Client) Owned() (morton.Range, error) {
-	info, err := c.Info()
+func (c *Client) Owned(ctx context.Context) (morton.Range, error) {
+	info, err := c.Info(ctx)
 	if err != nil {
 		return morton.Range{}, err
 	}
@@ -179,27 +289,37 @@ func (c *Client) Owned() (morton.Range, error) {
 
 // PeerSet routes halo-atom fetches to the owning nodes of a cluster of
 // node services — the node.PeerFetcher for HTTP deployments. Ownership is
-// discovered from each service's /info.
+// discovered from each service's /info. Each peer gets its own retry
+// policy and circuit breaker, so one dead peer fails fast instead of
+// stalling every halo exchange behind full timeouts.
 type PeerSet struct {
 	clients []*Client
 	self    int
+	ft      []*faulttol.Executor
 }
 
 // NewPeerSet builds a peer set for node self among clients (self is
 // excluded from routing).
 func NewPeerSet(clients []*Client, self int) *PeerSet {
-	return &PeerSet{clients: clients, self: self}
+	ft := make([]*faulttol.Executor, len(clients))
+	for i := range ft {
+		ft[i] = &faulttol.Executor{Policy: faulttol.DefaultPolicy(), Breaker: faulttol.NewBreaker(faulttol.BreakerConfig{})}
+	}
+	return &PeerSet{clients: clients, self: self, ft: ft}
 }
 
 // FetchAtoms implements node.PeerFetcher over HTTP.
-func (ps *PeerSet) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+func (ps *PeerSet) FetchAtoms(ctx context.Context, p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make(map[morton.Code][]byte, len(codes))
 	remaining := len(codes)
 	for i, c := range ps.clients {
 		if i == ps.self || remaining == 0 {
 			continue
 		}
-		owned, err := c.Owned()
+		owned, err := c.Owned(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -212,9 +332,14 @@ func (ps *PeerSet) FetchAtoms(p *sim.Proc, rawField string, step int, codes []mo
 		if len(mine) == 0 {
 			continue
 		}
-		blobs, err := c.FetchAtoms(p, rawField, step, mine)
+		var blobs map[morton.Code][]byte
+		err = ps.ft[i].Do(ctx, func(ctx context.Context) error {
+			var ferr error
+			blobs, ferr = c.FetchAtoms(ctx, p, rawField, step, mine)
+			return ferr
+		})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("wire: peer %d: %w", i, err)
 		}
 		for code, blob := range blobs {
 			out[code] = blob

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -106,7 +107,7 @@ func TestFullDeploymentLifecycle(t *testing.T) {
 
 	// --- query through the whole stack (derived field → halo over HTTP)
 	q := query.Threshold{Dataset: "isotropic", Field: derived.Vorticity, Threshold: 3}
-	res, err := user.GetThreshold(nil, q)
+	res, err := user.GetThreshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestFullDeploymentLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := refMed.Threshold(nil, q)
+	want, _, err := refMed.Threshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,14 +161,14 @@ type refPeers struct {
 	self  int
 }
 
-func (f *refPeers) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+func (f *refPeers) FetchAtoms(ctx context.Context, p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
 	out := make(map[morton.Code][]byte, len(codes))
 	for _, c := range codes {
 		for i, n := range f.nodes {
 			if i == f.self || !n.Owned().Contains(c) {
 				continue
 			}
-			blobs, err := n.FetchAtoms(p, rawField, step, []morton.Code{c})
+			blobs, err := n.FetchAtoms(ctx, p, rawField, step, []morton.Code{c})
 			if err != nil {
 				return nil, err
 			}

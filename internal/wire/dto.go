@@ -116,6 +116,7 @@ type BreakdownDTO struct {
 	AtomsRead      int     `json:"atomsRead"`
 	HaloAtoms      int     `json:"haloAtoms"`
 	PointsExamined int     `json:"pointsExamined"`
+	AtomsSkipped   int     `json:"atomsSkipped,omitempty"`
 }
 
 func breakdownToDTO(b node.Breakdown) BreakdownDTO {
@@ -124,8 +125,12 @@ func breakdownToDTO(b node.Breakdown) BreakdownDTO {
 		CacheLookupMS: ms(b.CacheLookup), IOMS: ms(b.IO), ComputeMS: ms(b.Compute),
 		CacheUpdateMS: ms(b.CacheUpdate), TotalMS: ms(b.Total),
 		AtomsRead: b.AtomsRead, HaloAtoms: b.HaloAtoms, PointsExamined: b.PointsExamined,
+		AtomsSkipped: b.AtomsSkipped,
 	}
 }
+
+// Breakdown converts the wire form back to the internal type.
+func (d BreakdownDTO) Breakdown() node.Breakdown { return breakdownFromDTO(d) }
 
 func breakdownFromDTO(d BreakdownDTO) node.Breakdown {
 	dur := func(msv float64) time.Duration { return time.Duration(msv * float64(time.Millisecond)) }
@@ -133,14 +138,19 @@ func breakdownFromDTO(d BreakdownDTO) node.Breakdown {
 		CacheLookup: dur(d.CacheLookupMS), IO: dur(d.IOMS), Compute: dur(d.ComputeMS),
 		CacheUpdate: dur(d.CacheUpdateMS), Total: dur(d.TotalMS),
 		AtomsRead: d.AtomsRead, HaloAtoms: d.HaloAtoms, PointsExamined: d.PointsExamined,
+		AtomsSkipped: d.AtomsSkipped,
 	}
 }
 
 // ThresholdResponse is the wire form of a node or mediator threshold result.
+// Coverage annotates partial answers from a degraded mediator (0 or
+// absent means complete, i.e. 1).
 type ThresholdResponse struct {
 	Points    []PointDTO   `json:"points"`
 	FromCache bool         `json:"fromCache"`
 	Breakdown BreakdownDTO `json:"breakdown"`
+	Coverage  float64      `json:"coverage,omitempty"`
+	Failed    int          `json:"failedNodes,omitempty"`
 }
 
 // PDFRequest is the wire form of query.PDF.
@@ -184,6 +194,8 @@ func PDFRequestFor(q query.PDF) PDFRequest {
 type PDFResponse struct {
 	Counts    []int64      `json:"counts"`
 	Breakdown BreakdownDTO `json:"breakdown"`
+	Coverage  float64      `json:"coverage,omitempty"`
+	Failed    int          `json:"failedNodes,omitempty"`
 }
 
 // TopKRequest is the wire form of query.TopK.
@@ -225,6 +237,8 @@ func TopKRequestFor(q query.TopK) TopKRequest {
 type TopKResponse struct {
 	Points    []PointDTO   `json:"points"`
 	Breakdown BreakdownDTO `json:"breakdown"`
+	Coverage  float64      `json:"coverage,omitempty"`
+	Failed    int          `json:"failedNodes,omitempty"`
 }
 
 // AtomsRequest asks a node for raw atom blobs (peer halo exchange).

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,16 +24,23 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 }
 
 // writeError maps errors to HTTP statuses, preserving the typed
-// threshold-too-low error so clients can tell users to raise the threshold.
+// threshold-too-low error so clients can tell users to raise the
+// threshold. Context cancellation and deadline expiry map to 503: the
+// query was abandoned or timed out, not malformed — retryable from the
+// client's point of view.
 func writeError(w http.ResponseWriter, err error) {
 	resp := ErrorResponse{Error: err.Error()}
 	status := http.StatusBadRequest
 	var tooMany *query.ErrTooManyPoints
-	if errors.As(err, &tooMany) {
+	switch {
+	case errors.As(err, &tooMany):
 		resp.Kind = "threshold_too_low"
 		resp.Seen = tooMany.Seen
 		resp.Limit = tooMany.Limit
 		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		resp.Kind = "unavailable"
+		status = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -63,7 +71,10 @@ func post(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// NodeServer exposes one database node over HTTP.
+// NodeServer exposes one database node over HTTP. Handlers run queries
+// under the request's context, so a client disconnect or deadline aborts
+// the evaluation server-side instead of burning the node's workers on an
+// answer nobody will read.
 type NodeServer struct {
 	n *node.Node
 }
@@ -90,7 +101,7 @@ func (s *NodeServer) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.n.GetThreshold(nil, req.ToQuery())
+	res, err := s.n.GetThreshold(r.Context(), nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -107,7 +118,7 @@ func (s *NodeServer) handlePDF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.n.GetPDF(nil, req.ToQuery())
+	res, err := s.n.GetPDF(r.Context(), nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -121,7 +132,7 @@ func (s *NodeServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.n.GetTopK(nil, req.ToQuery())
+	res, err := s.n.GetTopK(r.Context(), nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -139,7 +150,7 @@ func (s *NodeServer) handleAtoms(w http.ResponseWriter, r *http.Request) {
 	for i, c := range req.Codes {
 		codes[i] = morton.Code(c)
 	}
-	blobs, err := s.n.FetchAtoms(nil, req.Field, req.Timestep, codes)
+	blobs, err := s.n.FetchAtoms(r.Context(), nil, req.Field, req.Timestep, codes)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -186,7 +197,8 @@ func (s *NodeServer) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 // MediatorServer exposes the mediator (the user-facing Web-services) over
-// HTTP.
+// HTTP. Fan-outs inherit the request context, so user disconnects
+// propagate to every node.
 type MediatorServer struct {
 	m *mediator.Mediator
 }
@@ -210,7 +222,7 @@ func (s *MediatorServer) handleThreshold(w http.ResponseWriter, r *http.Request)
 		writeError(w, err)
 		return
 	}
-	pts, stats, err := s.m.Threshold(nil, req.ToQuery())
+	pts, stats, err := s.m.Threshold(r.Context(), nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -219,6 +231,8 @@ func (s *MediatorServer) handleThreshold(w http.ResponseWriter, r *http.Request)
 		Points:    toDTO(pts),
 		FromCache: stats.CacheHits == len(s.m.Nodes()),
 		Breakdown: breakdownToDTO(stats.NodeCritical),
+		Coverage:  stats.Coverage,
+		Failed:    len(stats.Failures),
 	})
 }
 
@@ -228,12 +242,15 @@ func (s *MediatorServer) handlePDF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	counts, stats, err := s.m.PDF(nil, req.ToQuery())
+	counts, stats, err := s.m.PDF(r.Context(), nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, PDFResponse{Counts: counts, Breakdown: breakdownToDTO(stats.NodeCritical)})
+	writeJSON(w, PDFResponse{
+		Counts: counts, Breakdown: breakdownToDTO(stats.NodeCritical),
+		Coverage: stats.Coverage, Failed: len(stats.Failures),
+	})
 }
 
 func (s *MediatorServer) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -242,12 +259,15 @@ func (s *MediatorServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	pts, stats, err := s.m.TopK(nil, req.ToQuery())
+	pts, stats, err := s.m.TopK(r.Context(), nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, TopKResponse{Points: toDTO(pts), Breakdown: breakdownToDTO(stats.NodeCritical)})
+	writeJSON(w, TopKResponse{
+		Points: toDTO(pts), Breakdown: breakdownToDTO(stats.NodeCritical),
+		Coverage: stats.Coverage, Failed: len(stats.Failures),
+	})
 }
 
 func (s *MediatorServer) handleInfo(w http.ResponseWriter, r *http.Request) {

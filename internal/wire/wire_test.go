@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -69,13 +70,13 @@ type httpPeers struct {
 	self    int
 }
 
-func (h *httpPeers) FetchAtoms(p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
+func (h *httpPeers) FetchAtoms(ctx context.Context, p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
 	out := make(map[morton.Code][]byte, len(codes))
 	for i, c := range h.clients {
 		if i == h.self {
 			continue
 		}
-		owned, err := c.Owned()
+		owned, err := c.Owned(context.Background())
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +89,7 @@ func (h *httpPeers) FetchAtoms(p *sim.Proc, rawField string, step int, codes []m
 		if len(mine) == 0 {
 			continue
 		}
-		blobs, err := c.FetchAtoms(p, rawField, step, mine)
+		blobs, err := c.FetchAtoms(ctx, p, rawField, step, mine)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +113,7 @@ func TestNodeServiceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pts, stats, err := m.Threshold(nil, q)
+	pts, stats, err := m.Threshold(context.Background(), nil, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestNodeServiceEndToEnd(t *testing.T) {
 	}
 
 	// PDF and TopK over the wire
-	counts, _, err := m.PDF(nil, query.PDF{Dataset: "mhd", Field: derived.Magnetic, Bins: 4, Width: 1})
+	counts, _, err := m.PDF(context.Background(), nil, query.PDF{Dataset: "mhd", Field: derived.Magnetic, Bins: 4, Width: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestNodeServiceEndToEnd(t *testing.T) {
 	if total != 16*16*16 {
 		t.Errorf("PDF total %d", total)
 	}
-	top, _, err := m.TopK(nil, query.TopK{Dataset: "mhd", Field: derived.Current, K: 5})
+	top, _, err := m.TopK(context.Background(), nil, query.TopK{Dataset: "mhd", Field: derived.Current, K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,14 +159,14 @@ func TestMediatorService(t *testing.T) {
 	defer srv.Close()
 	user := NewClient(srv.URL)
 
-	info, err := user.Info()
+	info, err := user.Info(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Dataset != "mhd" || info.GridN != 16 {
 		t.Errorf("info = %+v", info)
 	}
-	res, err := user.GetThreshold(nil, query.Threshold{
+	res, err := user.GetThreshold(context.Background(), nil, query.Threshold{
 		Dataset: "mhd", Field: derived.Current, Threshold: 1.0,
 	})
 	if err != nil {
@@ -178,11 +179,11 @@ func TestMediatorService(t *testing.T) {
 
 func TestFetchAtomsOverWire(t *testing.T) {
 	clients, gen := startNodes(t, 2)
-	owned, err := clients[0].Owned()
+	owned, err := clients[0].Owned(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	blobs, err := clients[0].FetchAtoms(nil, derived.Velocity, 0, []morton.Code{owned.Lo})
+	blobs, err := clients[0].FetchAtoms(context.Background(), nil, derived.Velocity, 0, []morton.Code{owned.Lo})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestFetchAtomsOverWire(t *testing.T) {
 
 func TestThresholdTooLowOverWire(t *testing.T) {
 	clients, _ := startNodes(t, 1)
-	_, err := clients[0].GetThreshold(nil, query.Threshold{
+	_, err := clients[0].GetThreshold(context.Background(), nil, query.Threshold{
 		Dataset: "mhd", Field: derived.Magnetic, Threshold: 0, Limit: 10,
 	})
 	var tooMany *query.ErrTooManyPoints
@@ -208,7 +209,7 @@ func TestThresholdTooLowOverWire(t *testing.T) {
 
 func TestBadRequestsRejected(t *testing.T) {
 	clients, _ := startNodes(t, 1)
-	if _, err := clients[0].GetThreshold(nil, query.Threshold{Field: "x", Threshold: 1}); err == nil {
+	if _, err := clients[0].GetThreshold(context.Background(), nil, query.Threshold{Field: "x", Threshold: 1}); err == nil {
 		t.Error("missing dataset accepted over wire")
 	}
 	if err := clients[0].SetProcesses(-1); err == nil {

@@ -1,6 +1,7 @@
 package turbdb
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/turbdb/turbdb/internal/query"
@@ -18,7 +19,7 @@ type RemoteDB struct {
 // "http://localhost:7080") and fetches its dataset description.
 func OpenRemote(url string) (*RemoteDB, error) {
 	c := wire.NewClient(url)
-	info, err := c.Info()
+	info, err := c.Info(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("turbdb: connect %s: %w", url, err)
 	}
@@ -32,9 +33,10 @@ func (r *RemoteDB) Dataset() string { return r.info.Dataset }
 func (r *RemoteDB) GridN() int { return r.info.GridN }
 
 // Threshold evaluates a threshold query remotely. Stats carry the node-side
-// breakdown reported by the service.
+// breakdown reported by the service, plus the coverage annotation when the
+// mediator answered partially (see Config.AllowPartial).
 func (r *RemoteDB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
-	res, err := r.client.GetThreshold(nil, query.Threshold{
+	pts, resp, err := r.client.ThresholdStats(context.Background(), query.Threshold{
 		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Threshold: q.Threshold, Box: q.Region.internal(),
 		FDOrder: q.FDOrder, Limit: q.Limit,
@@ -42,21 +44,28 @@ func (r *RemoteDB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return fromResult(res.Points), Stats{
-		Total:       res.Breakdown.Total,
-		CacheLookup: res.Breakdown.CacheLookup,
-		IO:          res.Breakdown.IO,
-		Compute:     res.Breakdown.Compute,
-		CacheUpdate: res.Breakdown.CacheUpdate,
-		Points:      len(res.Points),
-		AtomsRead:   res.Breakdown.AtomsRead,
-		HaloAtoms:   res.Breakdown.HaloAtoms,
+	cov := resp.Coverage
+	if cov == 0 {
+		cov = 1
+	}
+	bd := resp.Breakdown.Breakdown()
+	return fromResult(pts), Stats{
+		Total:       bd.Total,
+		CacheLookup: bd.CacheLookup,
+		IO:          bd.IO,
+		Compute:     bd.Compute,
+		CacheUpdate: bd.CacheUpdate,
+		Points:      len(pts),
+		AtomsRead:   bd.AtomsRead,
+		HaloAtoms:   bd.HaloAtoms,
+		Coverage:    cov,
+		NodesFailed: resp.Failed,
 	}, nil
 }
 
 // PDF evaluates a histogram query remotely.
 func (r *RemoteDB) PDF(q PDFQuery) ([]int64, error) {
-	res, err := r.client.GetPDF(nil, query.PDF{
+	res, err := r.client.GetPDF(context.Background(), nil, query.PDF{
 		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Box: q.Region.internal(), Bins: q.Bins, Min: q.Min, Width: q.Width,
 		FDOrder: q.FDOrder,
@@ -69,7 +78,7 @@ func (r *RemoteDB) PDF(q PDFQuery) ([]int64, error) {
 
 // TopK evaluates a top-k query remotely.
 func (r *RemoteDB) TopK(q TopKQuery) ([]Point, error) {
-	res, err := r.client.GetTopK(nil, query.TopK{
+	res, err := r.client.GetTopK(context.Background(), nil, query.TopK{
 		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Box: q.Region.internal(), K: q.K, FDOrder: q.FDOrder,
 	})

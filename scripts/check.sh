@@ -19,4 +19,11 @@ go test ./...
 echo '>> go test -race -short ./...'
 go test -race -short ./...
 
+# The chaos suites (fault injection, node death mid-query) are the tests most
+# likely to surface races in the retry/breaker/partial-merge paths; run the
+# fault-tolerance packages in full under the race detector so -short filters
+# above can never skip them.
+echo '>> go test -race fault-tolerance packages'
+go test -race ./internal/faulttol/... ./internal/faultinject/... ./internal/cluster/... ./internal/wire/...
+
 echo 'All checks passed.'

@@ -1,6 +1,7 @@
 package turbdb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -44,6 +45,11 @@ type Config struct {
 	// disks, CPU cores and network links; Stats then report virtual cluster
 	// time. Results are identical either way.
 	Simulate bool
+	// AllowPartial degrades gracefully when cluster nodes become
+	// unreachable (real mode only): queries are answered from the
+	// surviving nodes and Stats.Coverage reports the fraction of the
+	// domain scanned. The default keeps strict all-or-nothing semantics.
+	AllowPartial bool
 }
 
 // DB is an open analysis database: a synthetic dataset sharded across an
@@ -77,6 +83,7 @@ func Open(cfg Config) (*DB, error) {
 		WithCache: cfg.Cache, CacheCapacity: cfg.CacheCapacity,
 		CachePDF: cfg.CachePDF,
 		Simulate: cfg.Simulate, Registry: registry,
+		AllowPartial: cfg.AllowPartial,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("turbdb: %w", err)
@@ -160,7 +167,13 @@ func (db *DB) run(fn func(p *sim.Proc) error) error {
 
 // statsFrom converts mediator stats.
 func (db *DB) statsFrom(s *mediator.QueryStats) Stats {
+	cov := s.Coverage
+	if cov == 0 && len(s.Failures) == 0 {
+		cov = 1
+	}
 	return Stats{
+		Coverage:    cov,
+		NodesFailed: len(s.Failures),
 		Total:            s.Total,
 		CacheLookup:      s.NodeCritical.CacheLookup,
 		IO:               s.NodeCritical.IO,
@@ -188,7 +201,7 @@ func (db *DB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
 	var pts []Point
 	var stats Stats
 	err := db.run(func(p *sim.Proc) error {
-		raw, s, err := db.c.Mediator.Threshold(p, iq)
+		raw, s, err := db.c.Mediator.Threshold(context.Background(), p, iq)
 		if err != nil {
 			return err
 		}
@@ -212,7 +225,7 @@ func (db *DB) PDF(q PDFQuery) ([]int64, Stats, error) {
 	var counts []int64
 	var stats Stats
 	err := db.run(func(p *sim.Proc) error {
-		c, s, err := db.c.Mediator.PDF(p, iq)
+		c, s, err := db.c.Mediator.PDF(context.Background(), p, iq)
 		if err != nil {
 			return err
 		}
@@ -235,7 +248,7 @@ func (db *DB) TopK(q TopKQuery) ([]Point, Stats, error) {
 	var pts []Point
 	var stats Stats
 	err := db.run(func(p *sim.Proc) error {
-		raw, s, err := db.c.Mediator.TopK(p, iq)
+		raw, s, err := db.c.Mediator.TopK(context.Background(), p, iq)
 		if err != nil {
 			return err
 		}

@@ -144,7 +144,18 @@ type Stats struct {
 	// redundant halo re-reads) and peer-fetched halo atoms.
 	AtomsRead int
 	HaloAtoms int
+	// Coverage is the fraction of the domain's Morton codes the answer
+	// actually scanned: 1 for a complete answer, < 1 when Config.
+	// AllowPartial let the mediator degrade around unreachable nodes.
+	Coverage float64
+	// NodesFailed counts nodes the mediator degraded around (0 for a
+	// complete answer).
+	NodesFailed int
 }
+
+// Partial reports whether the answer is missing part of the domain
+// because nodes were unreachable (see Config.AllowPartial).
+func (s Stats) Partial() bool { return s.NodesFailed > 0 }
 
 // FullCacheHit reports whether every node answered from its cache.
 func (s Stats) FullCacheHit() bool { return s.Nodes > 0 && s.CacheHits == s.Nodes }
