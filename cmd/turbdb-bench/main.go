@@ -17,6 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,13 +31,47 @@ func main() {
 	log.SetPrefix("turbdb-bench: ")
 
 	var (
-		gridN = flag.Int("grid", 64, "grid side (power of two)")
-		steps = flag.Int("steps", 4, "time-steps")
-		seed  = flag.Int64("seed", 2015, "dataset seed")
-		fig   = flag.String("fig", "all", `which experiment: all, 2, 3, 4, 6, 7a, 7b, 8, 9, local, ablations`)
-		step  = flag.Int("step", 0, "time-step the per-step experiments use")
+		gridN      = flag.Int("grid", 64, "grid side (power of two)")
+		steps      = flag.Int("steps", 4, "time-steps")
+		seed       = flag.Int64("seed", 2015, "dataset seed")
+		fig        = flag.String("fig", "all", `which experiment: all, 2, 3, 4, 6, 7a, 7b, 8, 9, local, ablations`)
+		step       = flag.Int("step", 0, "time-step the per-step experiments use")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			runtime.GC() // up-to-date live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	start := time.Now()
 	env, err := experiments.NewEnv(experiments.Setup{

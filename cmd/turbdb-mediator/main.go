@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +32,24 @@ import (
 	"github.com/turbdb/turbdb/internal/mediator"
 	"github.com/turbdb/turbdb/internal/wire"
 )
+
+// serveDebug exposes the pprof profiling endpoints on their own listener
+// (opt-in via -debug-addr; never on the query port). Best-effort: a failure
+// to serve profiles must not take the mediator down.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Printf("pprof debug endpoint on http://%s/debug/pprof/", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("debug endpoint: %v", err)
+		}
+	}()
+}
 
 // serveGracefully runs srv until a termination signal, then drains for at
 // most drain before force-closing connections.
@@ -67,11 +86,15 @@ func main() {
 		partial = flag.Bool("allow-partial", false, "answer from surviving nodes when a node is unreachable (responses carry coverage)")
 		connTO  = flag.Duration("connect-timeout", 30*time.Second, "deadline for contacting every node at startup")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		dbgAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (off by default)")
 	)
 	flag.Parse()
 	if *nodes == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *dbgAddr != "" {
+		serveDebug(*dbgAddr)
 	}
 
 	var clients []mediator.NodeClient

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +35,24 @@ import (
 	"github.com/turbdb/turbdb/internal/store"
 	"github.com/turbdb/turbdb/internal/wire"
 )
+
+// serveDebug exposes the pprof profiling endpoints on their own listener
+// (opt-in via -debug-addr; never on the query port). Best-effort: a failure
+// to serve profiles must not take the node down.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Printf("pprof debug endpoint on http://%s/debug/pprof/", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("debug endpoint: %v", err)
+		}
+	}()
+}
 
 // serveGracefully runs srv until a termination signal, then drains for at
 // most drain before force-closing connections.
@@ -74,11 +93,15 @@ func main() {
 		processes = flag.Int("processes", 1, "worker processes per query")
 		partial   = flag.Bool("allow-partial-halo", false, "skip atoms whose halo band is unreachable instead of failing the query")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (off by default)")
 	)
 	flag.Parse()
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		serveDebug(*debugAddr)
 	}
 
 	manifest, err := store.ReadManifest(*data)

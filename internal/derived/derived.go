@@ -38,6 +38,18 @@ type RawInput struct {
 // to use.
 type EvalFunc func(st stencil.Stencil, bls []*field.Block, p grid.Point, dx float64, out []float64)
 
+// EvalRowFunc is the bulk form of EvalFunc: it computes the derived value
+// at the n x-consecutive points p, p+(1,0,0), …, writing OutComp values per
+// point into out[:n·OutComp] (point-major, components interleaved). scratch
+// is caller-provided working space of at least n·Field.RowScratchPerPoint
+// float64s; implementations may scribble on it freely. The blocks must
+// contain the whole run with the kernel half-width margin.
+//
+// Row kernels must be arithmetically identical to n calls of the per-point
+// Eval — the engine treats the two paths as interchangeable and the
+// differential tests assert bit-for-bit equality.
+type EvalRowFunc func(st stencil.Stencil, bls []*field.Block, p grid.Point, n int, dx float64, out, scratch []float64)
+
 // Field describes one queryable field.
 type Field struct {
 	// Name is the public field name used in queries ("vorticity", …).
@@ -58,6 +70,16 @@ type Field struct {
 	HalfWidthFn func(order int) (int, error)
 	// Eval computes the derived value (see EvalFunc).
 	Eval EvalFunc
+	// EvalRow, when non-nil, computes a whole x-fastest run of values in
+	// one call (see EvalRowFunc). Optional: fields without a row kernel
+	// are evaluated point-by-point through Eval. The standard catalog
+	// ships row kernels for every field; externally registered fields may
+	// add one for the same severalfold speedup.
+	EvalRow EvalRowFunc
+	// RowScratchPerPoint is the scratch space EvalRow needs, in float64s
+	// per point of the run (9 for the gradient-tensor fields, 1 for the
+	// curls, 0 for raw copy-through). Zero when EvalRow is nil.
+	RowScratchPerPoint int
 }
 
 // IsRaw reports whether the field is stored directly (kernel of a single
@@ -102,6 +124,51 @@ func (f *Field) Norm(st stencil.Stencil, bls []*field.Block, p grid.Point, dx fl
 	}
 }
 
+// NormRow evaluates the field's norm at the n x-consecutive points starting
+// at p, writing norms[:n]. vals must have length ≥ n·OutComp and scratch
+// length ≥ n·RowScratchPerPoint; both are overwritten. Fields without a row
+// kernel fall back to per-point Eval, so NormRow is always available and
+// always bit-for-bit identical to n calls of Norm.
+func (f *Field) NormRow(st stencil.Stencil, bls []*field.Block, p grid.Point, n int, dx float64, norms, vals, scratch []float64) {
+	if f.EvalRow != nil {
+		f.EvalRow(st, bls, p, n, dx, vals, scratch)
+	} else {
+		oc := f.OutComp
+		q := p
+		for i := 0; i < n; i++ {
+			f.Eval(st, bls, q, dx, vals[i*oc:(i+1)*oc])
+			q.X++
+		}
+	}
+	// The reductions replay Norm's operation order exactly (abs for
+	// scalars, x²+y²+z² left-to-right for vectors).
+	switch f.OutComp {
+	case 1:
+		for i := 0; i < n; i++ {
+			v := vals[i]
+			if v < 0 {
+				v = -v
+			}
+			norms[i] = v
+		}
+	case 3:
+		for i := 0; i < n; i++ {
+			x, y, z := vals[3*i], vals[3*i+1], vals[3*i+2]
+			norms[i] = math.Sqrt(x*x + y*y + z*z)
+		}
+	default:
+		oc := f.OutComp
+		for i := 0; i < n; i++ {
+			var s float64
+			for c := 0; c < oc; c++ {
+				v := vals[i*oc+c]
+				s += v * v
+			}
+			norms[i] = math.Sqrt(s)
+		}
+	}
+}
+
 // Registry maps field names to definitions. The zero value is unusable; use
 // NewRegistry (which pre-populates the standard catalog) or Standard().
 type Registry struct {
@@ -132,6 +199,9 @@ func (r *Registry) Register(f *Field) error {
 		if raw.Name == "" || raw.NComp <= 0 {
 			return fmt.Errorf("derived: invalid raw input %+v in field %q", raw, f.Name)
 		}
+	}
+	if f.RowScratchPerPoint < 0 {
+		return fmt.Errorf("derived: field %q has negative RowScratchPerPoint %d", f.Name, f.RowScratchPerPoint)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -192,31 +262,90 @@ func curlEval(st stencil.Stencil, bls []*field.Block, p grid.Point, dx float64, 
 	out[2] = st.Deriv(bl, p, 1, stencil.AxisX, dx) - st.Deriv(bl, p, 0, stencil.AxisY, dx)
 }
 
+// rawEvalRow copies a contiguous run of stored components through unchanged
+// (the run is one memcpy-shaped loop thanks to the x-fastest layout).
+func rawEvalRow(nc int) EvalRowFunc {
+	return func(_ stencil.Stencil, bls []*field.Block, p grid.Point, n int, _ float64, out, _ []float64) {
+		bl := bls[0]
+		base := bl.Offset(p, 0)
+		src := bl.Data[base : base+n*nc]
+		for i, v := range src {
+			out[i] = float64(v)
+		}
+	}
+}
+
+// curlRow is the row kernel for ∇×(raw field): six row derivatives, each
+// combined into the interleaved output with the same minuend−subtrahend
+// order as curlEval. Needs one scratch row (RowScratchPerPoint = 1).
+func curlRow(st stencil.Stencil, bls []*field.Block, p grid.Point, n int, dx float64, out, scratch []float64) {
+	bl := bls[0]
+	row := scratch[:n]
+	// (∇×u)_x = ∂u_z/∂y − ∂u_y/∂z, and cyclic permutations.
+	type term struct {
+		c    int
+		axis stencil.Axis
+	}
+	for o, pair := range [3][2]term{
+		{{2, stencil.AxisY}, {1, stencil.AxisZ}},
+		{{0, stencil.AxisZ}, {2, stencil.AxisX}},
+		{{1, stencil.AxisX}, {0, stencil.AxisY}},
+	} {
+		st.DerivRow(bl, p, n, pair[0].c, pair[0].axis, dx, row)
+		for i := 0; i < n; i++ {
+			out[3*i+o] = row[i]
+		}
+		st.DerivRow(bl, p, n, pair[1].c, pair[1].axis, dx, row)
+		for i := 0; i < n; i++ {
+			out[3*i+o] -= row[i]
+		}
+	}
+}
+
+// gradScalarRow builds the row kernel for the scalar gradient-tensor fields
+// (Q-criterion, R invariant, gradient norm): one shared row-gradient pass
+// through GradientRow, then the per-point tensor reduction. Needs a 9-wide
+// scratch row (RowScratchPerPoint = 9).
+func gradScalarRow(reduce func(g mathx.Mat3) float64) EvalRowFunc {
+	return func(st stencil.Stencil, bls []*field.Block, p grid.Point, n int, dx float64, out, scratch []float64) {
+		grad := scratch[:9*n]
+		st.GradientRow(bls[0], p, n, dx, grad)
+		for i := 0; i < n; i++ {
+			var g mathx.Mat3
+			gi := grad[9*i : 9*i+9]
+			g[0] = [3]float64{gi[0], gi[1], gi[2]}
+			g[1] = [3]float64{gi[3], gi[4], gi[5]}
+			g[2] = [3]float64{gi[6], gi[7], gi[8]}
+			out[i] = reduce(g)
+		}
+	}
+}
+
 // standardCatalog builds the built-in field definitions.
 func standardCatalog() []*Field {
 	return []*Field{
 		{
 			Name: Velocity, Raws: []RawInput{{Velocity, 3}}, OutComp: 3,
-			Eval: rawEval(3),
+			Eval: rawEval(3), EvalRow: rawEvalRow(3),
 		},
 		{
 			Name: Pressure, Raws: []RawInput{{Pressure, 1}}, OutComp: 1,
-			Eval: rawEval(1),
+			Eval: rawEval(1), EvalRow: rawEvalRow(1),
 		},
 		{
 			Name: Magnetic, Raws: []RawInput{{Magnetic, 3}}, OutComp: 3,
-			Eval: rawEval(3),
+			Eval: rawEval(3), EvalRow: rawEvalRow(3),
 		},
 		{
 			// Vorticity ω = ∇×v: 3 components, examines 6 of the 9 gradient
 			// components in pairs (paper Sec. 5.4).
 			Name: Vorticity, Raws: []RawInput{{Velocity, 3}}, OutComp: 3, NeedsStencil: true,
-			Eval: curlEval,
+			Eval: curlEval, EvalRow: curlRow, RowScratchPerPoint: 1,
 		},
 		{
 			// Electric current j = ∇×B (MHD datasets).
 			Name: Current, Raws: []RawInput{{Magnetic, 3}}, OutComp: 3, NeedsStencil: true,
-			Eval: curlEval,
+			Eval: curlEval, EvalRow: curlRow, RowScratchPerPoint: 1,
 		},
 		{
 			// Q-criterion: non-linear combination of all 9 gradient
@@ -227,6 +356,8 @@ func standardCatalog() []*Field {
 				g := mathx.Mat3(st.Gradient(bls[0], p, dx))
 				out[0] = g.QCriterion()
 			},
+			EvalRow:            gradScalarRow(mathx.Mat3.QCriterion),
+			RowScratchPerPoint: 9,
 		},
 		{
 			// Third velocity-gradient invariant R = −det(∇v).
@@ -236,6 +367,11 @@ func standardCatalog() []*Field {
 				_, _, r := g.Invariants()
 				out[0] = r
 			},
+			EvalRow: gradScalarRow(func(g mathx.Mat3) float64{
+				_, _, r := g.Invariants()
+				return r
+			}),
+			RowScratchPerPoint: 9,
 		},
 		{
 			// Frobenius norm of the velocity gradient tensor.
@@ -244,6 +380,8 @@ func standardCatalog() []*Field {
 				g := mathx.Mat3(st.Gradient(bls[0], p, dx))
 				out[0] = g.FrobeniusNorm()
 			},
+			EvalRow:            gradScalarRow(mathx.Mat3.FrobeniusNorm),
+			RowScratchPerPoint: 9,
 		},
 	}
 }

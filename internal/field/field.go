@@ -42,6 +42,38 @@ func (bl *Block) index(p grid.Point, c int) int {
 	return ((dz*ny+dy)*nx+dx)*bl.NComp + c
 }
 
+// Offset returns the flat offset of (p, c) in Data; p must lie inside
+// Bounds. It is the exported form of index for bulk kernels that walk Data
+// directly with precomputed strides.
+func (bl *Block) Offset(p grid.Point, c int) int { return bl.index(p, c) }
+
+// Strides returns the flat Data strides, in float32 elements, of a unit
+// step along x, y and z: sx = NComp, sy = nx·NComp, sz = ny·nx·NComp.
+func (bl *Block) Strides() (sx, sy, sz int) {
+	nx, ny, _ := bl.Bounds.Size()
+	sx = bl.NComp
+	sy = nx * bl.NComp
+	sz = ny * sy
+	return sx, sy, sz
+}
+
+// Reset re-shapes the block over box b with nc components, reusing the
+// existing Data allocation when it is large enough (growing it otherwise).
+// Contents are left undefined; callers overwrite every point. This is the
+// reuse hook for pooled extended blocks in the evaluation hot path.
+func (bl *Block) Reset(b grid.Box, nc int) {
+	if nc <= 0 {
+		panic(fmt.Sprintf("field: invalid component count %d", nc))
+	}
+	n := b.NumPoints() * nc
+	if cap(bl.Data) < n {
+		bl.Data = make([]float32, n)
+	}
+	bl.Bounds = b
+	bl.NComp = nc
+	bl.Data = bl.Data[:n]
+}
+
 // At returns component c at point p. p must lie inside Bounds and c within
 // [0, NComp); out-of-range access panics (these are hot inner-loop paths —
 // callers validate boxes once, not per point).
@@ -105,15 +137,17 @@ func (bl *Block) CopyFrom(src *Block, offset grid.Point) error {
 	if dstRegion.Empty() {
 		return nil
 	}
+	// Rows are contiguous x-fastest runs in both blocks, so each (y, z) row
+	// moves with a single memmove-bound copy of nx·NComp elements.
+	rowLen := (dstRegion.Hi.X - dstRegion.Lo.X) * bl.NComp
 	var p grid.Point
+	p.X = dstRegion.Lo.X
 	for p.Z = dstRegion.Lo.Z; p.Z < dstRegion.Hi.Z; p.Z++ {
 		for p.Y = dstRegion.Lo.Y; p.Y < dstRegion.Hi.Y; p.Y++ {
-			for p.X = dstRegion.Lo.X; p.X < dstRegion.Hi.X; p.X++ {
-				sp := p.Add(-offset.X, -offset.Y, -offset.Z)
-				si := src.index(sp, 0)
-				di := bl.index(p, 0)
-				copy(bl.Data[di:di+bl.NComp], src.Data[si:si+src.NComp])
-			}
+			sp := p.Add(-offset.X, -offset.Y, -offset.Z)
+			si := src.index(sp, 0)
+			di := bl.index(p, 0)
+			copy(bl.Data[di:di+rowLen], src.Data[si:si+rowLen])
 		}
 	}
 	return nil

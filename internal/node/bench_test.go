@@ -1,0 +1,71 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/synth"
+)
+
+// BenchmarkThresholdScan drives a full cacheless node-local threshold
+// evaluation (gather + assembly + row-wise kernel scan) over one time-step
+// and reports ns/point of the end-to-end compute path. The threshold is
+// +Inf so no results accumulate: the number measures the engine, not the
+// result pipeline.
+func BenchmarkThresholdScan(b *testing.B) {
+	nodes, _ := buildCluster(b, 1, 32, synth.MHD, false, 1)
+	n := nodes[0]
+	for _, name := range []string{derived.Velocity, derived.Vorticity, derived.QCriterion} {
+		b.Run(fmt.Sprintf("%s/o4", name), func(b *testing.B) {
+			points := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := n.GetThreshold(context.Background(), nil, query.Threshold{
+					Dataset: "mhd", Field: name, Timestep: 0,
+					Threshold: math.Inf(1), FDOrder: 4, Limit: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				points += res.Breakdown.PointsExamined
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(points), "ns/point")
+		})
+	}
+}
+
+// BenchmarkAssembleExtended isolates the halo-assembly path (pooled
+// extended blocks + row-wise CopyFrom), the per-atom fixed cost of every
+// stencil evaluation.
+func BenchmarkAssembleExtended(b *testing.B) {
+	nodes, gen := buildCluster(b, 1, 16, synth.Isotropic, false, 1)
+	n := nodes[0]
+	g := gen.Grid()
+	f, err := derived.Standard().Lookup(derived.Vorticity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	codes, err := n.ownedAtomsCovering(g.Domain())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hw = 2
+	data := n.gather(context.Background(), nil, f.Raws, 0, codes, g.Domain(), hw, newBufferPool())
+	if data.err != nil {
+		b.Fatal(data.err)
+	}
+	blocks := data.blocks[f.Raws[0].Name]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := codes[i%len(codes)]
+		ext, err := n.assembleExtended(g, blocks, g.AtomBox(c).Expand(hw), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n.extPool.put(ext)
+	}
+}

@@ -59,7 +59,9 @@ func Calibrate(reg *derived.Registry, order int) (CostModel, error) {
 	return m, nil
 }
 
-// timeEval measures one field's per-point kernel cost.
+// timeEval measures one field's per-point kernel cost. It times the same
+// row-wise NormRow path scanShard executes, so simulated compute charges
+// track the bulk kernel engine, not the slower per-point fallback.
 func timeEval(f *derived.Field, st stencil.Stencil) time.Duration {
 	h := st.HalfWidth
 	side := 16
@@ -77,23 +79,28 @@ func timeEval(f *derived.Field, st stencil.Stencil) time.Duration {
 		})
 		bls[i] = bl
 	}
-	scratch := make([]float64, f.OutComp)
+	norms := make([]float64, side)
+	vals := make([]float64, side*f.OutComp)
+	var scratch []float64
+	if f.RowScratchPerPoint > 0 {
+		scratch = make([]float64, side*f.RowScratchPerPoint)
+	}
 	var sink float64
+	scanRow := func(y, z int) {
+		f.NormRow(st, bls, grid.Point{Y: y, Z: z}, side, 0.1, norms, vals, scratch)
+		sink += norms[0]
+	}
 	// warm up
-	for i := 0; i < 1000; i++ {
-		p := grid.Point{X: i % side, Y: (i / side) % side, Z: 0}
-		sink += f.Norm(st, bls, p, 0.1, scratch)
+	for i := 0; i < 1000/side+1; i++ {
+		scanRow(i%side, 0)
 	}
 	start := time.Now()
 	n := 0
 	for n < calibrationPoints {
-		var p grid.Point
-		for p.Z = 0; p.Z < side && n < calibrationPoints; p.Z++ {
-			for p.Y = 0; p.Y < side && n < calibrationPoints; p.Y++ {
-				for p.X = 0; p.X < side && n < calibrationPoints; p.X++ {
-					sink += f.Norm(st, bls, p, 0.1, scratch)
-					n++
-				}
+		for z := 0; z < side && n < calibrationPoints; z++ {
+			for y := 0; y < side && n < calibrationPoints; y++ {
+				scanRow(y, z)
+				n += side
 			}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -260,29 +261,104 @@ func (n *Node) gatherField(ctx context.Context, wp *sim.Proc, rawField string, s
 	}
 }
 
+// blockPool recycles halo-extended computation blocks across atoms, queries
+// and workers, bucketed by payload size (the element count is uniform
+// within one query — atom box expanded by the kernel half-width — but
+// varies across component counts, halo widths and atom-size ablations).
+// Without it assembleExtended allocates a fresh multi-KB block per atom per
+// raw field per worker, which dominates steady-state garbage.
+type blockPool struct {
+	mu    sync.Mutex
+	pools map[int]*sync.Pool // guarded by mu
+}
+
+func newBlockPool() *blockPool {
+	return &blockPool{pools: make(map[int]*sync.Pool)}
+}
+
+// get returns a block shaped over box with nc components; contents are
+// undefined (assembly overwrites every point: the atom tiles partition the
+// box).
+func (bp *blockPool) get(box grid.Box, nc int) *field.Block {
+	n := box.NumPoints() * nc
+	bp.mu.Lock()
+	p := bp.pools[n]
+	if p == nil {
+		p = &sync.Pool{}
+		bp.pools[n] = p
+	}
+	bp.mu.Unlock()
+	if v := p.Get(); v != nil {
+		bl := v.(*field.Block)
+		bl.Reset(box, nc)
+		return bl
+	}
+	return field.NewBlock(box, nc)
+}
+
+// put returns a block obtained from get for reuse. nil is ignored.
+func (bp *blockPool) put(bl *field.Block) {
+	if bl == nil {
+		return
+	}
+	bp.mu.Lock()
+	p := bp.pools[len(bl.Data)]
+	bp.mu.Unlock()
+	if p != nil {
+		p.Put(bl)
+	}
+}
+
 // assembleExtended stitches the atoms covering box (with periodic wrapping)
-// into one dense block for kernel evaluation.
-func assembleExtended(g grid.Grid, blocks map[morton.Code]*field.Block, box grid.Box, nc int) (*field.Block, error) {
-	ext := field.NewBlock(box, nc)
-	for _, origin := range g.AtomOriginsCovering(box) {
-		wrapped := g.WrapPoint(origin)
-		code := g.AtomCode(wrapped)
-		bl, ok := blocks[code]
-		if !ok {
-			return nil, fmt.Errorf("%w: atom %v during assembly of %v", errAtomMissing, code, box)
-		}
-		offset := grid.Point{X: origin.X - wrapped.X, Y: origin.Y - wrapped.Y, Z: origin.Z - wrapped.Z}
-		if err := ext.CopyFrom(bl, offset); err != nil {
-			return nil, err
+// into one dense block for kernel evaluation. The block comes from the
+// node's pool; the caller must return it with extPool.put when done. The
+// tile walk is inlined (rather than grid.AtomOriginsCovering) so the
+// steady-state path performs no per-atom allocations.
+func (n *Node) assembleExtended(g grid.Grid, blocks map[morton.Code]*field.Block, box grid.Box, nc int) (*field.Block, error) {
+	ext := n.extPool.get(box, nc)
+	side := g.AtomSide
+	for az := floorDiv(box.Lo.Z, side); az*side < box.Hi.Z; az++ {
+		for ay := floorDiv(box.Lo.Y, side); ay*side < box.Hi.Y; ay++ {
+			for ax := floorDiv(box.Lo.X, side); ax*side < box.Hi.X; ax++ {
+				origin := grid.Point{X: ax * side, Y: ay * side, Z: az * side}
+				wrapped := g.WrapPoint(origin)
+				code := g.AtomCode(wrapped)
+				bl, ok := blocks[code]
+				if !ok {
+					n.extPool.put(ext)
+					return nil, fmt.Errorf("%w: atom %v during assembly of %v", errAtomMissing, code, box)
+				}
+				offset := grid.Point{X: origin.X - wrapped.X, Y: origin.Y - wrapped.Y, Z: origin.Z - wrapped.Z}
+				if err := ext.CopyFrom(bl, offset); err != nil {
+					n.extPool.put(ext)
+					return nil, err
+				}
+			}
 		}
 	}
 	return ext, nil
+}
+
+// floorDiv divides rounding toward negative infinity (halo boxes have
+// negative coordinates before wrapping).
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
 }
 
 // scanShard is the compute phase of one worker: evaluate the derived field's
 // norm at every grid point of the shard's atoms inside qbox, invoking visit
 // for each. visit returning false aborts the scan (result-limit
 // enforcement). Compute time is charged to the simulated CPU per atom.
+//
+// Evaluation is row-wise: each x-fastest run of the ROI is computed in one
+// derived.NormRow call into a reusable norms buffer, and visit then walks
+// that buffer. All working buffers are sized once per call (rows never
+// exceed the atom side) and extended blocks come from the node's pool, so
+// the steady-state loop performs zero heap allocations per atom.
 func (n *Node) scanShard(
 	ctx context.Context,
 	wp *sim.Proc,
@@ -297,9 +373,27 @@ func (n *Node) scanShard(
 ) (pointsExamined, atomsSkipped int, err error) {
 	g := n.store.Grid()
 	dx := g.Dx
-	scratch := make([]float64, f.OutComp)
 	perPoint := n.costs.Cost(f.Name)
+	// Row buffers: an ROI is contained in one atom box, so rows are at most
+	// AtomSide points wide.
+	rowW := g.AtomSide
+	norms := make([]float64, rowW)
+	vals := make([]float64, rowW*f.OutComp)
+	var scratch []float64
+	if f.RowScratchPerPoint > 0 {
+		scratch = make([]float64, rowW*f.RowScratchPerPoint)
+	}
 	exts := make([]*field.Block, len(f.Raws))
+	pooled := make([]*field.Block, len(f.Raws))
+	release := func() {
+		for i, bl := range pooled {
+			if bl != nil {
+				n.extPool.put(bl)
+				pooled[i] = nil
+			}
+		}
+	}
+	defer release()
 scan:
 	for _, c := range shard {
 		if err := ctx.Err(); err != nil {
@@ -318,8 +412,9 @@ scan:
 					return pointsExamined, atomsSkipped, fmt.Errorf("node: atom %v of %q missing", c, rf.Name)
 				}
 			} else {
-				exts[i], err = assembleExtended(g, fieldBlocks, abox.Expand(hw), rf.NComp)
+				exts[i], err = n.assembleExtended(g, fieldBlocks, abox.Expand(hw), rf.NComp)
 				if err != nil {
+					release()
 					if n.partialHalo && errors.Is(err, errAtomMissing) {
 						// The halo band of this atom stayed incomplete
 						// after a degraded peer fetch: fail this atom
@@ -329,36 +424,34 @@ scan:
 					}
 					return pointsExamined, atomsSkipped, err
 				}
+				pooled[i] = exts[i]
 			}
 		}
 		n.exec.ChargeCompute(wp, perPoint*time.Duration(roi.NumPoints()))
+		nx := roi.Hi.X - roi.Lo.X
 		var pt grid.Point
 		for pt.Z = roi.Lo.Z; pt.Z < roi.Hi.Z; pt.Z++ {
 			for pt.Y = roi.Lo.Y; pt.Y < roi.Hi.Y; pt.Y++ {
-				for pt.X = roi.Lo.X; pt.X < roi.Hi.X; pt.X++ {
-					norm := f.Norm(st, exts, pt, dx, scratch)
+				pt.X = roi.Lo.X
+				f.NormRow(st, exts, pt, nx, dx, norms, vals, scratch)
+				for i := 0; i < nx; i++ {
 					pointsExamined++
-					if !visit(pt, norm) {
+					if !visit(grid.Point{X: roi.Lo.X + i, Y: pt.Y, Z: pt.Z}, norms[i]) {
 						return pointsExamined, atomsSkipped, nil
 					}
 				}
 			}
 		}
+		release()
 	}
 	return pointsExamined, atomsSkipped, nil
 }
 
-// sortCodes sorts Morton codes ascending.
+// sortCodes sorts Morton codes ascending. Gathers sort the cold/warm code
+// lists of every worker on every query — potentially thousands of codes —
+// so this is pdqsort via the standard library, not an insertion sort.
 func sortCodes(cs []morton.Code) {
-	for i := 1; i < len(cs); i++ {
-		v := cs[i]
-		j := i - 1
-		for j >= 0 && cs[j] > v {
-			cs[j+1] = cs[j]
-			j--
-		}
-		cs[j+1] = v
-	}
+	slices.Sort(cs)
 }
 
 // evalPhases runs the two-phase (I/O then compute) data-parallel evaluation

@@ -89,6 +89,7 @@ type Node struct {
 	exec        *Exec
 	costs       CostModel
 	partialHalo bool
+	extPool     *blockPool
 
 	mu sync.Mutex
 }
@@ -124,6 +125,7 @@ func New(cfg Config) (*Node, error) {
 		exec:        cfg.Exec,
 		costs:       cfg.Costs,
 		partialHalo: cfg.AllowPartialHalo,
+		extPool:     newBlockPool(),
 	}, nil
 }
 

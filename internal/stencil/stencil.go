@@ -104,3 +104,98 @@ func (s Stencil) Gradient(bl *field.Block, p grid.Point, dx float64) [3][3]float
 	}
 	return g
 }
+
+// DerivRow evaluates ∂(component c)/∂(axis) at the n x-consecutive grid
+// points p, p+(1,0,0), …, p+(n−1,0,0), writing the results into out[:n].
+// The block must contain the whole run with a HalfWidth margin along the
+// axis. The flat strides are computed once per row and the accumulation
+// replays Deriv's float64 operation sequence exactly, so DerivRow is
+// bit-for-bit identical to n calls of Deriv.
+func (s Stencil) DerivRow(bl *field.Block, p grid.Point, n, c int, axis Axis, dx float64, out []float64) {
+	s.derivRow(bl, p, n, c, axis, dx, out[:n], 1)
+}
+
+// GradientRow evaluates the gradient tensor of a 3-component block at the n
+// x-consecutive points starting at p, writing G[r][c] = ∂u_r/∂x_c into
+// out[9·i + 3·r + c] for the i-th point. out must have length ≥ 9·n.
+func (s Stencil) GradientRow(bl *field.Block, p grid.Point, n int, dx float64, out []float64) {
+	if n <= 0 {
+		return
+	}
+	_ = out[9*n-1]
+	for r := 0; r < 3; r++ {
+		s.derivRow(bl, p, n, r, AxisX, dx, out[3*r:], 9)
+		s.derivRow(bl, p, n, r, AxisY, dx, out[3*r+1:], 9)
+		s.derivRow(bl, p, n, r, AxisZ, dx, out[3*r+2:], 9)
+	}
+}
+
+// derivRow is the shared row kernel: it writes the derivative at the i-th
+// point of the run to out[i·ostride]. The per-tap flat offset along the
+// differentiation axis and the x step are hoisted out of the loop, and the
+// common half-widths are unrolled. Each per-point accumulation mirrors
+// Deriv (sum starts at zero, taps added in ascending k, one final division
+// by dx) so results match the per-point path bit-for-bit.
+func (s Stencil) derivRow(bl *field.Block, p grid.Point, n, c int, axis Axis, dx float64, out []float64, ostride int) {
+	if n <= 0 {
+		return
+	}
+	sx, sy, sz := bl.Strides()
+	tap := sx
+	switch axis {
+	case AxisY:
+		tap = sy
+	case AxisZ:
+		tap = sz
+	}
+	d := bl.Data
+	base := bl.Offset(p, c)
+	switch s.HalfWidth {
+	case 1:
+		c1 := s.Coeffs[0]
+		t1 := tap
+		for i, idx := 0, base; i < n; i, idx = i+1, idx+sx {
+			sum := 0.0
+			sum += c1 * (float64(d[idx+t1]) - float64(d[idx-t1]))
+			out[i*ostride] = sum / dx
+		}
+	case 2:
+		c1, c2 := s.Coeffs[0], s.Coeffs[1]
+		t1, t2 := tap, 2*tap
+		for i, idx := 0, base; i < n; i, idx = i+1, idx+sx {
+			sum := 0.0
+			sum += c1 * (float64(d[idx+t1]) - float64(d[idx-t1]))
+			sum += c2 * (float64(d[idx+t2]) - float64(d[idx-t2]))
+			out[i*ostride] = sum / dx
+		}
+	case 3:
+		c1, c2, c3 := s.Coeffs[0], s.Coeffs[1], s.Coeffs[2]
+		t1, t2, t3 := tap, 2*tap, 3*tap
+		for i, idx := 0, base; i < n; i, idx = i+1, idx+sx {
+			sum := 0.0
+			sum += c1 * (float64(d[idx+t1]) - float64(d[idx-t1]))
+			sum += c2 * (float64(d[idx+t2]) - float64(d[idx-t2]))
+			sum += c3 * (float64(d[idx+t3]) - float64(d[idx-t3]))
+			out[i*ostride] = sum / dx
+		}
+	case 4:
+		c1, c2, c3, c4 := s.Coeffs[0], s.Coeffs[1], s.Coeffs[2], s.Coeffs[3]
+		t1, t2, t3, t4 := tap, 2*tap, 3*tap, 4*tap
+		for i, idx := 0, base; i < n; i, idx = i+1, idx+sx {
+			sum := 0.0
+			sum += c1 * (float64(d[idx+t1]) - float64(d[idx-t1]))
+			sum += c2 * (float64(d[idx+t2]) - float64(d[idx-t2]))
+			sum += c3 * (float64(d[idx+t3]) - float64(d[idx-t3]))
+			sum += c4 * (float64(d[idx+t4]) - float64(d[idx-t4]))
+			out[i*ostride] = sum / dx
+		}
+	default:
+		for i, idx := 0, base; i < n; i, idx = i+1, idx+sx {
+			sum := 0.0
+			for k := 1; k <= s.HalfWidth; k++ {
+				sum += s.Coeffs[k-1] * (float64(d[idx+k*tap]) - float64(d[idx-k*tap]))
+			}
+			out[i*ostride] = sum / dx
+		}
+	}
+}

@@ -1,0 +1,76 @@
+#!/bin/sh
+# bench.sh runs the kernel microbenchmarks and records the results as a
+# small JSON document, so each PR that claims a speedup can commit the
+# numbers it was measured with (BENCH_<issue>.json at the repo root).
+#
+# Usage:
+#
+#	scripts/bench.sh                 # writes BENCH_3.json
+#	scripts/bench.sh out.json        # writes out.json
+#	BENCHTIME=1s scripts/bench.sh    # slower, steadier numbers
+#
+# The document has two sections: "kernels" is every benchmark that reports
+# a ns/point metric (raw rows, per field per FD order per path), and
+# "speedups" pairs the perpoint/row variants of BenchmarkNorm so the bulk
+# engine's improvement factor per field per order is explicit. Only sh,
+# go and awk are required.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_3.json}
+benchtime=${BENCHTIME:-100ms}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo ">> go test -bench (benchtime $benchtime)" >&2
+go test -run=NONE \
+	-bench='BenchmarkNorm|BenchmarkDerivRow|BenchmarkGradientRow|BenchmarkThresholdScan' \
+	-benchtime "$benchtime" \
+	./internal/stencil ./internal/derived ./internal/node | tee "$tmp" >&2
+
+awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v goversion="$(go version | sed 's/^go version //')" \
+	-v benchtime="$benchtime" '
+/^Benchmark/ && /ns\/point/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+	sub(/^Benchmark/, "", name)
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/point") ns = $i
+	}
+	kn[++nk] = name
+	kv[nk] = ns
+	# Norm/<field>/o<order>/<path> rows feed the speedup table.
+	if (split(name, part, "/") == 4 && part[1] == "Norm") {
+		key = part[2] SUBSEP substr(part[3], 2)
+		if (part[4] == "perpoint") pp[key] = ns
+		if (part[4] == "row") {
+			row[key] = ns
+			sk[++ns_pairs] = key
+		}
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"issue\": 3,\n"
+	printf "  \"generated\": \"%s\",\n", generated
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"kernels\": [\n"
+	for (i = 1; i <= nk; i++)
+		printf "    {\"bench\": \"%s\", \"ns_per_point\": %s}%s\n", kn[i], kv[i], i < nk ? "," : ""
+	printf "  ],\n"
+	printf "  \"speedups\": [\n"
+	for (i = 1; i <= ns_pairs; i++) {
+		split(sk[i], part, SUBSEP)
+		p = pp[sk[i]]; r = row[sk[i]]
+		printf "    {\"field\": \"%s\", \"order\": %s, \"perpoint_ns\": %s, \"row_ns\": %s, \"speedup\": %.2f}%s\n", \
+			part[1], part[2], p, r, p / r, i < ns_pairs ? "," : ""
+	}
+	printf "  ]\n"
+	printf "}\n"
+}' "$tmp" > "$out"
+
+echo ">> wrote $out" >&2
+awk '/"field"/' "$out" >&2

@@ -26,4 +26,10 @@ go test -race -short ./...
 echo '>> go test -race fault-tolerance packages'
 go test -race ./internal/faulttol/... ./internal/faultinject/... ./internal/cluster/... ./internal/wire/...
 
+# Benchmark smoke lane: one iteration of every kernel microbenchmark, so a
+# change that breaks a benchmark (or its setup) fails the gate instead of
+# surfacing the next time someone runs scripts/bench.sh.
+echo '>> benchmark smoke (kernel packages, 1 iteration)'
+go test -run=NONE -bench=. -benchtime=1x ./internal/stencil ./internal/field ./internal/derived ./internal/node
+
 echo 'All checks passed.'
