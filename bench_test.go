@@ -10,6 +10,7 @@
 package turbdb_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -124,7 +125,7 @@ func BenchmarkFig6Table1_CacheMiss(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				if err := c.Mediator.DropCache(derived.Vorticity, 0, 0); err != nil {
+				if err := c.Mediator.DropCache(context.Background(), derived.Vorticity, 0, 0); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
@@ -177,11 +178,11 @@ func BenchmarkFig7a_ScaleUp(b *testing.B) {
 			e := env(b)
 			c := clusterFor(b, "nocache", experiments.ClusterOpts{})
 			lv := levelsFor(b, c, derived.Vorticity)[1]
-			if err := c.Mediator.SetProcesses(procs); err != nil {
+			if err := c.Mediator.SetProcesses(context.Background(), procs); err != nil {
 				b.Fatal(err)
 			}
 			defer func() {
-				_ = c.Mediator.SetProcesses(4)
+				_ = c.Mediator.SetProcesses(context.Background(), 4)
 			}()
 			q := query.Threshold{Dataset: e.Dataset(), Field: derived.Vorticity, Threshold: lv.Threshold}
 			var sim time.Duration
@@ -231,10 +232,10 @@ func BenchmarkFig8_IOOnly(b *testing.B) {
 			e := env(b)
 			c := clusterFor(b, "nocache", experiments.ClusterOpts{})
 			lv := levelsFor(b, c, derived.Vorticity)[1]
-			if err := c.Mediator.SetProcesses(procs); err != nil {
+			if err := c.Mediator.SetProcesses(context.Background(), procs); err != nil {
 				b.Fatal(err)
 			}
-			defer func() { _ = c.Mediator.SetProcesses(4) }()
+			defer func() { _ = c.Mediator.SetProcesses(context.Background(), 4) }()
 			q := query.Threshold{Dataset: e.Dataset(), Field: derived.Vorticity, Threshold: lv.Threshold}
 			var sim, io time.Duration
 			b.ResetTimer()
@@ -265,7 +266,7 @@ func BenchmarkFig9_Breakdown(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				if err := c.Mediator.DropCache(fieldName, 0, 0); err != nil {
+				if err := c.Mediator.DropCache(context.Background(), fieldName, 0, 0); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()

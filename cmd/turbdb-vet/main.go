@@ -1,30 +1,73 @@
 // Command turbdb-vet runs the repository's custom static-analysis suite
-// (internal/lint): lockcheck, droppederr, floateq and magicatom. It is part
-// of the standard check gate (scripts/check.sh, CI) and exits non-zero when
-// any finding is reported.
+// (internal/lint): lockcheck, droppederr, floateq, magicatom, ctxpropagate,
+// rowkernel and poolcheck. It is part of the standard check gate
+// (scripts/check.sh, CI) and exits non-zero when any finding is reported.
 //
 // Usage:
 //
-//	turbdb-vet [-checks lockcheck,droppederr] [-tests] [packages]
+//	turbdb-vet [-checks lockcheck,droppederr] [-tests] [-json] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Suppress a
 // deliberate finding with a `//lint:allow <check> <reason>` comment on the
-// flagged line or the line above it.
+// flagged line or the line above it, or with `//turbdb:ignore <check>
+// <reason>` — the reason is mandatory there and is carried into the -json
+// report, so every suppression stays auditable.
+//
+// With -json the machine-readable report (active findings, suppressed
+// findings with their reasons, type errors) goes to stdout and the human-
+// readable findings to stderr, so `turbdb-vet -json ./... > report.json`
+// works as a CI artifact step without losing the readable log.
+//
+// Analysis note: type-checking is sequential (packages type-check in
+// dependency order through one shared loader), but the analyzers themselves
+// run over the loaded packages in parallel, so the gate does not slow down
+// linearly as the suite grows.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"github.com/turbdb/turbdb/internal/lint"
 )
+
+// jsonFinding is one diagnostic in the -json report.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	// Reason is the mandatory justification of the //turbdb:ignore
+	// directive, present only on suppressed findings.
+	Reason string `json:"reason,omitempty"`
+}
+
+// jsonReport is the full -json output of one run.
+type jsonReport struct {
+	Findings   []jsonFinding `json:"findings"`
+	Suppressed []jsonFinding `json:"suppressed"`
+	TypeErrors []string      `json:"type_errors"`
+}
+
+// pkgResult is the analysis outcome of one package.
+type pkgResult struct {
+	importPath string
+	typeErrors []error
+	active     []lint.Diagnostic
+	suppressed []lint.Diagnostic
+}
 
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	list := flag.Bool("list", false, "list available checks and exit")
+	jsonOut := flag.Bool("json", false, "write a machine-readable report to stdout (human log moves to stderr)")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -67,18 +110,80 @@ func main() {
 		os.Exit(2)
 	}
 
+	results := analyzeParallel(pkgs, analyzers)
+
+	humanOut := os.Stdout
+	if *jsonOut {
+		humanOut = os.Stderr
+	}
 	exit := 0
-	for _, pkg := range pkgs {
-		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "turbdb-vet: %s: type error: %v\n", pkg.ImportPath, terr)
+	report := jsonReport{
+		Findings:   []jsonFinding{},
+		Suppressed: []jsonFinding{},
+		TypeErrors: []string{},
+	}
+	for _, res := range results {
+		for _, terr := range res.typeErrors {
+			fmt.Fprintf(os.Stderr, "turbdb-vet: %s: type error: %v\n", res.importPath, terr)
+			report.TypeErrors = append(report.TypeErrors, fmt.Sprintf("%s: %v", res.importPath, terr))
 			exit = 2
 		}
-		for _, d := range lint.Analyze(pkg, analyzers) {
-			fmt.Println(d)
+		for _, d := range res.active {
+			fmt.Fprintln(humanOut, d)
+			report.Findings = append(report.Findings, toJSON(d))
 			if exit == 0 {
 				exit = 1
 			}
 		}
+		for _, d := range res.suppressed {
+			report.Suppressed = append(report.Suppressed, toJSON(d))
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "turbdb-vet:", err)
+			os.Exit(2)
+		}
 	}
 	os.Exit(exit)
+}
+
+// analyzeParallel fans the analyzer suite out over the loaded packages,
+// preserving input order in the results. Loading already happened (and with
+// it all cross-package dependency work); each analysis pass only reads its
+// package plus the shared annotation registry, so passes are independent.
+func analyzeParallel(pkgs []*lint.Package, analyzers []*lint.Analyzer) []pkgResult {
+	results := make([]pkgResult, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *lint.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			active, suppressed := lint.AnalyzeAll(pkg, analyzers)
+			results[i] = pkgResult{
+				importPath: pkg.ImportPath,
+				typeErrors: pkg.TypeErrors,
+				active:     active,
+				suppressed: suppressed,
+			}
+		}(i, pkg)
+	}
+	wg.Wait()
+	return results
+}
+
+func toJSON(d lint.Diagnostic) jsonFinding {
+	return jsonFinding{
+		File:    d.Pos.Filename,
+		Line:    d.Pos.Line,
+		Column:  d.Pos.Column,
+		Check:   d.Check,
+		Message: d.Message,
+		Reason:  d.SuppressReason,
+	}
 }

@@ -278,7 +278,7 @@ func TestDropCacheForcesRecomputation(t *testing.T) {
 	if _, _, err := c.Mediator.Threshold(context.Background(), nil, q); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Mediator.DropCache(derived.Vorticity, 0, 0); err != nil {
+	if err := c.Mediator.DropCache(context.Background(), derived.Vorticity, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	_, stats, err := c.Mediator.Threshold(context.Background(), nil, q)

@@ -47,6 +47,7 @@ func BenchmarkNorm(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/o%d/perpoint", name, order), func(b *testing.B) {
 				scratch := make([]float64, f.OutComp)
 				var sink float64
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					var p grid.Point
@@ -67,6 +68,7 @@ func BenchmarkNorm(b *testing.B) {
 				vals := make([]float64, benchSide*f.OutComp)
 				scratch := make([]float64, benchSide*f.RowScratchPerPoint)
 				var sink float64
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					var p grid.Point

@@ -129,6 +129,8 @@ func (f *Field) Norm(st stencil.Stencil, bls []*field.Block, p grid.Point, dx fl
 // length ≥ n·RowScratchPerPoint; both are overwritten. Fields without a row
 // kernel fall back to per-point Eval, so NormRow is always available and
 // always bit-for-bit identical to n calls of Norm.
+//
+//turbdb:rowkernel
 func (f *Field) NormRow(st stencil.Stencil, bls []*field.Block, p grid.Point, n int, dx float64, norms, vals, scratch []float64) {
 	if f.EvalRow != nil {
 		f.EvalRow(st, bls, p, n, dx, vals, scratch)
@@ -264,6 +266,8 @@ func curlEval(st stencil.Stencil, bls []*field.Block, p grid.Point, dx float64, 
 
 // rawEvalRow copies a contiguous run of stored components through unchanged
 // (the run is one memcpy-shaped loop thanks to the x-fastest layout).
+//
+//turbdb:rowkernel
 func rawEvalRow(nc int) EvalRowFunc {
 	return func(_ stencil.Stencil, bls []*field.Block, p grid.Point, n int, _ float64, out, _ []float64) {
 		bl := bls[0]
@@ -278,6 +282,8 @@ func rawEvalRow(nc int) EvalRowFunc {
 // curlRow is the row kernel for ∇×(raw field): six row derivatives, each
 // combined into the interleaved output with the same minuend−subtrahend
 // order as curlEval. Needs one scratch row (RowScratchPerPoint = 1).
+//
+//turbdb:rowkernel
 func curlRow(st stencil.Stencil, bls []*field.Block, p grid.Point, n int, dx float64, out, scratch []float64) {
 	bl := bls[0]
 	row := scratch[:n]
@@ -306,6 +312,8 @@ func curlRow(st stencil.Stencil, bls []*field.Block, p grid.Point, n int, dx flo
 // (Q-criterion, R invariant, gradient norm): one shared row-gradient pass
 // through GradientRow, then the per-point tensor reduction. Needs a 9-wide
 // scratch row (RowScratchPerPoint = 9).
+//
+//turbdb:rowkernel
 func gradScalarRow(reduce func(g mathx.Mat3) float64) EvalRowFunc {
 	return func(st stencil.Stencil, bls []*field.Block, p grid.Point, n int, dx float64, out, scratch []float64) {
 		grad := scratch[:9*n]
@@ -367,7 +375,7 @@ func standardCatalog() []*Field {
 				_, _, r := g.Invariants()
 				out[0] = r
 			},
-			EvalRow: gradScalarRow(func(g mathx.Mat3) float64{
+			EvalRow: gradScalarRow(func(g mathx.Mat3) float64 {
 				_, _, r := g.Invariants()
 				return r
 			}),

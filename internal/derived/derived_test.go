@@ -236,6 +236,7 @@ func BenchmarkVorticityEval(b *testing.B) {
 	vort, _ := Standard().Lookup(Vorticity)
 	out := make([]float64, 3)
 	p := grid.Point{X: 8, Y: 8, Z: 8}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vort.Eval(st, []*field.Block{bl}, p, 0.1, out)
@@ -250,6 +251,7 @@ func BenchmarkQCriterionEval(b *testing.B) {
 	q, _ := Standard().Lookup(QCriterion)
 	out := make([]float64, 1)
 	p := grid.Point{X: 8, Y: 8, Z: 8}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.Eval(st, []*field.Block{bl}, p, 0.1, out)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -86,7 +87,7 @@ func (e *Env) Fig9Breakdown(step int) (*Fig9Result, error) {
 				}
 				if !hit {
 					// cold: drop this entry first
-					if err := c.Mediator.DropCache(fieldName, 0, step); err != nil {
+					if err := c.Mediator.DropCache(context.Background(), fieldName, 0, step); err != nil {
 						return nil, err
 					}
 				} else {

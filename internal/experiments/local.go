@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -72,7 +73,7 @@ func (e *Env) LocalVsIntegrated(step int) (*LocalResult, error) {
 		Dataset: e.Dataset(), Field: derived.Vorticity, Timestep: step,
 		Threshold: low.Threshold,
 	}
-	if err := c.Mediator.DropCache(derived.Vorticity, 0, step); err != nil {
+	if err := c.Mediator.DropCache(context.Background(), derived.Vorticity, 0, step); err != nil {
 		return nil, err
 	}
 	_, cold, err := RunThreshold(c, q)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -71,7 +72,7 @@ func (e *Env) Fig7aScaleUp(step int) (*Fig7Result, error) {
 		series := ScaleSeries{Level: lv}
 		var base time.Duration
 		for _, procs := range []int{1, 2, 4, 8} {
-			if err := c.Mediator.SetProcesses(procs); err != nil {
+			if err := c.Mediator.SetProcesses(context.Background(), procs); err != nil {
 				return nil, err
 			}
 			_, stats, err := RunThreshold(c, query.Threshold{
@@ -183,7 +184,7 @@ func (e *Env) Fig8IOBreakdown(step int) (*Fig8Result, error) {
 	medium := levels[1]
 	res := &Fig8Result{Level: medium}
 	for _, procs := range []int{1, 2, 4, 8} {
-		if err := c.Mediator.SetProcesses(procs); err != nil {
+		if err := c.Mediator.SetProcesses(context.Background(), procs); err != nil {
 			return nil, err
 		}
 		_, stats, err := RunThreshold(c, query.Threshold{

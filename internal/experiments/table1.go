@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -90,7 +91,7 @@ func (e *Env) Table1CacheEffectiveness(step int) (*Table1Result, error) {
 		}
 		// cache miss: drop the entry for this time-step first, exactly as
 		// the paper's cache-miss runs did
-		if err := cached.Mediator.DropCache(derived.Vorticity, 0, step); err != nil {
+		if err := cached.Mediator.DropCache(context.Background(), derived.Vorticity, 0, step); err != nil {
 			return nil, err
 		}
 		_, sMiss, err := RunThreshold(cached, q)

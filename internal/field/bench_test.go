@@ -17,6 +17,7 @@ func BenchmarkCopyFrom(b *testing.B) {
 		src.Data[i] = float32(rng.NormFloat64())
 	}
 	dst := NewBlock(grid.Box{Lo: grid.Point{X: -4, Y: -4, Z: -4}, Hi: grid.Point{X: 12, Y: 12, Z: 12}}, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := dst.CopyFrom(src, grid.Point{}); err != nil {
@@ -36,6 +37,7 @@ func BenchmarkCopyFromPerPoint(b *testing.B) {
 		src.Data[i] = float32(rng.NormFloat64())
 	}
 	dst := NewBlock(grid.Box{Lo: grid.Point{X: -4, Y: -4, Z: -4}, Hi: grid.Point{X: 12, Y: 12, Z: 12}}, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copyFromRef(dst, src, grid.Point{})

@@ -34,6 +34,8 @@ func NewBlock(b grid.Box, nc int) *Block {
 }
 
 // index returns the flat offset of (p, c); p must lie inside Bounds.
+//
+//turbdb:rowkernel
 func (bl *Block) index(p grid.Point, c int) int {
 	nx, ny, _ := bl.Bounds.Size()
 	dx := p.X - bl.Bounds.Lo.X
@@ -45,10 +47,14 @@ func (bl *Block) index(p grid.Point, c int) int {
 // Offset returns the flat offset of (p, c) in Data; p must lie inside
 // Bounds. It is the exported form of index for bulk kernels that walk Data
 // directly with precomputed strides.
+//
+//turbdb:rowkernel
 func (bl *Block) Offset(p grid.Point, c int) int { return bl.index(p, c) }
 
 // Strides returns the flat Data strides, in float32 elements, of a unit
 // step along x, y and z: sx = NComp, sy = nx·NComp, sz = ny·nx·NComp.
+//
+//turbdb:rowkernel
 func (bl *Block) Strides() (sx, sy, sz int) {
 	nx, ny, _ := bl.Bounds.Size()
 	sx = bl.NComp
@@ -77,6 +83,8 @@ func (bl *Block) Reset(b grid.Box, nc int) {
 // At returns component c at point p. p must lie inside Bounds and c within
 // [0, NComp); out-of-range access panics (these are hot inner-loop paths —
 // callers validate boxes once, not per point).
+//
+//turbdb:rowkernel
 func (bl *Block) At(p grid.Point, c int) float64 {
 	return float64(bl.Data[bl.index(p, c)])
 }

@@ -220,6 +220,7 @@ func TestByteSizeMatchesPaper(t *testing.T) {
 
 func BenchmarkFill64(b *testing.B) {
 	bl := NewBlock(box(0, 64), 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bl.Fill(func(p grid.Point, vals []float64) {
@@ -232,6 +233,7 @@ func BenchmarkFill64(b *testing.B) {
 
 func BenchmarkBytes8Atom(b *testing.B) {
 	bl := NewBlock(box(0, 8), 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = bl.Bytes()

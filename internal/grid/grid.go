@@ -33,11 +33,15 @@ type Box struct {
 }
 
 // Empty reports whether the box contains no points.
+//
+//turbdb:rowkernel
 func (b Box) Empty() bool {
 	return b.Hi.X <= b.Lo.X || b.Hi.Y <= b.Lo.Y || b.Hi.Z <= b.Lo.Z
 }
 
 // Size returns the box extents (nx, ny, nz); all zero when empty.
+//
+//turbdb:rowkernel
 func (b Box) Size() (nx, ny, nz int) {
 	if b.Empty() {
 		return 0, 0, 0

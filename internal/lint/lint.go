@@ -1,23 +1,35 @@
 // Package lint implements turbdb-vet, the repository's custom static-
 // analysis suite. It is built directly on the standard library's go/parser
-// and go/types (no golang.org/x/tools dependency) and ships four
+// and go/types (no golang.org/x/tools dependency) and ships seven
 // repo-specific analyzers:
 //
-//	lockcheck  — fields annotated `// guarded by <mu>` may only be accessed
-//	             by functions that hold that mutex;
-//	droppederr — error results may not be silently discarded (`_ = f()`,
-//	             bare calls, blank assignments, defer/go of error-returning
-//	             calls) outside an explicit allowlist;
-//	floateq    — `==`/`!=` on float operands in numeric code, where a
-//	             tolerance comparison is almost always intended (comparisons
-//	             against an exact-zero sentinel are exempt);
-//	magicatom  — hard-coded 8/512 atom-geometry literals outside the
-//	             grid/morton constant definitions, keeping the atom size a
-//	             single source of truth (grid.DefaultAtomSide).
+//	lockcheck    — fields annotated `// guarded by <mu>` may only be accessed
+//	               by functions that hold that mutex;
+//	droppederr   — error results may not be silently discarded (`_ = f()`,
+//	               bare calls, blank assignments, defer/go of error-returning
+//	               calls) outside an explicit allowlist;
+//	floateq      — `==`/`!=` on float operands in numeric code, where a
+//	               tolerance comparison is almost always intended (comparisons
+//	               against an exact-zero sentinel are exempt);
+//	magicatom    — hard-coded 8/512 atom-geometry literals outside the
+//	               grid/morton constant definitions, keeping the atom size a
+//	               single source of truth (grid.DefaultAtomSide);
+//	ctxpropagate — functions that receive a context.Context must forward it
+//	               to blocking callees, and exported functions of the
+//	               distributed-path packages that perform I/O must accept one;
+//	rowkernel    — functions annotated `//turbdb:rowkernel` must stay
+//	               allocation-free: no make/append/new, no map operations, no
+//	               defer, no interface conversions, and direct calls only to
+//	               other annotated kernels (or the math package);
+//	poolcheck    — sync.Pool hygiene: comma-ok type assertions on Get, no use
+//	               of a value after Put, no capacity-dropping reslices of
+//	               pooled slices.
 //
 // Findings are suppressed with a `//lint:allow <check>[,<check>] reason`
-// comment on the flagged line or on the line directly above it. The reason
-// is required by convention (turbdb-vet does not parse it, reviewers do).
+// comment on the flagged line or on the line directly above it, or with the
+// newer `//turbdb:ignore <check> <reason>` form, whose reason is mandatory
+// (a reasonless ignore is itself a finding) and is carried into the -json
+// report so suppressions stay auditable.
 package lint
 
 import (
@@ -41,6 +53,11 @@ type Package struct {
 	// TypeErrors collects type-checker complaints; analysis proceeds on a
 	// best-effort basis but the driver surfaces these loudly.
 	TypeErrors []error
+	// RowKernels maps the function objects carrying a //turbdb:rowkernel
+	// annotation to true. The map instance is shared across every package
+	// one Loader loads (dependencies load first), so analyzers can resolve
+	// annotations on callees defined in other packages of the module.
+	RowKernels map[types.Object]bool
 }
 
 // Diagnostic is one finding of one analyzer.
@@ -48,6 +65,14 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Suppressed marks findings silenced by a //lint:allow or
+	// //turbdb:ignore directive; they do not fail the gate but are carried
+	// into machine-readable reports.
+	Suppressed bool
+	// SuppressReason is the mandatory reason of the //turbdb:ignore
+	// directive that silenced this finding (empty for //lint:allow, whose
+	// free-text reason is reviewed by humans, not parsed).
+	SuppressReason string
 }
 
 func (d Diagnostic) String() string {
@@ -79,57 +104,127 @@ type Analyzer struct {
 
 // Analyzers returns the full turbdb-vet suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, DroppedErr, FloatEq, MagicAtom}
+	return []*Analyzer{LockCheck, DroppedErr, FloatEq, MagicAtom, CtxPropagate, RowKernel, PoolCheck}
 }
 
 // allowRe matches suppression directives: //lint:allow check1[,check2] reason
 var allowRe = regexp.MustCompile(`^lint:allow\s+([a-z][a-z0-9,]*)`)
 
-// allowedLines extracts, per check name, the set of source lines a
-// suppression directive covers: the directive's own line and the line below
-// it (so the directive can trail the flagged statement or sit above it).
-func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
-	allowed := make(map[string]map[int]bool)
+// ignoreRe matches the newer suppression form: //turbdb:ignore check reason.
+// The reason group is optional here so a reasonless directive can be parsed
+// and reported as malformed instead of silently not matching.
+var ignoreRe = regexp.MustCompile(`^turbdb:ignore\s+([a-z][a-z0-9]*)(?:\s+(\S.*))?$`)
+
+// suppressions maps check name → source line → suppression reason for the
+// lines a directive covers: the directive's own line and the line below it
+// (so a directive can trail the flagged statement or sit above it).
+// malformed collects //turbdb:ignore directives missing their mandatory
+// reason; these are findings in their own right.
+type suppressions struct {
+	byLine    map[string]map[int]string
+	malformed []Diagnostic
+}
+
+func (s *suppressions) lookup(check string, line int) (reason string, ok bool) {
+	reason, ok = s.byLine[check][line]
+	return reason, ok
+}
+
+func (s *suppressions) add(check string, line int, reason string) {
+	if s.byLine[check] == nil {
+		if s.byLine == nil {
+			s.byLine = make(map[string]map[int]string)
+		}
+		s.byLine[check] = make(map[int]string)
+	}
+	s.byLine[check][line] = reason
+	s.byLine[check][line+1] = reason
+}
+
+// collectSuppressions extracts every //lint:allow and //turbdb:ignore
+// directive of the package.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	sup := &suppressions{byLine: make(map[string]map[int]string)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				m := allowRe.FindStringSubmatch(strings.TrimSpace(text))
-				if m == nil {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if m := allowRe.FindStringSubmatch(text); m != nil {
+					line := fset.Position(c.Pos()).Line
+					for _, check := range strings.Split(m[1], ",") {
+						sup.add(check, line, "")
+					}
 					continue
 				}
-				line := fset.Position(c.Pos()).Line
-				for _, check := range strings.Split(m[1], ",") {
-					if allowed[check] == nil {
-						allowed[check] = make(map[int]bool)
+				if m := ignoreRe.FindStringSubmatch(text); m != nil {
+					line := fset.Position(c.Pos()).Line
+					if m[2] == "" {
+						sup.malformed = append(sup.malformed, Diagnostic{
+							Pos:     fset.Position(c.Pos()),
+							Check:   "ignore",
+							Message: fmt.Sprintf("//turbdb:ignore %s is missing its mandatory reason", m[1]),
+						})
+						continue
 					}
-					allowed[check][line] = true
-					allowed[check][line+1] = true
+					sup.add(m[1], line, m[2])
 				}
 			}
 		}
 	}
-	return allowed
+	return sup
+}
+
+// allowedLines is the legacy view of collectSuppressions kept for the
+// directive-scope tests: per check name, the covered source lines.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	sup := collectSuppressions(fset, files)
+	out := make(map[string]map[int]bool)
+	for check, lines := range sup.byLine {
+		out[check] = make(map[int]bool, len(lines))
+		for line := range lines {
+			out[check][line] = true
+		}
+	}
+	return out
 }
 
 // Analyze runs the given analyzers over one package and returns the
-// unsuppressed findings sorted by position.
+// unsuppressed findings sorted by position. Malformed suppression
+// directives (a //turbdb:ignore without a reason) count as findings.
 func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	allowed := allowedLines(pkg.Fset, pkg.Files)
-	var diags []Diagnostic
+	active, _ := AnalyzeAll(pkg, analyzers)
+	return active
+}
+
+// AnalyzeAll runs the given analyzers over one package and returns both the
+// active findings (which fail the gate) and the suppressed ones (silenced
+// by a directive, carried into machine-readable reports with their reasons).
+// Both slices are sorted by position.
+func AnalyzeAll(pkg *Package, analyzers []*Analyzer) (active, suppressed []Diagnostic) {
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	active = append(active, sup.malformed...)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Package: pkg,
 			check:   a.Name,
 			report: func(d Diagnostic) {
-				if allowed[d.Check][d.Pos.Line] {
+				if reason, ok := sup.lookup(d.Check, d.Pos.Line); ok {
+					d.Suppressed = true
+					d.SuppressReason = reason
+					suppressed = append(suppressed, d)
 					return
 				}
-				diags = append(diags, d)
+				active = append(active, d)
 			},
 		}
 		a.Run(pass)
 	}
+	sortDiags(active)
+	sortDiags(suppressed)
+	return active, suppressed
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -143,5 +238,4 @@ func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return diags
 }

@@ -68,9 +68,24 @@ func TestAnalyzers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"lockcheck", "droppederr", "floateq", "magicatom"} {
-		t.Run(name, func(t *testing.T) {
-			dir := filepath.Join(root, name)
+	cases := []struct {
+		name string // analyzer to run
+		dir  string // fixture package, relative to testdata/src
+	}{
+		{"lockcheck", "lockcheck"},
+		{"droppederr", "droppederr"},
+		{"floateq", "floateq"},
+		{"magicatom", "magicatom"},
+		{"ctxpropagate", "ctxpropagate"},
+		{"ctxpropagate", filepath.Join("internal", "wire")},
+		{"rowkernel", "rowkernel"},
+		{"rowkernel", filepath.Join("internal", "stencil")},
+		{"poolcheck", "poolcheck"},
+	}
+	for _, tc := range cases {
+		name := tc.name
+		t.Run(name+"/"+filepath.Base(tc.dir), func(t *testing.T) {
+			dir := filepath.Join(root, tc.dir)
 			pkgs, err := loader.Load(dir)
 			if err != nil {
 				t.Fatal(err)
@@ -113,6 +128,53 @@ func TestAnalyzers(t *testing.T) {
 				t.Error("fixture produced no diagnostics at all; detection is broken")
 			}
 		})
+	}
+}
+
+// TestIgnoreDirective pins the //turbdb:ignore contract: a well-formed
+// directive suppresses the finding and carries its mandatory reason into the
+// suppressed report; a reasonless directive is itself an active finding and
+// suppresses nothing.
+func TestIgnoreDirective(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(filepath.Join(root, "ignorefix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, suppressed := AnalyzeAll(pkgs[0], []*Analyzer{analyzerByName(t, "floateq")})
+
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed = %v, want exactly one finding", suppressed)
+	}
+	s := suppressed[0]
+	if !s.Suppressed || s.Check != "floateq" {
+		t.Errorf("suppressed finding = %+v, want Suppressed floateq", s)
+	}
+	if want := "exact bit equality intended for dedup keys"; s.SuppressReason != want {
+		t.Errorf("SuppressReason = %q, want %q", s.SuppressReason, want)
+	}
+
+	if len(active) != 2 {
+		t.Fatalf("active = %v, want the malformed directive plus the unsuppressed comparison", active)
+	}
+	var sawMalformed, sawFloatEq bool
+	for _, d := range active {
+		switch d.Check {
+		case "ignore":
+			sawMalformed = true
+			if !strings.Contains(d.Message, "missing its mandatory reason") {
+				t.Errorf("malformed-directive message = %q", d.Message)
+			}
+		case "floateq":
+			sawFloatEq = true
+		}
+	}
+	if !sawMalformed || !sawFloatEq {
+		t.Errorf("active findings %v missing malformed directive or floateq", active)
 	}
 }
 

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -26,9 +27,10 @@ type Loader struct {
 	// IncludeTests also loads _test.go files into their packages.
 	IncludeTests bool
 
-	fset *token.FileSet
-	std  types.Importer
-	pkgs map[string]*Package
+	fset       *token.FileSet
+	std        types.Importer
+	pkgs       map[string]*Package
+	rowKernels map[types.Object]bool // //turbdb:rowkernel functions, module-wide
 }
 
 // NewLoader locates the module enclosing dir (by walking up to go.mod).
@@ -59,6 +61,7 @@ func NewLoader(dir string) (*Loader, error) {
 		fset:       fset,
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
+		rowKernels: make(map[types.Object]bool),
 	}, nil
 }
 
@@ -160,16 +163,27 @@ func hasGoFiles(dir string, includeTests bool) bool {
 		return false
 	}
 	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
-			continue
+		if !e.IsDir() && includeFile(dir, e.Name(), includeTests) {
+			return true
 		}
-		if !includeTests && strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		return true
 	}
 	return false
+}
+
+// includeFile reports whether a file participates in the package on the
+// current platform: Go source, not hidden, test files only on request, and
+// build constraints (//go:build lines, GOOS/GOARCH name suffixes) satisfied.
+// A file excluded by tags must never reach the type checker, where its
+// legitimately conflicting declarations would poison the whole package.
+func includeFile(dir, name string, includeTests bool) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return false
+	}
+	if !includeTests && strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
 }
 
 // dirFor maps a module-internal import path to its directory.
@@ -202,14 +216,10 @@ func (l *Loader) load(importPath string) (*Package, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+		if e.IsDir() || !includeFile(dir, e.Name(), l.IncludeTests) {
 			continue
 		}
-		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		names = append(names, name)
+		names = append(names, e.Name())
 	}
 	sort.Strings(names)
 	var files []*ast.File
@@ -274,8 +284,44 @@ func (l *Loader) load(importPath string) (*Package, error) {
 	//lint:allow droppederr type errors are collected via conf.Error above
 	tpkg, _ := conf.Check(importPath, l.fset, files, pkg.Info)
 	pkg.Types = tpkg
+	pkg.RowKernels = l.rowKernels
+	l.recordRowKernels(pkg)
 	l.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// recordRowKernels registers the package's //turbdb:rowkernel-annotated
+// functions in the loader-wide map. Dependencies load before their
+// importers, so by the time a package is analyzed the annotations of every
+// callee it can name are already resolved.
+func (l *Loader) recordRowKernels(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasRowKernelDirective(fd.Doc) {
+				continue
+			}
+			if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+				l.rowKernels[obj] = true
+			}
+		}
+	}
+}
+
+// hasRowKernelDirective reports whether a doc comment group carries the
+// //turbdb:rowkernel annotation (its own line, optionally with trailing
+// commentary after a space).
+func hasRowKernelDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == "turbdb:rowkernel" || strings.HasPrefix(text, "turbdb:rowkernel ") {
+			return true
+		}
+	}
+	return false
 }
 
 // loaderImporter resolves imports during type checking: module-internal

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolCheck enforces sync.Pool hygiene on the block-recycling hot path
+// (PR 3's size-bucketed pool of halo-extended blocks). Per function it
+// checks three contracts:
+//
+//  1. Every value drawn with Get must be type-asserted with the comma-ok
+//     form before use. A pool is shared mutable state: a plain assertion
+//     turns an unexpected element type (a refactor that changes what gets
+//     Put) into a runtime panic inside the scan loop, while comma-ok
+//     degrades to the allocate-fresh fallback.
+//  2. A value passed to Put must not be used afterwards in the same block:
+//     after Put, another goroutine may already own it, so any later read or
+//     write is a data race the race detector only catches under load.
+//  3. A pooled slice must not be resliced off its origin (s = s[1:], or
+//     Put(s[n:])): the dropped prefix capacity is lost for every future
+//     borrower, silently shrinking the pool's buffers until they are
+//     useless.
+//
+// The analysis is a per-function approximation: values are tracked through
+// direct assignment from Get and through type assertions of such values;
+// use-after-Put is checked within the statement list of the block containing
+// the Put.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "check sync.Pool usage: comma-ok Get assertions, no use after Put, no capacity-dropping reslices",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolUsage(pass, fd.Body)
+		}
+	}
+}
+
+// poolMethod reports whether call invokes the named method of *sync.Pool.
+func poolMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.FullName() == "(*sync.Pool)."+name
+}
+
+func checkPoolUsage(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: find Get calls and the variables their results land in —
+	// both the raw interface value (v := p.Get()) and pooled concrete
+	// values extracted by assertion (bl, ok := v.(*T)).
+	getCalls := make(map[*ast.CallExpr]bool)
+	rawVars := make(map[types.Object]*ast.CallExpr) // interface-typed Get results
+	pooled := make(map[types.Object]bool)           // any value known to come from the pool
+	claimed := make(map[*ast.CallExpr]bool)         // Get calls consumed by an assign or assert
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && poolMethod(pass, call, "Get") {
+			getCalls[call] = true
+		}
+		return true
+	})
+	isPooledExpr := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok {
+			return getCalls[call]
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			obj := pass.Info.Uses[id]
+			return rawVars[obj] != nil || pooled[obj]
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		rhs := ast.Unparen(assign.Rhs[0])
+		if call, ok := rhs.(*ast.CallExpr); ok && getCalls[call] && len(assign.Lhs) == 1 {
+			if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+				if obj := defOrUse(pass, id); obj != nil {
+					rawVars[obj] = call
+					claimed[call] = true
+				}
+			}
+		}
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok && isPooledExpr(ta.X) && len(assign.Lhs) >= 1 {
+			if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+				if obj := defOrUse(pass, id); obj != nil {
+					pooled[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: check every type assertion on a pooled value for comma-ok
+	// form, and record which raw Get results were asserted at all.
+	asserted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ta, ok := n.(*ast.TypeAssertExpr)
+		if !ok || ta.Type == nil || !isPooledExpr(ta.X) {
+			return true
+		}
+		if call, ok := ast.Unparen(ta.X).(*ast.CallExpr); ok {
+			claimed[call] = true
+		}
+		if id, ok := ast.Unparen(ta.X).(*ast.Ident); ok {
+			asserted[pass.Info.Uses[id]] = true
+		}
+		if !isCommaOkAssert(pass, ta) {
+			pass.Reportf(ta.Pos(), "type assertion on sync.Pool.Get result must use the comma-ok form")
+		}
+		return true
+	})
+	for obj, call := range rawVars {
+		if !asserted[obj] {
+			pass.Reportf(call.Pos(), "result of sync.Pool.Get is never type-asserted; assert it with the comma-ok form before use")
+		}
+	}
+	for call := range getCalls {
+		if !claimed[call] {
+			pass.Reportf(call.Pos(), "result of sync.Pool.Get used without a type assertion")
+		}
+	}
+
+	// Pass 3: use-after-Put within each statement list, and capacity-
+	// dropping reslices of pooled slices.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if block, ok := n.(*ast.BlockStmt); ok {
+			checkUseAfterPut(pass, block.List)
+		}
+		if assign, ok := n.(*ast.AssignStmt); ok {
+			checkPooledReslice(pass, assign, pooled, rawVars)
+		}
+		if call, ok := n.(*ast.CallExpr); ok && poolMethod(pass, call, "Put") && len(call.Args) == 1 {
+			if se, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok && dropsPrefixCap(se) {
+				pass.Reportf(call.Args[0].Pos(), "Put of a reslice that drops prefix capacity; future Gets see a shrunken buffer")
+			}
+		}
+		return true
+	})
+}
+
+func defOrUse(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+// isCommaOkAssert reports whether a type assertion is used in comma-ok form;
+// go/types records the (T, bool) tuple for such expressions.
+func isCommaOkAssert(pass *Pass, ta *ast.TypeAssertExpr) bool {
+	tv, ok := pass.Info.Types[ta]
+	if !ok {
+		return false
+	}
+	_, isTuple := tv.Type.(*types.Tuple)
+	return isTuple
+}
+
+// checkUseAfterPut scans one statement list: once a pooled value is handed
+// back with Put, any later mention of the same variable (other than
+// reassigning it) is a use of memory another goroutine may own.
+func checkUseAfterPut(pass *Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || !poolMethod(pass, call, "Put") || len(call.Args) != 1 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			continue
+		}
+		for _, later := range stmts[i+1:] {
+			reportUses(pass, later, obj, id.Name)
+		}
+	}
+}
+
+// reportUses flags reads of obj inside stmt. Idents that are pure
+// reassignment targets (LHS of =) are exempt: overwriting the variable after
+// Put is the correct way to drop the reference.
+func reportUses(pass *Pass, stmt ast.Stmt, obj types.Object, name string) {
+	lhsOnly := make(map[*ast.Ident]bool)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if assign, ok := n.(*ast.AssignStmt); ok && assign.Tok.String() == "=" {
+			for _, lhs := range assign.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					lhsOnly[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhsOnly[id] || pass.Info.Uses[id] != obj {
+			return true
+		}
+		pass.Reportf(id.Pos(), "%s is used after being Put back into its sync.Pool; another goroutine may own it", name)
+		return true
+	})
+}
+
+// checkPooledReslice flags s = s[low:…] with non-zero low on a pooled slice:
+// the prefix capacity is lost to every future borrower.
+func checkPooledReslice(pass *Pass, assign *ast.AssignStmt, pooled map[types.Object]bool, rawVars map[types.Object]*ast.CallExpr) {
+	for i, lhs := range assign.Lhs {
+		if i >= len(assign.Rhs) {
+			break
+		}
+		lid, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := defOrUse(pass, lid)
+		if obj == nil || (!pooled[obj] && rawVars[obj] == nil) {
+			continue
+		}
+		se, ok := ast.Unparen(assign.Rhs[i]).(*ast.SliceExpr)
+		if !ok {
+			continue
+		}
+		xid, ok := ast.Unparen(se.X).(*ast.Ident)
+		if !ok || pass.Info.Uses[xid] != obj {
+			continue
+		}
+		if dropsPrefixCap(se) {
+			pass.Reportf(se.Pos(), "reslicing pooled %s off its origin drops capacity for every future borrower; keep the full slice and track length separately", lid.Name)
+		}
+	}
+}
+
+// dropsPrefixCap reports whether a slice expression discards the prefix of
+// its backing array (non-zero low bound).
+func dropsPrefixCap(se *ast.SliceExpr) bool {
+	return se.Low != nil && !isIntLit(se.Low, "0")
+}

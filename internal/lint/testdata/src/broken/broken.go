@@ -1,0 +1,8 @@
+// Package broken deliberately fails type checking: the loader must still
+// return the package with TypeErrors populated (no panic, no hard error) so
+// the driver can surface the problem and keep analyzing other packages.
+package broken
+
+func Broken() int {
+	return undefinedIdentifier + 1
+}

@@ -1,0 +1,9 @@
+// Package buildtags proves the loader keeps tag-excluded files away from
+// the type checker: the sibling files re-declare Marker, so the package only
+// type-checks if those files are excluded.
+package buildtags
+
+// Marker is re-declared in excluded.go (//go:build ignore) and in
+// buildtags_plan9.go (GOOS suffix). Either file reaching the type checker
+// poisons the package with a redeclaration error.
+const Marker = "included"

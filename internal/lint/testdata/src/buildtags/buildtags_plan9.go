@@ -1,0 +1,3 @@
+package buildtags
+
+const Marker = "excluded-by-goos-suffix"

@@ -1,0 +1,5 @@
+//go:build ignore
+
+package buildtags
+
+const Marker = "excluded-by-build-constraint"

@@ -1,0 +1,94 @@
+// Package ctxpropagate exercises rule 1 of the ctxpropagate analyzer:
+// functions that hold a context must forward it to blocking callees.
+// (Rule 2 — exported distributed-path functions must accept a ctx — is
+// exercised by the fixtures/internal/wire package, whose import path matches
+// the analyzer's distributed-path suffix list.)
+package ctxpropagate
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func fetch(ctx context.Context, url string) error {
+	_ = ctx
+	_ = url
+	return nil
+}
+
+// --- positive cases -------------------------------------------------------
+
+func refreshBackground(ctx context.Context, url string) error {
+	return fetch(context.Background(), url) // want `refreshBackground holds a ctx but passes context.Background\(\) to fetch`
+}
+
+func refreshTODO(ctx context.Context, url string) error {
+	return fetch(context.TODO(), url) // want `passes context.TODO\(\) to fetch`
+}
+
+func refreshNil(ctx context.Context, url string) error {
+	return fetch(nil, url) // want `passes nil to fetch`
+}
+
+func backoff(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want `time.Sleep cannot be canceled`
+}
+
+func buildRequest(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `use http.NewRequestWithContext`
+}
+
+func post(ctx context.Context, c *http.Client, url string) {
+	//lint:allow droppederr fixture exercises ctxpropagate only
+	c.Post(url, "text/plain", nil) // want `use http.NewRequestWithContext \+ client.Do`
+}
+
+func waitBare(ctx context.Context, ch chan int) int {
+	return <-ch // want `blocking channel receive in waitBare ignores its ctx`
+}
+
+// --- negative cases -------------------------------------------------------
+
+// forwardOK forwards its context directly.
+func forwardOK(ctx context.Context, url string) error {
+	return fetch(ctx, url)
+}
+
+// derivedOK forwards a context derived from its own.
+func derivedOK(ctx context.Context, url string) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return fetch(tctx, url)
+}
+
+// selectOK pairs the channel receive with ctx.Done() in a select.
+func selectOK(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// doneOK: a bare receive from the context's own Done channel IS the
+// cancellation wait.
+func doneOK(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// noCtxCaller holds no context, so there is nothing to forward; this package
+// is not on the distributed-path list, so rule 2 stays silent too.
+func noCtxCaller(url string) error {
+	return fetch(context.Background(), url)
+}
+
+// literalOwnCtx: a function literal declaring its own ctx parameter starts a
+// fresh scope and forwards correctly.
+func literalOwnCtx(ctx context.Context, url string) error {
+	run := func(ctx context.Context) error {
+		return fetch(ctx, url)
+	}
+	return run(ctx)
+}

@@ -1,0 +1,17 @@
+// Package ignorefix exercises the //turbdb:ignore suppression directive:
+// a well-formed directive silences a finding and carries its mandatory
+// reason into the report; a reasonless directive is itself a finding and
+// suppresses nothing.
+package ignorefix
+
+// eqSuppressed is silenced by a well-formed directive.
+func eqSuppressed(a, b float64) bool {
+	return a == b //turbdb:ignore floateq exact bit equality intended for dedup keys
+}
+
+// eqMalformed: the directive below is missing its mandatory reason, so it is
+// reported itself and the float comparison stays an active finding.
+func eqMalformed(a, b float64) bool {
+	//turbdb:ignore floateq
+	return a == b
+}

@@ -1,0 +1,32 @@
+// Package stencil mirrors the row-path layout (its import path ends in
+// internal/stencil) to exercise the rowkernel must-annotate registry:
+// functions listed in mustAnnotateRowKernels must carry //turbdb:rowkernel,
+// so deleting an annotation fails the gate.
+package stencil
+
+type Stencil struct {
+	HalfWidth int
+}
+
+//turbdb:rowkernel
+func (s *Stencil) DerivRow(dst, src []float64) {
+	s.derivRow(dst, src)
+}
+
+//turbdb:rowkernel
+func (s *Stencil) derivRow(dst, src []float64) {
+	for i := range src {
+		dst[i] = src[i] * float64(s.HalfWidth)
+	}
+}
+
+// GradientRow is registered in mustAnnotateRowKernels but has lost its
+// annotation: the registry pins it.
+func (s *Stencil) GradientRow(dst, src []float64) { // want `Stencil.GradientRow is a registered row kernel and must carry a //turbdb:rowkernel annotation`
+	s.derivRow(dst, src)
+}
+
+// helper is not registered and not annotated: free to allocate.
+func helper(n int) []float64 {
+	return make([]float64, n)
+}

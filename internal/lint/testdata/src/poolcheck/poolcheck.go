@@ -1,0 +1,92 @@
+// Package poolcheck exercises the poolcheck analyzer: comma-ok assertions on
+// sync.Pool.Get results, no use after Put, no capacity-dropping reslices of
+// pooled slices.
+package poolcheck
+
+import "sync"
+
+type buffer struct {
+	n    int
+	data []float64
+}
+
+// --- positive cases -------------------------------------------------------
+
+func badAssert(p *sync.Pool) *buffer {
+	b := p.Get().(*buffer) // want `type assertion on sync.Pool.Get result must use the comma-ok form`
+	return b
+}
+
+func badNeverAsserted(p *sync.Pool) any {
+	v := p.Get() // want `result of sync.Pool.Get is never type-asserted`
+	return v
+}
+
+func badDirectUse(p *sync.Pool) {
+	consume(p.Get()) // want `result of sync.Pool.Get used without a type assertion`
+}
+
+func badUseAfterPut(p *sync.Pool, b *buffer) {
+	p.Put(b)
+	b.n = 1 // want `b is used after being Put back into its sync.Pool`
+}
+
+func badReslice(p *sync.Pool) {
+	v := p.Get()
+	s, ok := v.([]float64)
+	if !ok {
+		return
+	}
+	s = s[1:] // want `reslicing pooled s off its origin drops capacity`
+	p.Put(s)
+}
+
+func badPutReslice(p *sync.Pool, s []float64) {
+	p.Put(s[2:]) // want `Put of a reslice that drops prefix capacity`
+}
+
+// --- negative cases -------------------------------------------------------
+
+// goodCommaOk degrades to a fresh allocation when the pool holds something
+// unexpected.
+func goodCommaOk(p *sync.Pool) *buffer {
+	v := p.Get()
+	b, ok := v.(*buffer)
+	if !ok {
+		return &buffer{}
+	}
+	return b
+}
+
+// goodDirectCommaOk asserts the Get result in place, comma-ok form.
+func goodDirectCommaOk(p *sync.Pool) *buffer {
+	if b, ok := p.Get().(*buffer); ok {
+		return b
+	}
+	return &buffer{}
+}
+
+// goodResetReslice keeps the slice anchored at its origin: length resets and
+// zero-based reslices preserve capacity.
+func goodResetReslice(p *sync.Pool) {
+	v := p.Get()
+	s, ok := v.([]float64)
+	if !ok {
+		return
+	}
+	s = s[:0]
+	s = append(s, 1)
+	s = s[0:1]
+	p.Put(s)
+}
+
+// goodPutLast: touching a different value after Put is fine.
+func goodPutLast(p *sync.Pool, b, c *buffer) {
+	c.n = 2
+	p.Put(b)
+	c.n = 3
+}
+
+func consume(v any) {
+	_ = v
+}

@@ -1,0 +1,14 @@
+// Package testonly contains nothing but a test file: without IncludeTests
+// the loader must refuse it with a clear error instead of panicking, and
+// with IncludeTests it must load normally.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {
+	if testOnlyMarker != 42 {
+		t.Fatal("marker changed")
+	}
+}
+
+const testOnlyMarker = 42

@@ -38,15 +38,14 @@ const RequestWireBytes = 512
 
 // NodeClient is the mediator's view of one database node. *node.Node
 // satisfies it directly; the wire package provides an HTTP-backed
-// implementation. Query methods honor ctx cancellation and deadlines;
-// management methods (cache drop, worker count) are bounded by the
-// transport's own request timeout.
+// implementation. Every method — queries and management alike — honors ctx
+// cancellation and deadlines.
 type NodeClient interface {
 	GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold) (*node.ThresholdResult, error)
 	GetPDF(ctx context.Context, p *sim.Proc, q query.PDF) (*node.PDFResult, error)
 	GetTopK(ctx context.Context, p *sim.Proc, q query.TopK) (*node.TopKResult, error)
-	DropCacheEntry(fieldName string, order, step int) error
-	SetProcesses(p int) error
+	DropCacheEntry(ctx context.Context, fieldName string, order, step int) error
+	SetProcesses(ctx context.Context, p int) error
 	Describe(ctx context.Context) (node.Description, error)
 }
 
@@ -99,6 +98,8 @@ type Mediator struct {
 // (dataset, geometry, owned range) and builds a Mediator. A node that is
 // unreachable at assembly time is a constructor error — queries never
 // panic on an unavailable topology.
+//
+//turbdb:ignore ctxpropagate the Describe round-trips are bounded by cfg.DescribeCtx; a ctx parameter would duplicate the config field
 func New(cfg Config) (*Mediator, error) {
 	if len(cfg.Nodes) == 0 {
 		return nil, fmt.Errorf("mediator: at least one node required")
@@ -457,10 +458,11 @@ func (m *Mediator) TopK(ctx context.Context, p *sim.Proc, q query.TopK) ([]query
 }
 
 // DropCache removes cached results for (field, order, step) on every node —
-// the cold-cache knob of the paper's experiments.
-func (m *Mediator) DropCache(fieldName string, order, step int) error {
+// the cold-cache knob of the paper's experiments. ctx bounds the whole
+// fan-out.
+func (m *Mediator) DropCache(ctx context.Context, fieldName string, order, step int) error {
 	for _, n := range m.nodes {
-		if err := n.DropCacheEntry(fieldName, order, step); err != nil {
+		if err := n.DropCacheEntry(ctx, fieldName, order, step); err != nil {
 			return err
 		}
 	}
@@ -468,10 +470,10 @@ func (m *Mediator) DropCache(fieldName string, order, step int) error {
 }
 
 // SetProcesses sets the per-query worker count on every node (the scale-up
-// knob of Fig. 7a).
-func (m *Mediator) SetProcesses(procs int) error {
+// knob of Fig. 7a). ctx bounds the whole fan-out.
+func (m *Mediator) SetProcesses(ctx context.Context, procs int) error {
 	for _, n := range m.nodes {
-		if err := n.SetProcesses(procs); err != nil {
+		if err := n.SetProcesses(ctx, procs); err != nil {
 			return err
 		}
 	}

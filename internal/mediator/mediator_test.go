@@ -220,7 +220,7 @@ func TestTopKGlobalMerge(t *testing.T) {
 func TestSetProcessesFansOut(t *testing.T) {
 	nodes, _ := buildNodes(t, 3)
 	m := mediatorOver(t, nodes)
-	if err := m.SetProcesses(4); err != nil {
+	if err := m.SetProcesses(context.Background(), 4); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range nodes {
@@ -228,7 +228,7 @@ func TestSetProcessesFansOut(t *testing.T) {
 			t.Errorf("node %d processes = %d", n.ID(), n.Processes())
 		}
 	}
-	if err := m.SetProcesses(0); err == nil {
+	if err := m.SetProcesses(context.Background(), 0); err == nil {
 		t.Error("SetProcesses(0) accepted")
 	}
 }

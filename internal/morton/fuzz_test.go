@@ -1,0 +1,56 @@
+package morton
+
+import "testing"
+
+// FuzzEncodeDecode checks the encode→decode round trip over arbitrary
+// coordinates: any triple masked into the encodable range must survive the
+// bit-interleaving unchanged, and the code must stay within 63 bits.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(1), uint32(2), uint32(3))
+	f.Add(uint32(MaxCoord-1), uint32(MaxCoord-1), uint32(MaxCoord-1))
+	f.Add(uint32(0x155555), uint32(0x0AAAAA), uint32(0x133333))
+	f.Add(uint32(8), uint32(512), uint32(64))
+	f.Fuzz(func(t *testing.T, x, y, z uint32) {
+		// Encode masks to the low 21 bits by contract; fold the inputs the
+		// same way so the round trip is exact.
+		x, y, z = x%MaxCoord, y%MaxCoord, z%MaxCoord
+		c, err := EncodeChecked(x, y, z)
+		if err != nil {
+			t.Fatalf("EncodeChecked(%d,%d,%d) rejected in-range coords: %v", x, y, z, err)
+		}
+		if c != Encode(x, y, z) {
+			t.Fatalf("EncodeChecked and Encode disagree at (%d,%d,%d)", x, y, z)
+		}
+		if uint64(c) >= 1<<63 {
+			t.Fatalf("Encode(%d,%d,%d) = %d overflows 63 bits", x, y, z, c)
+		}
+		gx, gy, gz := c.Decode()
+		if gx != x || gy != y || gz != z {
+			t.Fatalf("Decode(Encode(%d,%d,%d)) = (%d,%d,%d)", x, y, z, gx, gy, gz)
+		}
+		if c.X() != gx || c.Y() != gy || c.Z() != gz {
+			t.Fatalf("per-axis accessors disagree with Decode for %v", c)
+		}
+	})
+}
+
+// FuzzCodeRoundTrip checks the decode→encode round trip from the code side:
+// every 63-bit code is the unique encoding of its decoded coordinates.
+func FuzzCodeRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(0x7FFFFFFFFFFFFFFF))
+	f.Add(uint64(0x1249249249249249))
+	f.Add(uint64(511))
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		c := Code(raw & (1<<63 - 1)) // codes use 63 bits (21 per axis)
+		x, y, z := c.Decode()
+		if x >= MaxCoord || y >= MaxCoord || z >= MaxCoord {
+			t.Fatalf("Decode(%d) = (%d,%d,%d) out of range", uint64(c), x, y, z)
+		}
+		if rt := Encode(x, y, z); rt != c {
+			t.Fatalf("Encode(Decode(%d)) = %d", uint64(c), uint64(rt))
+		}
+	})
+}

@@ -22,6 +22,7 @@ func BenchmarkThresholdScan(b *testing.B) {
 	for _, name := range []string{derived.Velocity, derived.Vorticity, derived.QCriterion} {
 		b.Run(fmt.Sprintf("%s/o4", name), func(b *testing.B) {
 			points := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := n.GetThreshold(context.Background(), nil, query.Threshold{
@@ -59,6 +60,7 @@ func BenchmarkAssembleExtended(b *testing.B) {
 		b.Fatal(data.err)
 	}
 	blocks := data.blocks[f.Raws[0].Name]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := codes[i%len(codes)]

@@ -289,9 +289,10 @@ func (bp *blockPool) get(box grid.Box, nc int) *field.Block {
 	}
 	bp.mu.Unlock()
 	if v := p.Get(); v != nil {
-		bl := v.(*field.Block)
-		bl.Reset(box, nc)
-		return bl
+		if bl, ok := v.(*field.Block); ok {
+			bl.Reset(box, nc)
+			return bl
+		}
 	}
 	return field.NewBlock(box, nc)
 }
@@ -341,6 +342,8 @@ func (n *Node) assembleExtended(g grid.Grid, blocks map[morton.Code]*field.Block
 
 // floorDiv divides rounding toward negative infinity (halo boxes have
 // negative coordinates before wrapping).
+//
+//turbdb:rowkernel
 func floorDiv(a, b int) int {
 	q := a / b
 	if a%b != 0 && (a < 0) != (b < 0) {

@@ -79,11 +79,11 @@ type Config struct {
 // Node is one database node. Safe for concurrent queries in real mode; in
 // simulation mode the DES kernel provides the concurrency.
 type Node struct {
-	id        int
-	dataset   string
-	store     *store.Store
-	cache     *cache.Cache
-	registry  *derived.Registry
+	id          int
+	dataset     string
+	store       *store.Store
+	cache       *cache.Cache
+	registry    *derived.Registry
 	peers       PeerFetcher
 	processes   int // guarded by mu
 	exec        *Exec
@@ -153,8 +153,14 @@ func (n *Node) Cache() *cache.Cache { return n.cache }
 // Store returns the node's raw-data store.
 func (n *Node) Store() *store.Store { return n.store }
 
-// SetProcesses changes the per-query worker count (the scale-up knob).
-func (n *Node) SetProcesses(p int) error {
+// SetProcesses changes the per-query worker count (the scale-up knob). The
+// in-process update is quick; ctx matters for the mediator.NodeClient
+// contract (the wire implementation blocks on the network) and is still
+// honored if already canceled.
+func (n *Node) SetProcesses(ctx context.Context, p int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if p < 1 {
 		return fmt.Errorf("node: processes must be ≥ 1, got %d", p)
 	}

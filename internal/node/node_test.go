@@ -209,10 +209,10 @@ func TestNewValidation(t *testing.T) {
 	if n.Processes() != 1 {
 		t.Errorf("default processes = %d", n.Processes())
 	}
-	if err := n.SetProcesses(0); err == nil {
+	if err := n.SetProcesses(context.Background(), 0); err == nil {
 		t.Error("SetProcesses(0) accepted")
 	}
-	if err := n.SetProcesses(4); err != nil || n.Processes() != 4 {
+	if err := n.SetProcesses(context.Background(), 4); err != nil || n.Processes() != 4 {
 		t.Errorf("SetProcesses: %v, %d", err, n.Processes())
 	}
 }
@@ -395,7 +395,7 @@ func TestDropCacheEntry(t *testing.T) {
 	if _, err := nodes[0].GetThreshold(context.Background(), nil, q); err != nil {
 		t.Fatal(err)
 	}
-	if err := nodes[0].DropCacheEntry(derived.Vorticity, 0, 0); err != nil {
+	if err := nodes[0].DropCacheEntry(context.Background(), derived.Vorticity, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	r, err := nodes[0].GetThreshold(context.Background(), nil, q)

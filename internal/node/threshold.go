@@ -167,8 +167,13 @@ func (n *Node) GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold)
 }
 
 // DropCacheEntry removes cached results for (field, order, step), used to
-// force cold-cache runs in experiments.
-func (n *Node) DropCacheEntry(fieldName string, order, step int) error {
+// force cold-cache runs in experiments. The in-process drop is quick; ctx
+// matters for the mediator.NodeClient contract (the wire implementation
+// blocks on the network) and is still honored if already canceled.
+func (n *Node) DropCacheEntry(ctx context.Context, fieldName string, order, step int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n.cache == nil {
 		return nil
 	}

@@ -24,6 +24,7 @@ func BenchmarkDerivRow(b *testing.B) {
 		bl := randomBlock(rng, inner.Expand(s.HalfWidth), 3)
 		out := make([]float64, benchRun)
 		b.Run(fmt.Sprintf("o%d/perpoint", order), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for x := 0; x < benchRun; x++ {
 					out[x] = s.Deriv(bl, grid.Point{X: x}, 0, AxisX, 0.01)
@@ -32,6 +33,7 @@ func BenchmarkDerivRow(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*benchRun), "ns/point")
 		})
 		b.Run(fmt.Sprintf("o%d/row", order), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s.DerivRow(bl, grid.Point{}, benchRun, 0, AxisX, 0.01, out)
 			}
@@ -51,6 +53,7 @@ func BenchmarkGradientRow(b *testing.B) {
 		bl := randomBlock(rng, inner.Expand(s.HalfWidth), 3)
 		out := make([]float64, 9*benchRun)
 		b.Run(fmt.Sprintf("o%d", order), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s.GradientRow(bl, grid.Point{}, benchRun, 0.01, out)
 			}

@@ -111,6 +111,8 @@ func (s Stencil) Gradient(bl *field.Block, p grid.Point, dx float64) [3][3]float
 // axis. The flat strides are computed once per row and the accumulation
 // replays Deriv's float64 operation sequence exactly, so DerivRow is
 // bit-for-bit identical to n calls of Deriv.
+//
+//turbdb:rowkernel
 func (s Stencil) DerivRow(bl *field.Block, p grid.Point, n, c int, axis Axis, dx float64, out []float64) {
 	s.derivRow(bl, p, n, c, axis, dx, out[:n], 1)
 }
@@ -118,6 +120,8 @@ func (s Stencil) DerivRow(bl *field.Block, p grid.Point, n, c int, axis Axis, dx
 // GradientRow evaluates the gradient tensor of a 3-component block at the n
 // x-consecutive points starting at p, writing G[r][c] = ∂u_r/∂x_c into
 // out[9·i + 3·r + c] for the i-th point. out must have length ≥ 9·n.
+//
+//turbdb:rowkernel
 func (s Stencil) GradientRow(bl *field.Block, p grid.Point, n int, dx float64, out []float64) {
 	if n <= 0 {
 		return
@@ -136,6 +140,8 @@ func (s Stencil) GradientRow(bl *field.Block, p grid.Point, n int, dx float64, o
 // common half-widths are unrolled. Each per-point accumulation mirrors
 // Deriv (sum starts at zero, taps added in ascending k, one final division
 // by dx) so results match the per-point path bit-for-bit.
+//
+//turbdb:rowkernel
 func (s Stencil) derivRow(bl *field.Block, p grid.Point, n, c int, axis Axis, dx float64, out []float64, ostride int) {
 	if n <= 0 {
 		return

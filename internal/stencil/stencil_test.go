@@ -173,6 +173,7 @@ func BenchmarkGradient(b *testing.B) {
 		vals[1] = float64(p.Y * p.Z)
 		vals[2] = float64(p.Z * p.X)
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.Gradient(bl, grid.Point{}, 1)

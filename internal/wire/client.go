@@ -110,7 +110,7 @@ func (c *Client) withDeadline(ctx context.Context) (context.Context, context.Can
 // the underlying connection can be reused. Best-effort on both counts.
 func drainClose(body io.ReadCloser) {
 	_, _ = io.Copy(io.Discard, io.LimitReader(body, maxErrorBody)) //lint:allow droppederr best-effort drain for connection reuse
-	_ = body.Close()                                              //lint:allow droppederr close error on a read body is unactionable
+	_ = body.Close()                                               //lint:allow droppederr close error on a read body is unactionable
 }
 
 // call POSTs req and decodes the response into resp, honoring ctx for
@@ -267,15 +267,16 @@ func (c *Client) FetchAtoms(ctx context.Context, _ *sim.Proc, rawField string, s
 	return out, nil
 }
 
-// DropCacheEntry implements mediator.NodeClient over HTTP. Management
-// calls are bounded by the client's default request timeout.
-func (c *Client) DropCacheEntry(fieldName string, order, step int) error {
-	return c.call(context.Background(), PathDropCache, DropCacheRequest{Field: fieldName, FDOrder: order, Timestep: step}, nil)
+// DropCacheEntry implements mediator.NodeClient over HTTP. ctx bounds the
+// round-trip on top of the client's default request timeout.
+func (c *Client) DropCacheEntry(ctx context.Context, fieldName string, order, step int) error {
+	return c.call(ctx, PathDropCache, DropCacheRequest{Field: fieldName, FDOrder: order, Timestep: step}, nil)
 }
 
-// SetProcesses implements mediator.NodeClient over HTTP.
-func (c *Client) SetProcesses(p int) error {
-	return c.call(context.Background(), PathSetProcesses, SetProcessesRequest{Processes: p}, nil)
+// SetProcesses implements mediator.NodeClient over HTTP. ctx bounds the
+// round-trip on top of the client's default request timeout.
+func (c *Client) SetProcesses(ctx context.Context, p int) error {
+	return c.call(ctx, PathSetProcesses, SetProcessesRequest{Processes: p}, nil)
 }
 
 // Owned returns the node's atom range (nodes only).

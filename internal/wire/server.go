@@ -168,7 +168,7 @@ func (s *NodeServer) handleDropCache(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.n.DropCacheEntry(req.Field, req.FDOrder, req.Timestep); err != nil {
+	if err := s.n.DropCacheEntry(r.Context(), req.Field, req.FDOrder, req.Timestep); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -181,7 +181,7 @@ func (s *NodeServer) handleSetProcesses(w http.ResponseWriter, r *http.Request) 
 		writeError(w, err)
 		return
 	}
-	if err := s.n.SetProcesses(req.Processes); err != nil {
+	if err := s.n.SetProcesses(r.Context(), req.Processes); err != nil {
 		writeError(w, err)
 		return
 	}

@@ -212,17 +212,17 @@ func TestBadRequestsRejected(t *testing.T) {
 	if _, err := clients[0].GetThreshold(context.Background(), nil, query.Threshold{Field: "x", Threshold: 1}); err == nil {
 		t.Error("missing dataset accepted over wire")
 	}
-	if err := clients[0].SetProcesses(-1); err == nil {
+	if err := clients[0].SetProcesses(context.Background(), -1); err == nil {
 		t.Error("negative processes accepted over wire")
 	}
 }
 
 func TestDropCacheAndSetProcessesOverWire(t *testing.T) {
 	clients, _ := startNodes(t, 1)
-	if err := clients[0].SetProcesses(2); err != nil {
+	if err := clients[0].SetProcesses(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := clients[0].DropCacheEntry(derived.Current, 4, 0); err != nil {
+	if err := clients[0].DropCacheEntry(context.Background(), derived.Current, 4, 0); err != nil {
 		t.Fatal(err)
 	}
 }

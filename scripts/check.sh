@@ -32,4 +32,18 @@ go test -race ./internal/faulttol/... ./internal/faultinject/... ./internal/clus
 echo '>> benchmark smoke (kernel packages, 1 iteration)'
 go test -run=NONE -bench=. -benchtime=1x ./internal/stencil ./internal/field ./internal/derived ./internal/node
 
+# Fuzz smoke lane: a short coverage-guided run of each fuzz target beyond its
+# seed corpus (the seeds already ran as plain tests above). `go test -fuzz`
+# accepts exactly one matching target per invocation, hence one anchored
+# pattern each. Skippable for quick local iterations: SKIP_FUZZ=1 scripts/check.sh
+if [ "${SKIP_FUZZ:-0}" = "1" ]; then
+	echo '>> fuzz smoke: skipped (SKIP_FUZZ=1)'
+else
+	echo '>> fuzz smoke (10s per target)'
+	go test -run=NONE -fuzz='^FuzzEncodeDecode$' -fuzztime=10s ./internal/morton
+	go test -run=NONE -fuzz='^FuzzCodeRoundTrip$' -fuzztime=10s ./internal/morton
+	go test -run=NONE -fuzz='^FuzzRequestDecode$' -fuzztime=10s ./internal/wire
+	go test -run=NONE -fuzz='^FuzzResponseDecode$' -fuzztime=10s ./internal/wire
+fi
+
 echo 'All checks passed.'

@@ -172,8 +172,8 @@ func (db *DB) statsFrom(s *mediator.QueryStats) Stats {
 		cov = 1
 	}
 	return Stats{
-		Coverage:    cov,
-		NodesFailed: len(s.Failures),
+		Coverage:         cov,
+		NodesFailed:      len(s.Failures),
 		Total:            s.Total,
 		CacheLookup:      s.NodeCritical.CacheLookup,
 		IO:               s.NodeCritical.IO,
@@ -318,13 +318,27 @@ func (db *DB) fineHistogram(field string, step int) (*hist.Histogram, error) {
 
 // DropCache removes cached results for (field, step) on every node, forcing
 // the next query to re-evaluate from the raw data. order 0 means the
-// default finite-difference order.
+// default finite-difference order. The unbounded convenience form of
+// DropCacheContext.
 func (db *DB) DropCache(field string, order, step int) error {
-	return db.c.Mediator.DropCache(field, order, step)
+	return db.DropCacheContext(context.Background(), field, order, step)
 }
 
-// SetProcesses changes the per-query worker count on every node.
-func (db *DB) SetProcesses(n int) error { return db.c.Mediator.SetProcesses(n) }
+// DropCacheContext is DropCache with the fan-out bounded by ctx.
+func (db *DB) DropCacheContext(ctx context.Context, field string, order, step int) error {
+	return db.c.Mediator.DropCache(ctx, field, order, step)
+}
+
+// SetProcesses changes the per-query worker count on every node. The
+// unbounded convenience form of SetProcessesContext.
+func (db *DB) SetProcesses(n int) error {
+	return db.SetProcessesContext(context.Background(), n)
+}
+
+// SetProcessesContext is SetProcesses with the fan-out bounded by ctx.
+func (db *DB) SetProcessesContext(ctx context.Context, n int) error {
+	return db.c.Mediator.SetProcesses(ctx, n)
+}
 
 // CacheStats aggregates hit/miss/store/eviction counters across the nodes'
 // caches (zeros when the cache is disabled).
