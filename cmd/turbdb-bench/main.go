@@ -36,6 +36,7 @@ func main() {
 		seed       = flag.Int64("seed", 2015, "dataset seed")
 		fig        = flag.String("fig", "all", `which experiment: all, 2, 3, 4, 6, 7a, 7b, 8, 9, local, ablations`)
 		step       = flag.Int("step", 0, "time-step the per-step experiments use")
+		trace      = flag.Bool("trace", false, "trace one threshold query (cold + warm cache) and print the span trees instead of running experiments")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -82,6 +83,15 @@ func main() {
 	}
 	fmt.Printf("dataset: mhd %d³ × %d steps (seed %d); cluster: %d nodes × %d processes; calibrated per-point costs\n\n",
 		*gridN, *steps, *seed, env.Setup.Nodes, env.Setup.Processes)
+
+	if *trace {
+		res, err := env.TraceDemo(*step)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Println(res.String())
+		return
+	}
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	type runner struct {

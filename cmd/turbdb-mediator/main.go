@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -33,19 +32,14 @@ import (
 	"github.com/turbdb/turbdb/internal/wire"
 )
 
-// serveDebug exposes the pprof profiling endpoints on their own listener
-// (opt-in via -debug-addr; never on the query port). Best-effort: a failure
-// to serve profiles must not take the mediator down.
+// serveDebug exposes the diagnostics endpoints (pprof, /metrics,
+// /debug/trace) on their own listener (opt-in via -debug-addr; never on
+// the query port). Best-effort: a failure to serve diagnostics must not
+// take the mediator down.
 func serveDebug(addr string) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	go func() {
-		log.Printf("pprof debug endpoint on http://%s/debug/pprof/", addr)
-		if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("diagnostics on http://%s/metrics and /debug/pprof/", addr)
+		if err := http.ListenAndServe(addr, wire.DebugHandler()); err != nil {
 			log.Printf("debug endpoint: %v", err)
 		}
 	}()

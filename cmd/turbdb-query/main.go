@@ -23,10 +23,13 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: turbdb-query -mediator URL <command> [flags]
 
 commands:
-  threshold  -field F -value V [-step N] [-order 2|4|6|8] [-limit N]
+  threshold  -field F -value V [-step N] [-order 2|4|6|8] [-limit N] [-trace]
   pdf        -field F -bins N -width W [-min M] [-step N]
   topk       -field F -k N [-step N]
   info
+
+-trace prints the query's distributed span tree (mediator stages plus
+per-node scan, cache and halo timings) to stderr.
 `)
 	os.Exit(2)
 }
@@ -58,6 +61,7 @@ func main() {
 	width := fs.Float64("width", 1, "PDF bin width")
 	minv := fs.Float64("min", 0, "PDF first bin lower edge")
 	k := fs.Int("k", 10, "top-k size")
+	trace := fs.Bool("trace", false, "print the distributed span tree of the query to stderr")
 	_ = fs.Parse(flag.Args()[1:]) //lint:allow droppederr ExitOnError flag set exits on bad input
 
 	switch cmd {
@@ -67,13 +71,16 @@ func main() {
 	case "threshold":
 		pts, stats, err := db.Threshold(turbdb.ThresholdQuery{
 			Field: *field, Timestep: *step, Threshold: *value,
-			FDOrder: *order, Limit: *limit,
+			FDOrder: *order, Limit: *limit, Trace: *trace,
 		})
 		if errors.Is(err, turbdb.ErrThresholdTooLow) {
 			log.Fatalf("threshold too low: %v", err)
 		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if stats.TraceTree != "" {
+			fmt.Fprint(os.Stderr, stats.TraceTree)
 		}
 		fmt.Printf("# %d points with ‖%s‖ ≥ %g at step %d (node time %v)\n",
 			len(pts), *field, *value, *step, stats.Total)

@@ -30,9 +30,24 @@ import (
 
 	"github.com/turbdb/turbdb/internal/diskmodel"
 	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
 	"github.com/turbdb/turbdb/internal/sim"
 	"github.com/turbdb/turbdb/internal/txn"
+)
+
+// Process-wide cache metrics (per-instance counters live in Stats). A
+// partial overlap is a miss that found an entry for the right key and a
+// dominating threshold whose region merely intersects the query — the
+// signal that a region-splitting cache policy (paper Sec. 6) would have
+// converted it into a hit.
+var (
+	mHits      = obs.Default().Counter("turbdb_cache_hits_total")
+	mMisses    = obs.Default().Counter("turbdb_cache_misses_total")
+	mPartial   = obs.Default().Counter("turbdb_cache_partial_overlap_total")
+	mStores    = obs.Default().Counter("turbdb_cache_stores_total")
+	mEvictions = obs.Default().Counter("turbdb_cache_evictions_total")
+	mHitPoints = obs.Default().Histogram("turbdb_cache_hit_points", obs.SizeBuckets)
 )
 
 // ErrEntryTooLarge reports that a result set cannot fit in the cache at
@@ -180,15 +195,20 @@ func (c *Cache) Lookup(p *sim.Proc, dataset, fieldName string, step int, k float
 	c.chargeRead(p, infoDiskSize)
 	var hitID txn.RowID
 	var hit InfoRow
-	found := false
+	found, partial := false, false
 	err = tx.Scan(TableInfo, func(id txn.RowID, data interface{}) bool {
 		row := data.(InfoRow)
 		if row.Dataset != dataset || row.Field != fieldName || row.Timestep != step {
 			return true
 		}
-		if k >= row.Threshold && row.Region.ContainsBox(q) {
-			hitID, hit, found = id, row, true
-			return false
+		if k >= row.Threshold {
+			if row.Region.ContainsBox(q) {
+				hitID, hit, found = id, row, true
+				return false
+			}
+			if !row.Region.Intersect(q).Empty() {
+				partial = true
+			}
 		}
 		return true
 	})
@@ -197,6 +217,10 @@ func (c *Cache) Lookup(p *sim.Proc, dataset, fieldName string, step int, k float
 	}
 	if !found {
 		c.misses.Add(1)
+		mMisses.Inc()
+		if partial {
+			mPartial.Inc()
+		}
 		return nil, false, nil
 	}
 
@@ -218,6 +242,8 @@ func (c *Cache) Lookup(p *sim.Proc, dataset, fieldName string, step int, k float
 		return nil, false, err
 	}
 	c.hits.Add(1)
+	mHits.Inc()
+	mHitPoints.Observe(float64(len(pts)))
 	c.touch(hitID)
 	return pts, true, nil
 }
@@ -256,6 +282,7 @@ func (c *Cache) Store(p *sim.Proc, dataset, fieldName string, step int, k float6
 		err := c.tryStore(dataset, fieldName, step, k, region, pts, size)
 		if err == nil {
 			c.stores.Add(1)
+			mStores.Inc()
 			c.chargeWrite(p, size)
 			return nil
 		}
@@ -327,6 +354,7 @@ func (c *Cache) tryStore(dataset, fieldName string, step int, k float64, region 
 			total -= all[victim].row.Bytes
 			all[victim].row.LastUsed = ^uint64(0) // mark consumed
 			c.evictions.Add(1)
+			mEvictions.Inc()
 		}
 	}
 

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/turbdb/turbdb/internal/mediator"
+	"github.com/turbdb/turbdb/internal/obs"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/synth"
+)
+
+// The obs differential tests prove the observability layer is inert: with
+// instrumentation enabled (and even with a trace attached) a query returns
+// exactly the same points and the same coverage as with the global kill
+// switch thrown. Run under -race they also certify that span recording from
+// concurrent query workers is race-free.
+
+// runObsCase runs one threshold query on a fresh chaos cluster (node 2 dead
+// from the first call, partial mode) with obs enabled or disabled.
+func runObsCase(t *testing.T, disable, trace bool) ([]query.ResultPoint, *mediator.QueryStats) {
+	t.Helper()
+	obs.SetDisabled(disable)
+	defer obs.SetDisabled(false)
+	_, m, _ := chaosMediator(t, true, 2, 0)
+	ctx := context.Background()
+	var tr *obs.Trace
+	if trace {
+		tr = obs.NewTrace(obs.NewTraceID(), nil)
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	pts, stats, err := m.Threshold(ctx, nil, chaosQuery())
+	if err != nil {
+		t.Fatalf("threshold (disable=%v trace=%v): %v", disable, trace, err)
+	}
+	if trace && !disable {
+		if len(tr.Spans()) == 0 {
+			t.Fatal("traced query recorded no spans; instrumentation path not exercised")
+		}
+	}
+	return pts, stats
+}
+
+// samePoints compares result sets exactly (locations and float32 value bits).
+func samePoints(a, b []query.ResultPoint) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Code != b[i].Code {
+			return fmt.Errorf("point %d: code %d != %d", i, a[i].Code, b[i].Code)
+		}
+		if math.Float32bits(a[i].Value) != math.Float32bits(b[i].Value) {
+			return fmt.Errorf("point %d: value bits %08x != %08x",
+				i, math.Float32bits(a[i].Value), math.Float32bits(b[i].Value))
+		}
+	}
+	return nil
+}
+
+// TestObsDifferentialChaos compares the degraded chaos query across three
+// observability states: disabled, enabled, and enabled-with-tracing. The
+// points and the Coverage annotation must match exactly.
+func TestObsDifferentialChaos(t *testing.T) {
+	offPts, offStats := runObsCase(t, true, false)
+	onPts, onStats := runObsCase(t, false, false)
+	trPts, trStats := runObsCase(t, false, true)
+
+	if err := samePoints(offPts, onPts); err != nil {
+		t.Fatalf("obs-on answer differs from obs-off: %v", err)
+	}
+	if err := samePoints(offPts, trPts); err != nil {
+		t.Fatalf("traced answer differs from obs-off: %v", err)
+	}
+	if offStats.Coverage != onStats.Coverage || offStats.Coverage != trStats.Coverage {
+		t.Fatalf("Coverage diverged: off=%v on=%v traced=%v",
+			offStats.Coverage, onStats.Coverage, trStats.Coverage)
+	}
+	if len(offStats.Failures) != len(onStats.Failures) || len(offStats.Failures) != len(trStats.Failures) {
+		t.Fatalf("Failures diverged: off=%d on=%d traced=%d",
+			len(offStats.Failures), len(onStats.Failures), len(trStats.Failures))
+	}
+	if offStats.Coverage >= 1 || offStats.Coverage <= 0 {
+		t.Fatalf("Coverage = %v; the chaos scenario did not degrade, differential vacuous", offStats.Coverage)
+	}
+}
+
+// TestObsDifferentialHealthy is the same differential on a healthy cluster:
+// complete answers, Coverage 1, bit-for-bit equal with obs on, off, and
+// traced.
+func TestObsDifferentialHealthy(t *testing.T) {
+	run := func(disable, trace bool) []query.ResultPoint {
+		obs.SetDisabled(disable)
+		defer obs.SetDisabled(false)
+		c := buildTest(t, Config{Nodes: 4}, synth.Isotropic, 16)
+		ctx := context.Background()
+		if trace {
+			ctx = obs.ContextWithTrace(ctx, obs.NewTrace(obs.NewTraceID(), nil))
+		}
+		pts, stats, err := c.Mediator.Threshold(ctx, nil, chaosQuery())
+		if err != nil {
+			t.Fatalf("threshold (disable=%v trace=%v): %v", disable, trace, err)
+		}
+		if stats.Trace != nil && disable {
+			t.Fatal("stats carry a trace while obs is disabled")
+		}
+		return pts
+	}
+	off := run(true, false)
+	on := run(false, false)
+	traced := run(false, true)
+	if len(off) == 0 {
+		t.Fatal("reference query returned nothing")
+	}
+	if err := samePoints(off, on); err != nil {
+		t.Fatalf("obs-on answer differs from obs-off: %v", err)
+	}
+	if err := samePoints(off, traced); err != nil {
+		t.Fatalf("traced answer differs from obs-off: %v", err)
+	}
+}
+
+// TestObsTracedConcurrentQueries fires concurrent traced queries at one
+// cluster; under -race this certifies concurrent span recording (many
+// queries × many per-node workers into per-query traces) and that every
+// query still returns the same answer.
+func TestObsTracedConcurrentQueries(t *testing.T) {
+	c := buildTest(t, Config{Nodes: 4}, synth.Isotropic, 16)
+	ref, _, err := c.Mediator.Threshold(context.Background(), nil, chaosQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := obs.NewTrace(obs.NewTraceID(), nil)
+			ctx := obs.ContextWithTrace(context.Background(), tr)
+			pts, _, err := c.Mediator.Threshold(ctx, nil, chaosQuery())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if err := samePoints(ref, pts); err != nil {
+				errCh <- fmt.Errorf("traced concurrent answer differs: %w", err)
+				return
+			}
+			if len(tr.Spans()) == 0 {
+				errCh <- fmt.Errorf("trace %s recorded no spans", tr.ID())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

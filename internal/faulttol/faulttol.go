@@ -20,6 +20,20 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"github.com/turbdb/turbdb/internal/obs"
+)
+
+// Process-wide fault-tolerance metrics. The transition counters aggregate
+// over all breakers; per-node breaker state gauges are registered by the
+// holders (mediator, wire peer set) via BreakerConfig.OnTransition, which
+// knows which node a breaker guards.
+var (
+	mRetries          = obs.Default().Counter("turbdb_retry_total")
+	mBreakerToOpen    = obs.Default().Counter(`turbdb_breaker_transitions_total{to="open"}`)
+	mBreakerToHalf    = obs.Default().Counter(`turbdb_breaker_transitions_total{to="half-open"}`)
+	mBreakerToClosed  = obs.Default().Counter(`turbdb_breaker_transitions_total{to="closed"}`)
+	mBreakerFastFails = obs.Default().Counter("turbdb_breaker_fastfail_total")
 )
 
 // TransientMarker is implemented by errors that know their own retry
@@ -192,6 +206,7 @@ func (p Policy) Do(ctx context.Context, op func(context.Context) error) error {
 		if serr := p.Sleep(ctx, d); serr != nil {
 			return &AttemptsError{Attempts: attempt, BudgetExhausted: true, Err: err}
 		}
+		mRetries.Inc()
 		delay = time.Duration(float64(delay) * p.Multiplier)
 		if p.MaxDelay > 0 && delay > p.MaxDelay {
 			delay = p.MaxDelay
@@ -290,6 +305,11 @@ type BreakerConfig struct {
 	Cooldown time.Duration
 	// Now replaces time.Now (tests inject a deterministic clock).
 	Now func() time.Time
+	// OnTransition, if set, is called after every state change with the
+	// old and new state (outside the breaker's lock, so it may call back
+	// into the breaker). The mediator uses it to keep per-node breaker
+	// state gauges.
+	OnTransition func(from, to State)
 }
 
 // Breaker is a per-node circuit breaker: N consecutive failures open it,
@@ -324,24 +344,32 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // half-open probe at a time.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
+		b.mu.Unlock()
 		return nil
 	case Open:
 		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.mu.Unlock()
+			mBreakerFastFails.Inc()
 			return ErrCircuitOpen
 		}
 		b.state = HalfOpen
 		b.probing = true
+		b.mu.Unlock()
+		b.noteTransition(Open, HalfOpen)
 		return nil
 	case HalfOpen:
 		if b.probing {
+			b.mu.Unlock()
+			mBreakerFastFails.Inc()
 			return ErrCircuitOpen
 		}
 		b.probing = true
+		b.mu.Unlock()
 		return nil
 	}
+	b.mu.Unlock()
 	return nil
 }
 
@@ -349,10 +377,12 @@ func (b *Breaker) Allow() error {
 // node-is-alive) call.
 func (b *Breaker) RecordSuccess() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.state = Closed
 	b.consecFails = 0
 	b.probing = false
+	b.mu.Unlock()
+	b.noteTransition(from, Closed)
 }
 
 // RecordFailure notes a transient-class failure; the threshold'th
@@ -360,12 +390,35 @@ func (b *Breaker) RecordSuccess() {
 // re-opens it for a fresh cooldown.
 func (b *Breaker) RecordFailure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.consecFails++
 	b.probing = false
 	if b.state == HalfOpen || b.consecFails >= b.cfg.FailureThreshold {
 		b.state = Open
 		b.openedAt = b.cfg.Now()
+	}
+	to := b.state
+	b.mu.Unlock()
+	b.noteTransition(from, to)
+}
+
+// noteTransition records a state change in the transition counters and
+// invokes the holder's OnTransition hook. No-op when the state did not
+// actually change.
+func (b *Breaker) noteTransition(from, to State) {
+	if from == to {
+		return
+	}
+	switch to {
+	case Open:
+		mBreakerToOpen.Inc()
+	case HalfOpen:
+		mBreakerToHalf.Inc()
+	case Closed:
+		mBreakerToClosed.Inc()
+	}
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
 	}
 }
 

@@ -80,6 +80,7 @@ func TestAnalyzers(t *testing.T) {
 		{"ctxpropagate", filepath.Join("internal", "wire")},
 		{"rowkernel", "rowkernel"},
 		{"rowkernel", filepath.Join("internal", "stencil")},
+		{"rowkernel", filepath.Join("internal", "obs")},
 		{"poolcheck", "poolcheck"},
 	}
 	for _, tc := range cases {

@@ -20,7 +20,10 @@ import (
 //   - no conversions to interface types and no function literals (both box
 //     onto the heap);
 //   - direct calls only to other annotated kernels, to builtins, or to the
-//     math package (whose functions are intrinsified or leaf-inlinable).
+//     math and sync/atomic packages (math functions are intrinsified or
+//     leaf-inlinable; atomic operations compile to single instructions and
+//     never allocate — they are what makes zero-alloc instrumentation of
+//     the row path possible at all).
 //
 // Dynamic calls through function values or interface methods are exempt:
 // the analyzer cannot see their targets, and the row-path design routes
@@ -48,6 +51,7 @@ var mustAnnotateRowKernels = map[string][]string{
 	"internal/field":   {"Block.At", "Block.Offset", "Block.Strides", "Block.index"},
 	"internal/grid":    {"Box.Size"},
 	"internal/node":    {"floorDiv"},
+	"internal/obs":     {"Counter.Inc", "Counter.Add", "Gauge.Set", "Gauge.Add", "Histogram.Observe"},
 }
 
 func runRowKernel(pass *Pass) {
@@ -191,7 +195,7 @@ func checkKernelCall(pass *Pass, call *ast.CallExpr, key string) {
 	if pass.RowKernels[fn] {
 		return
 	}
-	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "math" {
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "math" || pkg.Path() == "sync/atomic") {
 		return
 	}
 	pass.Reportf(call.Pos(), "row kernel %s calls %s, which is not annotated //turbdb:rowkernel", key, calleeName(call))

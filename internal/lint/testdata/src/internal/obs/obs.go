@@ -1,0 +1,65 @@
+// Package obs mirrors the observability hot path (its import path ends in
+// internal/obs) to exercise the rowkernel must-annotate registry on the
+// metrics primitives: Counter.Inc/Add, Gauge.Set/Add and Histogram.Observe
+// are called from the node's per-atom scan loop and must provably stay
+// allocation-free, so stripping their annotation fails the gate.
+package obs
+
+import "sync/atomic"
+
+type Counter struct {
+	v atomic.Int64
+}
+
+//turbdb:rowkernel
+func (c *Counter) Inc() {
+	c.v.Add(1)
+}
+
+// Add is registered in mustAnnotateRowKernels but has lost its annotation:
+// the registry pins it.
+func (c *Counter) Add(n int64) { // want `Counter.Add is a registered row kernel and must carry a //turbdb:rowkernel annotation`
+	c.v.Add(n)
+}
+
+type Gauge struct {
+	v atomic.Int64
+}
+
+//turbdb:rowkernel
+func (g *Gauge) Set(n int64) {
+	g.v.Store(n)
+}
+
+//turbdb:rowkernel
+func (g *Gauge) Add(n int64) {
+	g.v.Add(n)
+}
+
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe keeps its annotation and stays within the contract: bound scan,
+// atomic adds, nothing else.
+//
+//turbdb:rowkernel
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+}
+
+// Value is not registered: exposition-side helpers are free to allocate.
+func (h *Histogram) Value() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}

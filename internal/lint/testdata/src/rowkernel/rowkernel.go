@@ -4,7 +4,10 @@
 // package, whose import path matches a registered suffix.)
 package rowkernel
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // --- positive cases -------------------------------------------------------
 
@@ -102,6 +105,17 @@ func goodDynamic(dst []float64, f func(float64) float64) {
 	for i := range dst {
 		dst[i] = f(dst[i])
 	}
+}
+
+// goodAtomic: sync/atomic operations compile to single instructions and are
+// whitelisted alongside math, so kernels can bump metrics counters.
+//
+//turbdb:rowkernel
+func goodAtomic(c *atomic.Int64, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	c.Add(int64(len(dst)))
 }
 
 // notAnnotated is an ordinary function: free to allocate.

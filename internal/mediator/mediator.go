@@ -29,8 +29,20 @@ import (
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/netmodel"
 	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
 	"github.com/turbdb/turbdb/internal/sim"
+)
+
+// Process-wide mediator metrics: query throughput and latency, plus the
+// degradation picture — how often answers are partial and how much of the
+// Morton space they cover when they are.
+var (
+	mQueries      = obs.Default().Counter("turbdb_mediator_queries_total")
+	mQueryErrs    = obs.Default().Counter("turbdb_mediator_query_errors_total")
+	mPartialAns   = obs.Default().Counter("turbdb_mediator_partial_answers_total")
+	mQuerySeconds = obs.Default().Histogram("turbdb_mediator_query_seconds", obs.DurationBuckets)
+	mCoverage     = obs.Default().Histogram("turbdb_mediator_coverage", []float64{0.25, 0.5, 0.75, 0.9, 0.99, 1})
 )
 
 // RequestWireBytes is the modeled size of one query request envelope.
@@ -153,7 +165,13 @@ func New(cfg Config) (*Mediator, error) {
 		}
 		m.ft = make([]*faulttol.Executor, len(cfg.Nodes))
 		for i := range m.ft {
-			m.ft[i] = &faulttol.Executor{Policy: policy, Breaker: faulttol.NewBreaker(bcfg)}
+			// Per-node breaker state gauge, kept current by the transition
+			// hook (0 = closed, 1 = open, 2 = half-open).
+			g := obs.Default().Gauge(fmt.Sprintf("turbdb_breaker_state{node=%q}", fmt.Sprint(i)))
+			g.Set(int64(faulttol.Closed))
+			nbcfg := bcfg
+			nbcfg.OnTransition = func(from, to faulttol.State) { g.Set(int64(to)) }
+			m.ft[i] = &faulttol.Executor{Policy: policy, Breaker: faulttol.NewBreaker(nbcfg)}
 		}
 	}
 	return m, nil
@@ -217,6 +235,11 @@ type QueryStats struct {
 	// Failures lists the nodes the answer is missing (partial mode only;
 	// nil for a complete answer).
 	Failures []NodeFailure
+
+	// Trace is the query's span tree when the caller attached one to the
+	// query context (obs.ContextWithTrace); nil otherwise. The mediator's
+	// per-stage spans and every node's stage spans are recorded into it.
+	Trace *obs.Trace
 }
 
 // Partial reports whether this answer is missing part of the domain.
@@ -277,22 +300,30 @@ func (m *Mediator) Threshold(ctx context.Context, p *sim.Proc, q query.Threshold
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, qsp := obs.StartSpan(ctx, "threshold")
+	defer qsp.End()
+	_, psp := obs.StartSpan(ctx, "plan")
 	domain := m.Grid().Domain()
 	q = q.Normalize(domain)
-	if err := q.Validate(domain); err != nil {
+	err := q.Validate(domain)
+	psp.End()
+	if err != nil {
+		mQueryErrs.Inc()
 		return nil, nil, err
 	}
 
-	stats := &QueryStats{}
+	stats := &QueryStats{Trace: obs.TraceFrom(ctx)}
 	start := m.exec.Now()
 
 	results := make([]*node.ThresholdResult, len(m.nodes))
 	errs := make([]error, len(m.nodes))
 	m.exec.Fork(p, len(m.nodes), func(i int, wp *sim.Proc) {
+		nctx, nsp := obs.StartSpan(ctx, fmt.Sprintf("node[%d]", i))
+		defer nsp.End()
 		if m.kernel != nil {
 			m.nodeLinks[i].Transfer(wp, RequestWireBytes)
 		}
-		errs[i] = m.callNode(ctx, i, func(ctx context.Context) error {
+		errs[i] = m.callNode(nctx, i, func(ctx context.Context) error {
 			r, err := m.nodes[i].GetThreshold(ctx, wp, q)
 			results[i] = r
 			return err
@@ -303,9 +334,11 @@ func (m *Mediator) Threshold(ctx context.Context, p *sim.Proc, q query.Threshold
 	})
 	fanout := m.exec.Now() - start
 	if err := m.collectFailures(errs, stats); err != nil {
+		mQueryErrs.Inc()
 		return nil, nil, err
 	}
 
+	_, msp := obs.StartSpan(ctx, "merge")
 	var pts []query.ResultPoint
 	for i, r := range results {
 		if errs[i] != nil {
@@ -319,9 +352,12 @@ func (m *Mediator) Threshold(ctx context.Context, p *sim.Proc, q query.Threshold
 		stats.ResponseBytes += query.WireBytes(len(r.Points))
 	}
 	if len(pts) > q.Limit {
+		msp.End()
+		mQueryErrs.Inc()
 		return nil, nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: len(pts)}
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i].Code < pts[j].Code })
+	msp.End()
 
 	stats.MediatorDBComm = fanout - stats.NodeCritical.Total
 	if stats.MediatorDBComm < 0 {
@@ -330,13 +366,26 @@ func (m *Mediator) Threshold(ctx context.Context, p *sim.Proc, q query.Threshold
 
 	// deliver to the user
 	userStart := m.exec.Now()
+	_, dsp := obs.StartSpan(ctx, "deliver")
 	if m.kernel != nil {
 		m.userLink.Transfer(p, query.WireBytes(len(pts)))
 	}
+	dsp.End()
 	stats.MediatorUserComm = m.exec.Now() - userStart
 	stats.Points = len(pts)
 	stats.Total = m.exec.Now() - start
+	m.noteQuery(stats)
 	return pts, stats, nil
+}
+
+// noteQuery records the cluster-level metrics of one completed query.
+func (m *Mediator) noteQuery(stats *QueryStats) {
+	mQueries.Inc()
+	mQuerySeconds.Observe(stats.Total.Seconds())
+	mCoverage.Observe(stats.Coverage)
+	if stats.Partial() {
+		mPartialAns.Inc()
+	}
 }
 
 // PDF evaluates a histogram query across the cluster and merges per-node
@@ -345,20 +394,25 @@ func (m *Mediator) PDF(ctx context.Context, p *sim.Proc, q query.PDF) ([]int64, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, qsp := obs.StartSpan(ctx, "pdf")
+	defer qsp.End()
 	domain := m.Grid().Domain()
 	q = q.Normalize(domain)
 	if err := q.Validate(domain); err != nil {
+		mQueryErrs.Inc()
 		return nil, nil, err
 	}
-	stats := &QueryStats{}
+	stats := &QueryStats{Trace: obs.TraceFrom(ctx)}
 	start := m.exec.Now()
 	results := make([]*node.PDFResult, len(m.nodes))
 	errs := make([]error, len(m.nodes))
 	m.exec.Fork(p, len(m.nodes), func(i int, wp *sim.Proc) {
+		nctx, nsp := obs.StartSpan(ctx, fmt.Sprintf("node[%d]", i))
+		defer nsp.End()
 		if m.kernel != nil {
 			m.nodeLinks[i].Transfer(wp, RequestWireBytes)
 		}
-		errs[i] = m.callNode(ctx, i, func(ctx context.Context) error {
+		errs[i] = m.callNode(nctx, i, func(ctx context.Context) error {
 			r, err := m.nodes[i].GetPDF(ctx, wp, q)
 			results[i] = r
 			return err
@@ -369,8 +423,10 @@ func (m *Mediator) PDF(ctx context.Context, p *sim.Proc, q query.PDF) ([]int64, 
 	})
 	fanout := m.exec.Now() - start
 	if err := m.collectFailures(errs, stats); err != nil {
+		mQueryErrs.Inc()
 		return nil, nil, err
 	}
+	_, msp := obs.StartSpan(ctx, "merge")
 	counts := make([]int64, q.Bins)
 	for i, r := range results {
 		if errs[i] != nil {
@@ -381,6 +437,7 @@ func (m *Mediator) PDF(ctx context.Context, p *sim.Proc, q query.PDF) ([]int64, 
 		}
 		stats.NodeCritical.Max(r.Breakdown)
 	}
+	msp.End()
 	stats.MediatorDBComm = fanout - stats.NodeCritical.Total
 	if stats.MediatorDBComm < 0 {
 		stats.MediatorDBComm = 0
@@ -391,6 +448,7 @@ func (m *Mediator) PDF(ctx context.Context, p *sim.Proc, q query.PDF) ([]int64, 
 	}
 	stats.MediatorUserComm = m.exec.Now() - userStart
 	stats.Total = m.exec.Now() - start
+	m.noteQuery(stats)
 	return counts, stats, nil
 }
 
@@ -400,20 +458,25 @@ func (m *Mediator) TopK(ctx context.Context, p *sim.Proc, q query.TopK) ([]query
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, qsp := obs.StartSpan(ctx, "topk")
+	defer qsp.End()
 	domain := m.Grid().Domain()
 	q = q.Normalize(domain)
 	if err := q.Validate(domain); err != nil {
+		mQueryErrs.Inc()
 		return nil, nil, err
 	}
-	stats := &QueryStats{}
+	stats := &QueryStats{Trace: obs.TraceFrom(ctx)}
 	start := m.exec.Now()
 	results := make([]*node.TopKResult, len(m.nodes))
 	errs := make([]error, len(m.nodes))
 	m.exec.Fork(p, len(m.nodes), func(i int, wp *sim.Proc) {
+		nctx, nsp := obs.StartSpan(ctx, fmt.Sprintf("node[%d]", i))
+		defer nsp.End()
 		if m.kernel != nil {
 			m.nodeLinks[i].Transfer(wp, RequestWireBytes)
 		}
-		errs[i] = m.callNode(ctx, i, func(ctx context.Context) error {
+		errs[i] = m.callNode(nctx, i, func(ctx context.Context) error {
 			r, err := m.nodes[i].GetTopK(ctx, wp, q)
 			results[i] = r
 			return err
@@ -424,6 +487,7 @@ func (m *Mediator) TopK(ctx context.Context, p *sim.Proc, q query.TopK) ([]query
 	})
 	fanout := m.exec.Now() - start
 	if err := m.collectFailures(errs, stats); err != nil {
+		mQueryErrs.Inc()
 		return nil, nil, err
 	}
 	var all []query.ResultPoint
@@ -454,6 +518,7 @@ func (m *Mediator) TopK(ctx context.Context, p *sim.Proc, q query.TopK) ([]query
 	stats.MediatorUserComm = m.exec.Now() - userStart
 	stats.Points = len(all)
 	stats.Total = m.exec.Now() - start
+	m.noteQuery(stats)
 	return all, stats, nil
 }
 

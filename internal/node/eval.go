@@ -12,6 +12,7 @@ import (
 	"github.com/turbdb/turbdb/internal/field"
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/sim"
 	"github.com/turbdb/turbdb/internal/stencil"
 )
@@ -209,6 +210,8 @@ func (n *Node) gatherField(ctx context.Context, wp *sim.Proc, rawField string, s
 				warmBlobs, warmErr = n.store.ReadAtoms(nil, rawField, step, warm)
 			}
 		} else if len(remote) > 0 {
+			_, hsp := obs.StartSpan(ctx, "halo_fetch")
+			defer hsp.End()
 			var coldBlobs, warmRemote map[morton.Code][]byte
 			if len(remoteCold) > 0 {
 				coldBlobs, remoteErr = n.peers.FetchAtoms(ctx, fp, rawField, step, remoteCold)
@@ -288,12 +291,14 @@ func (bp *blockPool) get(box grid.Box, nc int) *field.Block {
 		bp.pools[n] = p
 	}
 	bp.mu.Unlock()
+	mPoolGets.Inc()
 	if v := p.Get(); v != nil {
 		if bl, ok := v.(*field.Block); ok {
 			bl.Reset(box, nc)
 			return bl
 		}
 	}
+	mPoolNews.Inc()
 	return field.NewBlock(box, nc)
 }
 
@@ -306,6 +311,7 @@ func (bp *blockPool) put(bl *field.Block) {
 	p := bp.pools[len(bl.Data)]
 	bp.mu.Unlock()
 	if p != nil {
+		mPoolPuts.Inc()
 		p.Put(bl)
 	}
 }
@@ -483,11 +489,14 @@ func (n *Node) evalPhases(
 	// time once per node per query.
 	pool := newBufferPool()
 	ioStart := n.exec.Now()
+	ioCtx, ioSp := obs.StartSpan(ctx, "scan_io")
 	data := make([]workerData, procs)
 	n.exec.Fork(p, procs, func(i int, wp *sim.Proc) {
-		data[i] = n.gather(ctx, wp, f.Raws, step, shards[i], qbox, hw, pool)
+		data[i] = n.gather(ioCtx, wp, f.Raws, step, shards[i], qbox, hw, pool)
 	})
+	ioSp.End()
 	bd.IO = n.exec.Now() - ioStart
+	mScanIO.Observe(bd.IO.Seconds())
 	for _, d := range data {
 		if d.err != nil {
 			return bd, d.err
@@ -498,13 +507,16 @@ func (n *Node) evalPhases(
 
 	// Phase 2: compute — evaluate the kernel at every point and visit.
 	compStart := n.exec.Now()
+	compCtx, compSp := obs.StartSpan(ctx, "scan_compute")
 	errs := make([]error, procs)
 	examined := make([]int, procs)
 	skipped := make([]int, procs)
 	n.exec.Fork(p, procs, func(i int, wp *sim.Proc) {
-		examined[i], skipped[i], errs[i] = n.scanShard(ctx, wp, f, st, step, shards[i], data[i].blocks, qbox, hw, visitFor(i))
+		examined[i], skipped[i], errs[i] = n.scanShard(compCtx, wp, f, st, step, shards[i], data[i].blocks, qbox, hw, visitFor(i))
 	})
+	compSp.End()
 	bd.Compute = n.exec.Now() - compStart
+	mScanCompute.Observe(bd.Compute.Seconds())
 	for i, e := range errs {
 		if e != nil {
 			return bd, e
@@ -512,5 +524,7 @@ func (n *Node) evalPhases(
 		bd.PointsExamined += examined[i]
 		bd.AtomsSkipped += skipped[i]
 	}
+	mPointsExam.Add(int64(bd.PointsExamined))
+	mAtomsSkipped.Add(int64(bd.AtomsSkipped))
 	return bd, nil
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/turbdb/turbdb/internal/cache"
 	"github.com/turbdb/turbdb/internal/derived"
 	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
 	"github.com/turbdb/turbdb/internal/sim"
 	"github.com/turbdb/turbdb/internal/stencil"
@@ -95,8 +96,11 @@ func (n *Node) GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold)
 
 	// Algorithm 1, lines 4–28: cache interrogation.
 	if n.cache != nil {
+		_, sp := obs.StartSpan(ctx, "cache_lookup")
 		pts, ok, err := n.cache.Lookup(p, q.Dataset, ckey, q.Timestep, q.Threshold, q.Box)
+		sp.End()
 		res.Breakdown.CacheLookup = n.exec.Now() - start
+		mCacheLookup.Observe(res.Breakdown.CacheLookup.Seconds())
 		if err != nil {
 			return nil, err
 		}
@@ -154,11 +158,14 @@ func (n *Node) GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold)
 	// it would poison later complete queries.
 	if n.cache != nil && bd.AtomsSkipped == 0 {
 		t0 := n.exec.Now()
+		_, sp := obs.StartSpan(ctx, "cache_update")
 		err := n.cache.Store(p, q.Dataset, ckey, q.Timestep, q.Threshold, q.Box, pts)
+		sp.End()
 		if err != nil && !errors.Is(err, cache.ErrEntryTooLarge) {
 			return nil, fmt.Errorf("node: cache update: %w", err)
 		}
 		res.Breakdown.CacheUpdate = n.exec.Now() - t0
+		mCacheUpdate.Observe(res.Breakdown.CacheUpdate.Seconds())
 	}
 
 	res.Points = pts

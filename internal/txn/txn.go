@@ -23,6 +23,20 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/turbdb/turbdb/internal/obs"
+)
+
+// Process-wide transaction metrics. Snapshot age is measured in commit-clock
+// ticks (how many commits landed between a transaction's begin and its
+// commit attempt): 0 means the snapshot was current, large values flag
+// long-lived transactions that block the vacuum horizon.
+var (
+	mBegins      = obs.Default().Counter("turbdb_txn_begin_total")
+	mCommits     = obs.Default().Counter("turbdb_txn_commit_total")
+	mAborts      = obs.Default().Counter("turbdb_txn_abort_total")
+	mConflicts   = obs.Default().Counter("turbdb_txn_conflict_total")
+	mSnapshotAge = obs.Default().Histogram("turbdb_txn_snapshot_age_ticks", obs.SizeBuckets)
 )
 
 // ErrConflict is returned by Commit when another transaction committed a
@@ -108,6 +122,7 @@ func (db *DB) Begin() *Tx {
 		writes:  make(map[string]map[RowID]write),
 	}
 	db.active[tx] = struct{}{}
+	mBegins.Inc()
 	return tx
 }
 
@@ -275,6 +290,7 @@ func (tx *Tx) Commit() error {
 	defer db.mu.Unlock()
 	tx.closed = true
 	delete(db.active, tx)
+	mSnapshotAge.Observe(float64(db.clock - tx.startTS))
 
 	// validate: no row we wrote may have a version committed after startTS
 	for tableName, rows := range tx.writes {
@@ -288,6 +304,7 @@ func (tx *Tx) Commit() error {
 			}
 			versions := t.rows[id]
 			if len(versions) > 0 && versions[len(versions)-1].begin > tx.startTS {
+				mConflicts.Inc()
 				return fmt.Errorf("%w (table %q row %d)", ErrConflict, tableName, id)
 			}
 		}
@@ -308,6 +325,7 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	db.vacuumLocked()
+	mCommits.Inc()
 	return nil
 }
 
@@ -320,6 +338,7 @@ func (tx *Tx) Abort() {
 	tx.db.mu.Lock()
 	delete(tx.db.active, tx)
 	tx.db.mu.Unlock()
+	mAborts.Inc()
 }
 
 // vacuumLocked prunes versions invisible to every active snapshot. Caller

@@ -1,0 +1,233 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+)
+
+// The schedule tests drive interleaved transactions step by step through a
+// small interpreter, making the snapshot-isolation invariants table-driven:
+// each case is a readable schedule plus the exact visibility/conflict
+// outcome required at every step. They complement the scenario tests above
+// by pinning the MVCC semantics — repeatable reads, first-committer-wins,
+// abort releasing intents — as data, not prose.
+
+// schedOp is one step of an interleaved schedule. Tx names transactions
+// ("t1", "t2"...); Row names rows symbolically, bound at their seed/insert.
+type schedOp struct {
+	tx     string
+	action string // begin, insert, update, delete, get, commit, abort
+
+	row string
+	val interface{} // insert/update payload
+
+	wantAbsent bool        // get: row must be invisible
+	wantVal    interface{} // get: expected value (when !wantAbsent)
+	wantErr    error       // commit/update/delete: expected error (nil = success)
+}
+
+// runSchedule interprets a schedule against a fresh DB with table "t"
+// seeded with the given rows.
+func runSchedule(t *testing.T, seed map[string]interface{}, ops []schedOp) {
+	t.Helper()
+	db := New()
+	db.CreateTable("t")
+	ids := map[string]RowID{}
+	if len(seed) > 0 {
+		tx := db.Begin()
+		// Deterministic seeding order doesn't matter: rows are independent.
+		for name, v := range seed {
+			ids[name] = mustInsert(t, tx, "t", v)
+		}
+		mustCommit(t, tx)
+	}
+	txs := map[string]*Tx{}
+	for i, op := range ops {
+		tx := txs[op.tx]
+		switch op.action {
+		case "begin":
+			txs[op.tx] = db.Begin()
+		case "insert":
+			id, err := tx.Insert("t", op.val)
+			if err != nil {
+				t.Fatalf("step %d: %s insert: %v", i, op.tx, err)
+			}
+			ids[op.row] = id
+		case "update":
+			err := tx.Update("t", ids[op.row], op.val)
+			if !errors.Is(err, op.wantErr) {
+				t.Fatalf("step %d: %s update %s: err=%v, want %v", i, op.tx, op.row, err, op.wantErr)
+			}
+		case "delete":
+			err := tx.Delete("t", ids[op.row])
+			if !errors.Is(err, op.wantErr) {
+				t.Fatalf("step %d: %s delete %s: err=%v, want %v", i, op.tx, op.row, err, op.wantErr)
+			}
+		case "get":
+			v, ok, err := tx.Get("t", ids[op.row])
+			if err != nil {
+				t.Fatalf("step %d: %s get %s: %v", i, op.tx, op.row, err)
+			}
+			if op.wantAbsent {
+				if ok {
+					t.Fatalf("step %d: %s sees %s = %v, want invisible", i, op.tx, op.row, v)
+				}
+			} else if !ok || v != op.wantVal {
+				t.Fatalf("step %d: %s get %s = (%v, %v), want %v", i, op.tx, op.row, v, ok, op.wantVal)
+			}
+		case "commit":
+			err := tx.Commit()
+			if !errors.Is(err, op.wantErr) {
+				t.Fatalf("step %d: %s commit: err=%v, want %v", i, op.tx, err, op.wantErr)
+			}
+		case "abort":
+			tx.Abort()
+		default:
+			t.Fatalf("step %d: unknown action %q", i, op.action)
+		}
+	}
+}
+
+func TestSnapshotIsolationSchedules(t *testing.T) {
+	cases := []struct {
+		name string
+		seed map[string]interface{}
+		ops  []schedOp
+	}{
+		{
+			// A reader's snapshot is fixed at Begin: a concurrent committed
+			// update stays invisible for the reader's whole lifetime, and the
+			// read-only transaction commits cleanly.
+			name: "repeatable read across concurrent commit",
+			seed: map[string]interface{}{"r": "v0"},
+			ops: []schedOp{
+				{tx: "t1", action: "begin"},
+				{tx: "t2", action: "begin"},
+				{tx: "t2", action: "update", row: "r", val: "v1"},
+				{tx: "t2", action: "commit"},
+				{tx: "t1", action: "get", row: "r", wantVal: "v0"},
+				{tx: "t1", action: "commit"},
+				{tx: "t3", action: "begin"},
+				{tx: "t3", action: "get", row: "r", wantVal: "v1"},
+				{tx: "t3", action: "abort"},
+			},
+		},
+		{
+			// First committer wins: the overlapping writer that commits
+			// second gets ErrConflict, and its write is discarded.
+			name: "write-write conflict aborts second committer",
+			seed: map[string]interface{}{"r": "v0"},
+			ops: []schedOp{
+				{tx: "t1", action: "begin"},
+				{tx: "t2", action: "begin"},
+				{tx: "t1", action: "update", row: "r", val: "from-t1"},
+				{tx: "t2", action: "update", row: "r", val: "from-t2"},
+				{tx: "t1", action: "commit"},
+				{tx: "t2", action: "commit", wantErr: ErrConflict},
+				{tx: "t3", action: "begin"},
+				{tx: "t3", action: "get", row: "r", wantVal: "from-t1"},
+				{tx: "t3", action: "abort"},
+			},
+		},
+		{
+			// Disjoint write sets never conflict, whatever the interleaving.
+			name: "disjoint writes both commit",
+			seed: map[string]interface{}{"a": 1, "b": 2},
+			ops: []schedOp{
+				{tx: "t1", action: "begin"},
+				{tx: "t2", action: "begin"},
+				{tx: "t1", action: "update", row: "a", val: 10},
+				{tx: "t2", action: "update", row: "b", val: 20},
+				{tx: "t2", action: "commit"},
+				{tx: "t1", action: "commit"},
+				{tx: "t3", action: "begin"},
+				{tx: "t3", action: "get", row: "a", wantVal: 10},
+				{tx: "t3", action: "get", row: "b", wantVal: 20},
+				{tx: "t3", action: "abort"},
+			},
+		},
+		{
+			// Abort discards the write entirely: a later transaction over
+			// the same row commits without conflict and readers never see
+			// the aborted value.
+			name: "abort releases the row for later writers",
+			seed: map[string]interface{}{"r": "v0"},
+			ops: []schedOp{
+				{tx: "t1", action: "begin"},
+				{tx: "t1", action: "update", row: "r", val: "doomed"},
+				{tx: "t1", action: "abort"},
+				{tx: "t2", action: "begin"},
+				{tx: "t2", action: "get", row: "r", wantVal: "v0"},
+				{tx: "t2", action: "update", row: "r", val: "v1"},
+				{tx: "t2", action: "commit"},
+			},
+		},
+		{
+			// An aborted insert leaves no trace.
+			name: "aborted insert invisible",
+			ops: []schedOp{
+				{tx: "t1", action: "begin"},
+				{tx: "t1", action: "insert", row: "new", val: "ghost"},
+				{tx: "t1", action: "get", row: "new", wantVal: "ghost"}, // own write
+				{tx: "t1", action: "abort"},
+				{tx: "t2", action: "begin"},
+				{tx: "t2", action: "get", row: "new", wantAbsent: true},
+				{tx: "t2", action: "abort"},
+			},
+		},
+		{
+			// Inserts committed after a snapshot was taken stay invisible to
+			// it (no phantom rows under Get).
+			name: "snapshot excludes later inserts",
+			ops: []schedOp{
+				{tx: "t1", action: "begin"},
+				{tx: "t2", action: "begin"},
+				{tx: "t2", action: "insert", row: "new", val: "x"},
+				{tx: "t2", action: "commit"},
+				{tx: "t1", action: "get", row: "new", wantAbsent: true},
+				{tx: "t1", action: "abort"},
+			},
+		},
+		{
+			// Delete is a write: an overlapping update loses to a committed
+			// delete, and vice versa the row stays gone.
+			name: "update conflicts with committed delete",
+			seed: map[string]interface{}{"r": "v0"},
+			ops: []schedOp{
+				{tx: "t1", action: "begin"},
+				{tx: "t2", action: "begin"},
+				{tx: "t1", action: "delete", row: "r"},
+				{tx: "t2", action: "update", row: "r", val: "v1"},
+				{tx: "t1", action: "commit"},
+				{tx: "t2", action: "commit", wantErr: ErrConflict},
+				{tx: "t3", action: "begin"},
+				{tx: "t3", action: "get", row: "r", wantAbsent: true},
+				{tx: "t3", action: "abort"},
+			},
+		},
+		{
+			// A conflicted transaction's other writes are discarded too:
+			// commit is all-or-nothing.
+			name: "conflict rolls back the whole write set",
+			seed: map[string]interface{}{"a": "a0", "b": "b0"},
+			ops: []schedOp{
+				{tx: "t1", action: "begin"},
+				{tx: "t2", action: "begin"},
+				{tx: "t1", action: "update", row: "a", val: "a1"},
+				{tx: "t2", action: "update", row: "a", val: "a2"},
+				{tx: "t2", action: "update", row: "b", val: "b2"},
+				{tx: "t1", action: "commit"},
+				{tx: "t2", action: "commit", wantErr: ErrConflict},
+				{tx: "t3", action: "begin"},
+				{tx: "t3", action: "get", row: "a", wantVal: "a1"},
+				{tx: "t3", action: "get", row: "b", wantVal: "b0"},
+				{tx: "t3", action: "abort"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			runSchedule(t, tc.seed, tc.ops)
+		})
+	}
+}

@@ -14,9 +14,23 @@ import (
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
 	"github.com/turbdb/turbdb/internal/sim"
 )
+
+// startRPC opens a client-side span for one RPC and stamps the outgoing
+// request with the context's trace ID, so the serving node records its
+// stage spans under the same distributed trace. No-op (zero handle, empty
+// ID) when ctx carries no trace.
+func startRPC(ctx context.Context, traceID *string, path string) (context.Context, obs.ActiveSpan) {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return ctx, obs.ActiveSpan{}
+	}
+	*traceID = tr.ID()
+	return obs.StartSpan(ctx, "rpc:"+path)
+}
 
 // DefaultRequestTimeout bounds a single request when the caller's context
 // carries no deadline. Threshold scans over cold data are minutes-long, so
@@ -211,10 +225,14 @@ func (c *Client) Describe(ctx context.Context) (node.Description, error) {
 // GetThreshold implements mediator.NodeClient over HTTP. The sim.Proc is
 // ignored: wire transports run in real mode.
 func (c *Client) GetThreshold(ctx context.Context, _ *sim.Proc, q query.Threshold) (*node.ThresholdResult, error) {
+	req := ThresholdRequestFor(q)
+	ctx, sp := startRPC(ctx, &req.TraceID, PathThreshold)
+	defer sp.End()
 	var resp ThresholdResponse
-	if err := c.call(ctx, PathThreshold, ThresholdRequestFor(q), &resp); err != nil {
+	if err := c.call(ctx, PathThreshold, req, &resp); err != nil {
 		return nil, err
 	}
+	sp.Graft(SpansFromDTO(resp.Spans))
 	return &node.ThresholdResult{
 		Points:    fromDTO(resp.Points),
 		FromCache: resp.FromCache,
@@ -224,27 +242,39 @@ func (c *Client) GetThreshold(ctx context.Context, _ *sim.Proc, q query.Threshol
 
 // GetPDF implements mediator.NodeClient over HTTP.
 func (c *Client) GetPDF(ctx context.Context, _ *sim.Proc, q query.PDF) (*node.PDFResult, error) {
+	req := PDFRequestFor(q)
+	ctx, sp := startRPC(ctx, &req.TraceID, PathPDF)
+	defer sp.End()
 	var resp PDFResponse
-	if err := c.call(ctx, PathPDF, PDFRequestFor(q), &resp); err != nil {
+	if err := c.call(ctx, PathPDF, req, &resp); err != nil {
 		return nil, err
 	}
+	sp.Graft(SpansFromDTO(resp.Spans))
 	return &node.PDFResult{Counts: resp.Counts, Breakdown: breakdownFromDTO(resp.Breakdown)}, nil
 }
 
 // GetTopK implements mediator.NodeClient over HTTP.
 func (c *Client) GetTopK(ctx context.Context, _ *sim.Proc, q query.TopK) (*node.TopKResult, error) {
+	req := TopKRequestFor(q)
+	ctx, sp := startRPC(ctx, &req.TraceID, PathTopK)
+	defer sp.End()
 	var resp TopKResponse
-	if err := c.call(ctx, PathTopK, TopKRequestFor(q), &resp); err != nil {
+	if err := c.call(ctx, PathTopK, req, &resp); err != nil {
 		return nil, err
 	}
+	sp.Graft(SpansFromDTO(resp.Spans))
 	return &node.TopKResult{Points: fromDTO(resp.Points), Breakdown: breakdownFromDTO(resp.Breakdown)}, nil
 }
 
 // ThresholdStats runs a threshold query against a mediator service and
 // also returns the coverage annotation of the answer (1 for complete).
-func (c *Client) ThresholdStats(ctx context.Context, q query.Threshold) ([]query.ResultPoint, *ThresholdResponse, error) {
+// With trace set, the service mints a distributed trace and the response
+// carries the assembled span tree (Trace field).
+func (c *Client) ThresholdStats(ctx context.Context, q query.Threshold, trace bool) ([]query.ResultPoint, *ThresholdResponse, error) {
+	req := ThresholdRequestFor(q)
+	req.Trace = trace
 	var resp ThresholdResponse
-	if err := c.call(ctx, PathThreshold, ThresholdRequestFor(q), &resp); err != nil {
+	if err := c.call(ctx, PathThreshold, req, &resp); err != nil {
 		return nil, nil, err
 	}
 	return fromDTO(resp.Points), &resp, nil
@@ -256,10 +286,13 @@ func (c *Client) FetchAtoms(ctx context.Context, _ *sim.Proc, rawField string, s
 	for i, code := range codes {
 		req.Codes[i] = uint64(code)
 	}
+	ctx, sp := startRPC(ctx, &req.TraceID, PathAtoms)
+	defer sp.End()
 	var resp AtomsResponse
 	if err := c.call(ctx, PathAtoms, req, &resp); err != nil {
 		return nil, err
 	}
+	sp.Graft(SpansFromDTO(resp.Spans))
 	out := make(map[morton.Code][]byte, len(resp.Atoms))
 	for code, blob := range resp.Atoms {
 		out[morton.Code(code)] = blob

@@ -1,0 +1,26 @@
+package wire
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"github.com/turbdb/turbdb/internal/obs"
+)
+
+// DebugHandler returns the shared diagnostics mux served by both daemons
+// behind -debug-addr (never on the query port):
+//
+//	/metrics        Prometheus-style text exposition of the process registry
+//	/debug/trace    recent query traces (?id=<trace> renders the span tree)
+//	/debug/pprof/*  the standard net/http/pprof profiling endpoints
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(obs.Default()))
+	mux.Handle("/debug/trace", obs.TraceHandler(obs.Traces()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
 )
 
@@ -70,7 +71,60 @@ func boxFromDTO(d BoxDTO) grid.Box {
 	}
 }
 
-// ThresholdRequest is the wire form of query.Threshold.
+// SpanDTO is one trace span on the wire. Offsets are microseconds from the
+// recording service's trace epoch; the receiver re-aligns them when
+// grafting (obs.Trace.Graft).
+type SpanDTO struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartUS int64  `json:"startUs"`
+	DurUS   int64  `json:"durUs"`
+}
+
+// TraceDTO is a whole query trace on the wire (mediator → user).
+type TraceDTO struct {
+	ID    string    `json:"id"`
+	Spans []SpanDTO `json:"spans"`
+}
+
+// SpansToDTO converts recorded spans to their wire form.
+func SpansToDTO(spans []obs.Span) []SpanDTO {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanDTO, len(spans))
+	for i, s := range spans {
+		out[i] = SpanDTO{
+			ID: s.ID, Parent: s.Parent, Name: s.Name,
+			StartUS: s.Start.Microseconds(),
+			DurUS:   s.Duration().Microseconds(),
+		}
+	}
+	return out
+}
+
+// SpansFromDTO converts wire spans back to obs spans.
+func SpansFromDTO(d []SpanDTO) []obs.Span {
+	if len(d) == 0 {
+		return nil
+	}
+	out := make([]obs.Span, len(d))
+	for i, s := range d {
+		start := time.Duration(s.StartUS) * time.Microsecond
+		out[i] = obs.Span{
+			ID: s.ID, Parent: s.Parent, Name: s.Name,
+			Start: start,
+			End:   start + time.Duration(s.DurUS)*time.Microsecond,
+		}
+	}
+	return out
+}
+
+// ThresholdRequest is the wire form of query.Threshold. TraceID joins the
+// request to an existing distributed trace (mediator → node fan-out);
+// Trace asks the service to mint a fresh trace and return the collected
+// span tree in the response (user → mediator, or user → node directly).
 type ThresholdRequest struct {
 	Dataset   string  `json:"dataset"`
 	Field     string  `json:"field"`
@@ -79,6 +133,8 @@ type ThresholdRequest struct {
 	Box       *BoxDTO `json:"box,omitempty"`
 	FDOrder   int     `json:"fdOrder,omitempty"`
 	Limit     int     `json:"limit,omitempty"`
+	TraceID   string  `json:"traceId,omitempty"`
+	Trace     bool    `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -151,6 +207,11 @@ type ThresholdResponse struct {
 	Breakdown BreakdownDTO `json:"breakdown"`
 	Coverage  float64      `json:"coverage,omitempty"`
 	Failed    int          `json:"failedNodes,omitempty"`
+	// Spans are the serving node's stage spans when the request carried a
+	// TraceID; the client grafts them under its RPC span.
+	Spans []SpanDTO `json:"spans,omitempty"`
+	// Trace is the fully assembled span tree when the request set Trace.
+	Trace *TraceDTO `json:"trace,omitempty"`
 }
 
 // PDFRequest is the wire form of query.PDF.
@@ -163,6 +224,8 @@ type PDFRequest struct {
 	Min      float64 `json:"min"`
 	Width    float64 `json:"width"`
 	FDOrder  int     `json:"fdOrder,omitempty"`
+	TraceID  string  `json:"traceId,omitempty"`
+	Trace    bool    `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -196,6 +259,8 @@ type PDFResponse struct {
 	Breakdown BreakdownDTO `json:"breakdown"`
 	Coverage  float64      `json:"coverage,omitempty"`
 	Failed    int          `json:"failedNodes,omitempty"`
+	Spans     []SpanDTO    `json:"spans,omitempty"`
+	Trace     *TraceDTO    `json:"trace,omitempty"`
 }
 
 // TopKRequest is the wire form of query.TopK.
@@ -206,6 +271,8 @@ type TopKRequest struct {
 	Box      *BoxDTO `json:"box,omitempty"`
 	K        int     `json:"k"`
 	FDOrder  int     `json:"fdOrder,omitempty"`
+	TraceID  string  `json:"traceId,omitempty"`
+	Trace    bool    `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -239,18 +306,24 @@ type TopKResponse struct {
 	Breakdown BreakdownDTO `json:"breakdown"`
 	Coverage  float64      `json:"coverage,omitempty"`
 	Failed    int          `json:"failedNodes,omitempty"`
+	Spans     []SpanDTO    `json:"spans,omitempty"`
+	Trace     *TraceDTO    `json:"trace,omitempty"`
 }
 
 // AtomsRequest asks a node for raw atom blobs (peer halo exchange).
+// TraceID joins the fetch to the distributed trace of the query that
+// triggered it.
 type AtomsRequest struct {
 	Field    string   `json:"field"`
 	Timestep int      `json:"timestep"`
 	Codes    []uint64 `json:"codes"`
+	TraceID  string   `json:"traceId,omitempty"`
 }
 
 // AtomsResponse returns the blobs, base64-encoded by encoding/json.
 type AtomsResponse struct {
 	Atoms map[uint64][]byte `json:"atoms"`
+	Spans []SpanDTO         `json:"spans,omitempty"`
 }
 
 // DropCacheRequest clears cached entries for a (field, order, step).

@@ -11,8 +11,34 @@ import (
 	"github.com/turbdb/turbdb/internal/mediator"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
 )
+
+// traceForRequest builds the per-request trace context: joining an
+// existing distributed trace when the request carries a TraceID, minting a
+// fresh one when it asks for tracing (mint), and plain ctx otherwise. The
+// returned trace (nil when untraced) is recorded into the process trace
+// store after the query finishes.
+func traceForRequest(ctx context.Context, traceID string, mint bool) (context.Context, *obs.Trace) {
+	if traceID == "" && !mint {
+		return ctx, nil
+	}
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	tr := obs.NewTrace(traceID, nil)
+	return obs.ContextWithTrace(ctx, tr), tr
+}
+
+// traceDTOFor records a finished trace into the process store and renders
+// it for a Trace=true response (nil for Spans-only propagation).
+func traceDTOFor(tr *obs.Trace, wantTree bool) *TraceDTO {
+	if tr == nil || !wantTree {
+		return nil
+	}
+	return &TraceDTO{ID: tr.ID(), Spans: SpansToDTO(tr.Spans())}
+}
 
 // writeJSON writes a 200 response body. Encode failures cannot be reported
 // to the client (the status line is already out), so they are logged.
@@ -101,14 +127,20 @@ func (s *NodeServer) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.n.GetThreshold(r.Context(), nil, req.ToQuery())
+	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
+	ctx, sp := obs.StartSpan(ctx, "threshold")
+	res, err := s.n.GetThreshold(ctx, nil, req.ToQuery())
+	sp.End()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	obs.Traces().Record(tr)
 	writeJSON(w, ThresholdResponse{
 		Points: toDTO(res.Points), FromCache: res.FromCache,
 		Breakdown: breakdownToDTO(res.Breakdown),
+		Spans:     SpansToDTO(tr.Spans()),
+		Trace:     traceDTOFor(tr, req.Trace),
 	})
 }
 
@@ -118,12 +150,19 @@ func (s *NodeServer) handlePDF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.n.GetPDF(r.Context(), nil, req.ToQuery())
+	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
+	ctx, sp := obs.StartSpan(ctx, "pdf")
+	res, err := s.n.GetPDF(ctx, nil, req.ToQuery())
+	sp.End()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, PDFResponse{Counts: res.Counts, Breakdown: breakdownToDTO(res.Breakdown)})
+	obs.Traces().Record(tr)
+	writeJSON(w, PDFResponse{
+		Counts: res.Counts, Breakdown: breakdownToDTO(res.Breakdown),
+		Spans: SpansToDTO(tr.Spans()), Trace: traceDTOFor(tr, req.Trace),
+	})
 }
 
 func (s *NodeServer) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -132,12 +171,19 @@ func (s *NodeServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.n.GetTopK(r.Context(), nil, req.ToQuery())
+	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
+	ctx, sp := obs.StartSpan(ctx, "topk")
+	res, err := s.n.GetTopK(ctx, nil, req.ToQuery())
+	sp.End()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, TopKResponse{Points: toDTO(res.Points), Breakdown: breakdownToDTO(res.Breakdown)})
+	obs.Traces().Record(tr)
+	writeJSON(w, TopKResponse{
+		Points: toDTO(res.Points), Breakdown: breakdownToDTO(res.Breakdown),
+		Spans: SpansToDTO(tr.Spans()), Trace: traceDTOFor(tr, req.Trace),
+	})
 }
 
 func (s *NodeServer) handleAtoms(w http.ResponseWriter, r *http.Request) {
@@ -150,12 +196,16 @@ func (s *NodeServer) handleAtoms(w http.ResponseWriter, r *http.Request) {
 	for i, c := range req.Codes {
 		codes[i] = morton.Code(c)
 	}
-	blobs, err := s.n.FetchAtoms(r.Context(), nil, req.Field, req.Timestep, codes)
+	ctx, tr := traceForRequest(r.Context(), req.TraceID, false)
+	ctx, sp := obs.StartSpan(ctx, "serve_atoms")
+	blobs, err := s.n.FetchAtoms(ctx, nil, req.Field, req.Timestep, codes)
+	sp.End()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	resp := AtomsResponse{Atoms: make(map[uint64][]byte, len(blobs))}
+	obs.Traces().Record(tr)
+	resp := AtomsResponse{Atoms: make(map[uint64][]byte, len(blobs)), Spans: SpansToDTO(tr.Spans())}
 	for c, b := range blobs {
 		resp.Atoms[uint64(c)] = b
 	}
@@ -222,17 +272,20 @@ func (s *MediatorServer) handleThreshold(w http.ResponseWriter, r *http.Request)
 		writeError(w, err)
 		return
 	}
-	pts, stats, err := s.m.Threshold(r.Context(), nil, req.ToQuery())
+	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
+	pts, stats, err := s.m.Threshold(ctx, nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	obs.Traces().Record(tr)
 	writeJSON(w, ThresholdResponse{
 		Points:    toDTO(pts),
 		FromCache: stats.CacheHits == len(s.m.Nodes()),
 		Breakdown: breakdownToDTO(stats.NodeCritical),
 		Coverage:  stats.Coverage,
 		Failed:    len(stats.Failures),
+		Trace:     traceDTOFor(tr, req.Trace),
 	})
 }
 
@@ -242,14 +295,17 @@ func (s *MediatorServer) handlePDF(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	counts, stats, err := s.m.PDF(r.Context(), nil, req.ToQuery())
+	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
+	counts, stats, err := s.m.PDF(ctx, nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	obs.Traces().Record(tr)
 	writeJSON(w, PDFResponse{
 		Counts: counts, Breakdown: breakdownToDTO(stats.NodeCritical),
 		Coverage: stats.Coverage, Failed: len(stats.Failures),
+		Trace: traceDTOFor(tr, req.Trace),
 	})
 }
 
@@ -259,14 +315,17 @@ func (s *MediatorServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	pts, stats, err := s.m.TopK(r.Context(), nil, req.ToQuery())
+	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
+	pts, stats, err := s.m.TopK(ctx, nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	obs.Traces().Record(tr)
 	writeJSON(w, TopKResponse{
 		Points: toDTO(pts), Breakdown: breakdownToDTO(stats.NodeCritical),
 		Coverage: stats.Coverage, Failed: len(stats.Failures),
+		Trace: traceDTOFor(tr, req.Trace),
 	})
 }
 

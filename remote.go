@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
 	"github.com/turbdb/turbdb/internal/wire"
 )
@@ -40,13 +41,17 @@ func (r *RemoteDB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
 		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Threshold: q.Threshold, Box: q.Region.internal(),
 		FDOrder: q.FDOrder, Limit: q.Limit,
-	})
+	}, q.Trace)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	cov := resp.Coverage
 	if cov == 0 {
 		cov = 1
+	}
+	var tree string
+	if resp.Trace != nil {
+		tree = obs.TraceFromSpans(resp.Trace.ID, wire.SpansFromDTO(resp.Trace.Spans)).Tree()
 	}
 	bd := resp.Breakdown.Breakdown()
 	return fromResult(pts), Stats{
@@ -60,6 +65,7 @@ func (r *RemoteDB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
 		HaloAtoms:   bd.HaloAtoms,
 		Coverage:    cov,
 		NodesFailed: resp.Failed,
+		TraceTree:   tree,
 	}, nil
 }
 

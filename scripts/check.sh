@@ -19,6 +19,11 @@ go test ./...
 echo '>> go test -race -short ./...'
 go test -race -short ./...
 
+# Coverage lane: statement-coverage floors for the packages the test-first
+# hardening pass owns (cache, txn, query, obs); see scripts/coverage.sh.
+echo '>> coverage floors (cache, txn, query, obs)'
+sh scripts/coverage.sh
+
 # The chaos suites (fault injection, node death mid-query) are the tests most
 # likely to surface races in the retry/breaker/partial-merge paths; run the
 # fault-tolerance packages in full under the race detector so -short filters

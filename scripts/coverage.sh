@@ -1,0 +1,46 @@
+#!/bin/sh
+# coverage.sh runs the coverage lane: statement coverage for the packages
+# the observability PR hardened (cache, txn, query, obs), enforcing a
+# per-package floor so coverage can only ratchet up. The full profile is
+# written to coverage.out (uploaded as a CI artifact; feed it to
+# `go tool cover -html=coverage.out` locally).
+set -eu
+cd "$(dirname "$0")/.."
+
+PKGS='./internal/cache ./internal/txn ./internal/query ./internal/obs'
+
+echo '>> go test -coverprofile (cache, txn, query, obs)'
+# shellcheck disable=SC2086
+go test -coverprofile=coverage.out -covermode=atomic $PKGS | tee coverage.txt
+
+# Per-package floors, in percent. Deliberately below current measurements
+# (regression tripwires, not targets): a PR that drops a package under its
+# floor must either add tests or consciously lower the floor in review.
+floor_for() {
+	case "$1" in
+	*/internal/cache) echo 80 ;;
+	*/internal/txn) echo 85 ;;
+	*/internal/query) echo 90 ;;
+	*/internal/obs) echo 85 ;;
+	*) echo 0 ;;
+	esac
+}
+
+status=0
+for pkg in $PKGS; do
+	path="github.com/turbdb/turbdb/${pkg#./}"
+	pct=$(awk -v p="$path" '$2 == p { for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%$/, "", $(i+1)); print $(i+1); exit } }' coverage.txt)
+	if [ -z "$pct" ]; then
+		echo "FAIL: no coverage reported for $pkg"
+		status=1
+		continue
+	fi
+	floor=$(floor_for "$pkg")
+	printf '%-24s %6s%% (floor %s%%)\n' "$pkg" "$pct" "$floor"
+	if [ "$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p < f) ? 1 : 0 }')" = "1" ]; then
+		echo "FAIL: $pkg coverage $pct% is below the $floor% floor"
+		status=1
+	fi
+done
+
+exit $status

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"github.com/turbdb/turbdb/internal/cluster"
 	"github.com/turbdb/turbdb/internal/derived"
 	"github.com/turbdb/turbdb/internal/fieldexpr"
 	"github.com/turbdb/turbdb/internal/hist"
 	"github.com/turbdb/turbdb/internal/mediator"
+	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
 	"github.com/turbdb/turbdb/internal/sim"
 	"github.com/turbdb/turbdb/internal/synth"
@@ -198,10 +200,18 @@ func (db *DB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
 		Threshold: q.Threshold, Box: q.Region.internal(),
 		FDOrder: q.FDOrder, Limit: q.Limit,
 	}
+	var tr *obs.Trace
+	if q.Trace {
+		var now func() time.Duration
+		if db.c.Kernel != nil {
+			now = db.c.Kernel.Now // span times in virtual cluster time
+		}
+		tr = obs.NewTrace(obs.NewTraceID(), now)
+	}
 	var pts []Point
 	var stats Stats
 	err := db.run(func(p *sim.Proc) error {
-		raw, s, err := db.c.Mediator.Threshold(context.Background(), p, iq)
+		raw, s, err := db.c.Mediator.Threshold(obs.ContextWithTrace(context.Background(), tr), p, iq)
 		if err != nil {
 			return err
 		}
@@ -211,6 +221,10 @@ func (db *DB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
 	})
 	if err != nil {
 		return nil, Stats{}, err
+	}
+	if tr != nil {
+		obs.Traces().Record(tr)
+		stats.TraceTree = tr.Tree()
 	}
 	return pts, stats, nil
 }

@@ -95,6 +95,10 @@ type ThresholdQuery struct {
 	// Limit caps the result size; 0 uses the production limit of 10⁶
 	// points. Queries over the limit fail with ErrThresholdTooLow.
 	Limit int
+	// Trace collects a per-stage span tree for this query (plan, per-node
+	// scan, halo fetches, merge); the rendered tree comes back in
+	// Stats.TraceTree. Off by default — untraced queries pay nothing.
+	Trace bool
 }
 
 // PDFQuery asks for the histogram of the field's norm.
@@ -151,6 +155,10 @@ type Stats struct {
 	// NodesFailed counts nodes the mediator degraded around (0 for a
 	// complete answer).
 	NodesFailed int
+	// TraceTree is the query's rendered span tree when ThresholdQuery.Trace
+	// was set ("" otherwise). Recent traces are also browsable on a live
+	// daemon via /debug/trace on the -debug-addr listener.
+	TraceTree string
 }
 
 // Partial reports whether the answer is missing part of the domain
