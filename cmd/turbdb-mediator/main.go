@@ -17,58 +17,17 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"github.com/turbdb/turbdb/internal/mediator"
 	"github.com/turbdb/turbdb/internal/wire"
 )
-
-// serveDebug exposes the diagnostics endpoints (pprof, /metrics,
-// /debug/trace) on their own listener (opt-in via -debug-addr; never on
-// the query port). Best-effort: a failure to serve diagnostics must not
-// take the mediator down.
-func serveDebug(addr string) {
-	go func() {
-		log.Printf("diagnostics on http://%s/metrics and /debug/pprof/", addr)
-		if err := http.ListenAndServe(addr, wire.DebugHandler()); err != nil {
-			log.Printf("debug endpoint: %v", err)
-		}
-	}()
-}
-
-// serveGracefully runs srv until a termination signal, then drains for at
-// most drain before force-closing connections.
-func serveGracefully(srv *http.Server, drain time.Duration) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-
-	select {
-	case err := <-errCh:
-		return err
-	case <-ctx.Done():
-	}
-	log.Printf("signal received, draining in-flight requests (up to %s)", drain)
-	sdCtx, cancel := context.WithTimeout(context.Background(), drain)
-	defer cancel()
-	if err := srv.Shutdown(sdCtx); err != nil {
-		log.Printf("drain deadline passed, canceling in-flight requests: %v", err)
-		return srv.Close()
-	}
-	log.Printf("drained cleanly")
-	return nil
-}
 
 func main() {
 	log.SetFlags(0)
@@ -87,9 +46,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *dbgAddr != "" {
-		serveDebug(*dbgAddr)
-	}
 
 	var clients []mediator.NodeClient
 	for _, url := range strings.Split(*nodes, ",") {
@@ -107,7 +63,10 @@ func main() {
 	fmt.Printf("mediator for %s (%d nodes, %d³ grid, partial=%v) on %s\n",
 		m.Dataset(), len(clients), m.Grid().N, *partial, *addr)
 	srv := &http.Server{Addr: *addr, Handler: wire.NewMediatorServer(m).Handler()}
-	if err := serveGracefully(srv, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	err = wire.RunDaemon(context.Background(), wire.DaemonConfig{
+		Server: srv, DebugAddr: *dbgAddr, Drain: *drain,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 }

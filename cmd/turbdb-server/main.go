@@ -18,15 +18,12 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"github.com/turbdb/turbdb/internal/cache"
@@ -34,44 +31,6 @@ import (
 	"github.com/turbdb/turbdb/internal/store"
 	"github.com/turbdb/turbdb/internal/wire"
 )
-
-// serveDebug exposes the diagnostics endpoints (pprof, /metrics,
-// /debug/trace) on their own listener (opt-in via -debug-addr; never on
-// the query port). Best-effort: a failure to serve diagnostics must not
-// take the node down.
-func serveDebug(addr string) {
-	go func() {
-		log.Printf("diagnostics on http://%s/metrics and /debug/pprof/", addr)
-		if err := http.ListenAndServe(addr, wire.DebugHandler()); err != nil {
-			log.Printf("debug endpoint: %v", err)
-		}
-	}()
-}
-
-// serveGracefully runs srv until a termination signal, then drains for at
-// most drain before force-closing connections.
-func serveGracefully(srv *http.Server, drain time.Duration) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-
-	select {
-	case err := <-errCh:
-		return err
-	case <-ctx.Done():
-	}
-	log.Printf("signal received, draining in-flight requests (up to %s)", drain)
-	sdCtx, cancel := context.WithTimeout(context.Background(), drain)
-	defer cancel()
-	if err := srv.Shutdown(sdCtx); err != nil {
-		log.Printf("drain deadline passed, canceling in-flight requests: %v", err)
-		return srv.Close()
-	}
-	log.Printf("drained cleanly")
-	return nil
-}
 
 func main() {
 	log.SetFlags(0)
@@ -93,9 +52,6 @@ func main() {
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-	if *debugAddr != "" {
-		serveDebug(*debugAddr)
 	}
 
 	manifest, err := store.ReadManifest(*data)
@@ -136,7 +92,10 @@ func main() {
 	fmt.Printf("node %d serving %s shard %v on %s (cache=%v, %d processes)\n",
 		*nodeID, manifest.Dataset, st.Owned(), *addr, *withCache, *processes)
 	srv := &http.Server{Addr: *addr, Handler: wire.NewNodeServer(n).Handler()}
-	if err := serveGracefully(srv, *drain); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	err = wire.RunDaemon(context.Background(), wire.DaemonConfig{
+		Server: srv, DebugAddr: *debugAddr, Drain: *drain,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 }

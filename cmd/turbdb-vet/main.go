@@ -1,6 +1,7 @@
 // Command turbdb-vet runs the repository's custom static-analysis suite
 // (internal/lint): lockcheck, droppederr, floateq, magicatom, ctxpropagate,
-// rowkernel and poolcheck. It is part of the standard check gate
+// rowkernel, poolcheck, and the concurrency-safety trio lockorder,
+// goroutinelife and atomichygiene. It is part of the standard check gate
 // (scripts/check.sh, CI) and exits non-zero when any finding is reported.
 //
 // Usage:

@@ -31,6 +31,7 @@ func serve(handler http.Handler) string {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//turbdb:ignore goroutinelife demo process: the servers live for the lifetime of the example and die with it
 	go func() {
 		if err := http.Serve(ln, handler); err != nil {
 			log.Print(err)

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicHygiene enforces a single access regime per variable. A variable is
+// atomic when its address is passed to a sync/atomic function anywhere in
+// the package, or when its declaration is annotated //turbdb:atomic. Once
+// atomic, every access must go through sync/atomic: a plain read can observe
+// a torn value and a plain write can race the atomic ones, and both defeat
+// the memory-ordering guarantees the atomic calls were chosen for. The
+// analyzer flags:
+//
+//   - plain (non-atomic) reads and writes of an atomic variable, including
+//     taking its address for anything other than a sync/atomic call;
+//   - declarations mixing regimes: a field carrying both a `// guarded by`
+//     annotation and atomic access (atomics bypass the mutex, so the guard
+//     is a lie), whether the field is a plain integer used with sync/atomic
+//     or one of the atomic.Int64-style typed atomics.
+//
+// Typed atomics (atomic.Int64, atomic.Bool, …) otherwise need no checking —
+// their method set is the only access path — so they are the recommended
+// fix for any finding here. Deliberate exceptions (e.g. a constructor
+// storing the initial value before the object is shared) carry a reasoned
+// //turbdb:ignore atomichygiene <reason>.
+var AtomicHygiene = &Analyzer{
+	Name: "atomichygiene",
+	Doc:  "atomic variables must never be accessed non-atomically; no mutex/atomic mixing",
+	Run:  runAtomicHygiene,
+}
+
+// atomicDirective reports whether a comment group carries //turbdb:atomic.
+func atomicDirective(cgs ...*ast.CommentGroup) (token.Pos, bool) {
+	for _, cg := range cgs {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if text == "turbdb:atomic" || strings.HasPrefix(text, "turbdb:atomic ") {
+				return c.Pos(), true
+			}
+		}
+	}
+	return token.NoPos, false
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed atomics
+// (atomic.Int64, atomic.Bool, atomic.Pointer[T], …), through pointers.
+func isTypedAtomic(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicArgVar resolves the `&x` argument of a sync/atomic call to the
+// variable it addresses, also returning the identifier that names it (so the
+// use can be sanctioned).
+func atomicArgVar(pass *Pass, arg ast.Expr) (*types.Var, *ast.Ident) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	switch x := ast.Unparen(un.X).(type) {
+	case *ast.Ident:
+		if v, ok := defOrUse(pass, x).(*types.Var); ok {
+			return v, x
+		}
+	case *ast.SelectorExpr:
+		if v, ok := pass.Info.Uses[x.Sel].(*types.Var); ok {
+			return v, x.Sel
+		}
+	}
+	return nil, nil
+}
+
+func runAtomicHygiene(pass *Pass) {
+	// Declaration sweep: //turbdb:atomic annotations, `// guarded by`
+	// annotations, and display names, over every field and package-level var.
+	annotated := make(map[*types.Var]token.Pos)
+	guarded := make(map[*types.Var]token.Pos)
+	display := make(map[*types.Var]string)
+	typedAtomicField := make(map[*types.Var]bool)
+	forEachMutexDecl(pass.Package, func(v *types.Var, name string, isMutex bool, doc, comment *ast.CommentGroup) {
+		display[v] = name
+		if pos, ok := atomicDirective(doc, comment); ok {
+			if isTypedAtomic(v.Type()) {
+				// the type already enforces atomic access; the annotation is
+				// harmless documentation
+			} else {
+				annotated[v] = pos
+			}
+		}
+		for _, cg := range []*ast.CommentGroup{doc, comment} {
+			if cg != nil && guardedByRe.MatchString(cg.Text()) {
+				// findings anchor to the declaration itself, so fixture want
+				// markers can trail the field
+				guarded[v] = v.Pos()
+			}
+		}
+		if isTypedAtomic(v.Type()) {
+			typedAtomicField[v] = true
+		}
+	})
+
+	// Call sweep: variables addressed by sync/atomic calls, and the
+	// identifier uses those calls sanction.
+	viaCalls := make(map[*types.Var]token.Pos)
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v, id := atomicArgVar(pass, arg); v != nil {
+					if _, seen := viaCalls[v]; !seen {
+						viaCalls[v] = id.Pos()
+					}
+					sanctioned[id] = true
+				}
+			}
+			return true
+		})
+	}
+
+	name := func(v *types.Var) string {
+		if n, ok := display[v]; ok {
+			return n
+		}
+		return v.Name()
+	}
+
+	// Mixed regimes at the declaration.
+	for v, pos := range guarded {
+		switch {
+		case typedAtomicField[v]:
+			pass.Reportf(pos, "%s is a typed atomic but carries a `// guarded by` annotation; atomics bypass the mutex — drop the guard or use a plain field", name(v))
+		default:
+			if _, ok := annotated[v]; ok {
+				pass.Reportf(pos, "%s mixes `// guarded by` with //turbdb:atomic; atomic access bypasses the mutex — pick one regime", name(v))
+			} else if _, ok := viaCalls[v]; ok {
+				pass.Reportf(pos, "%s mixes `// guarded by` with sync/atomic access; atomic access bypasses the mutex — pick one regime", name(v))
+			}
+		}
+	}
+
+	// Access sweep: every remaining use of an atomic variable must be
+	// sanctioned (part of a sync/atomic call's &x argument).
+	atomicVars := make(map[*types.Var]string) // var → why it is atomic
+	for v := range annotated {
+		atomicVars[v] = "annotated //turbdb:atomic"
+	}
+	for v := range viaCalls {
+		if _, ok := atomicVars[v]; !ok {
+			atomicVars[v] = "accessed via sync/atomic elsewhere in this package"
+		}
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			why, ok := atomicVars[v]
+			if !ok || sanctioned[id] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "non-atomic access of %s, which is %s; use sync/atomic (or a typed atomic) for every access", name(v), why)
+			return true
+		})
+	}
+}

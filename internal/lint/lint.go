@@ -1,6 +1,6 @@
 // Package lint implements turbdb-vet, the repository's custom static-
 // analysis suite. It is built directly on the standard library's go/parser
-// and go/types (no golang.org/x/tools dependency) and ships seven
+// and go/types (no golang.org/x/tools dependency) and ships ten
 // repo-specific analyzers:
 //
 //	lockcheck    — fields annotated `// guarded by <mu>` may only be accessed
@@ -23,7 +23,22 @@
 //	               other annotated kernels (or the math package);
 //	poolcheck    — sync.Pool hygiene: comma-ok type assertions on Get, no use
 //	               of a value after Put, no capacity-dropping reslices of
-//	               pooled slices.
+//	               pooled slices;
+//	lockorder    — mutexes annotated `//turbdb:lockrank <name> <level>` must
+//	               be acquired in strictly increasing level order; the
+//	               module-wide acquisition graph (propagated through static
+//	               calls) is also checked for re-acquisition and cycles, with
+//	               the full acquisition path in the diagnostic;
+//	goroutinelife — every `go` statement needs a statically provable
+//	               termination/ownership story: the body watches a context
+//	               Done channel or is tracked by a sync.WaitGroup whose Wait
+//	               is called; WaitGroup misuse (Add inside the tracked
+//	               goroutine, Wait under a lock the goroutine needs) is
+//	               flagged too;
+//	atomichygiene — variables accessed via sync/atomic (or annotated
+//	               //turbdb:atomic) must never be read or written plainly,
+//	               and a field may not mix a `// guarded by` mutex regime
+//	               with atomic access.
 //
 // Findings are suppressed with a `//lint:allow <check>[,<check>] reason`
 // comment on the flagged line or on the line directly above it, or with the
@@ -58,6 +73,11 @@ type Package struct {
 	// one Loader loads (dependencies load first), so analyzers can resolve
 	// annotations on callees defined in other packages of the module.
 	RowKernels map[types.Object]bool
+	// Locks is the module-wide lock model (declared //turbdb:lockrank
+	// hierarchy, per-function acquisition summaries, held→acquired edges).
+	// Like RowKernels it is shared across every package one Loader loads and
+	// populated sequentially at load time, so parallel analysis only reads it.
+	Locks *LockGraph
 }
 
 // Diagnostic is one finding of one analyzer.
@@ -104,7 +124,7 @@ type Analyzer struct {
 
 // Analyzers returns the full turbdb-vet suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, DroppedErr, FloatEq, MagicAtom, CtxPropagate, RowKernel, PoolCheck}
+	return []*Analyzer{LockCheck, DroppedErr, FloatEq, MagicAtom, CtxPropagate, RowKernel, PoolCheck, LockOrder, GoroutineLife, AtomicHygiene}
 }
 
 // allowRe matches suppression directives: //lint:allow check1[,check2] reason

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -62,12 +63,37 @@ func analyzerByName(t *testing.T, name string) *Analyzer {
 	return nil
 }
 
-func TestAnalyzers(t *testing.T) {
-	root := filepath.Join("testdata", "src")
-	loader, err := NewLoader(root)
+// fixtureLoader is the one Loader every test shares: fixture packages are
+// independent, and reusing the loader reuses its (expensive) source-imported
+// standard library across cases.
+var fixtureLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader(filepath.Join("testdata", "src"))
+})
+
+// loadFixture loads one type-clean fixture package from testdata/src; every
+// test that previously carried its own NewLoader+Load+arity-check block goes
+// through here.
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	loader, err := fixtureLoader()
 	if err != nil {
 		t.Fatal(err)
 	}
+	pkgs, err := loader.Load(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	for _, terr := range pkgs[0].TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", dir, terr)
+	}
+	return pkgs[0]
+}
+
+func TestAnalyzers(t *testing.T) {
+	root := filepath.Join("testdata", "src")
 	cases := []struct {
 		name string // analyzer to run
 		dir  string // fixture package, relative to testdata/src
@@ -82,22 +108,15 @@ func TestAnalyzers(t *testing.T) {
 		{"rowkernel", filepath.Join("internal", "stencil")},
 		{"rowkernel", filepath.Join("internal", "obs")},
 		{"poolcheck", "poolcheck"},
+		{"lockorder", "lockorder"},
+		{"goroutinelife", "goroutinelife"},
+		{"atomichygiene", "atomichygiene"},
 	}
 	for _, tc := range cases {
 		name := tc.name
 		t.Run(name+"/"+filepath.Base(tc.dir), func(t *testing.T) {
 			dir := filepath.Join(root, tc.dir)
-			pkgs, err := loader.Load(dir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(pkgs) != 1 {
-				t.Fatalf("loaded %d packages, want 1", len(pkgs))
-			}
-			pkg := pkgs[0]
-			for _, terr := range pkg.TypeErrors {
-				t.Errorf("fixture does not type-check: %v", terr)
-			}
+			pkg := loadFixture(t, tc.dir)
 			diags := Analyze(pkg, []*Analyzer{analyzerByName(t, name)})
 			wants := fixtureExpectations(t, dir)
 			matched := make(map[string]int)
@@ -137,16 +156,8 @@ func TestAnalyzers(t *testing.T) {
 // suppressed report; a reasonless directive is itself an active finding and
 // suppresses nothing.
 func TestIgnoreDirective(t *testing.T) {
-	root := filepath.Join("testdata", "src")
-	loader, err := NewLoader(root)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkgs, err := loader.Load(filepath.Join(root, "ignorefix"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	active, suppressed := AnalyzeAll(pkgs[0], []*Analyzer{analyzerByName(t, "floateq")})
+	pkg := loadFixture(t, "ignorefix")
+	active, suppressed := AnalyzeAll(pkg, []*Analyzer{analyzerByName(t, "floateq")})
 
 	if len(suppressed) != 1 {
 		t.Fatalf("suppressed = %v, want exactly one finding", suppressed)
@@ -182,16 +193,8 @@ func TestIgnoreDirective(t *testing.T) {
 // TestAllowDirectiveScope pins the suppression contract: a directive covers
 // its own line and the line directly below, nothing else.
 func TestAllowDirectiveScope(t *testing.T) {
-	root := filepath.Join("testdata", "src")
-	loader, err := NewLoader(root)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkgs, err := loader.Load(filepath.Join(root, "droppederr"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	allowed := allowedLines(pkgs[0].Fset, pkgs[0].Files)
+	pkg := loadFixture(t, "droppederr")
+	allowed := allowedLines(pkg.Fset, pkg.Files)
 	lines := allowed["droppederr"]
 	if len(lines) == 0 {
 		t.Fatal("no droppederr allow directives found in fixture")

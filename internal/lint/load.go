@@ -31,6 +31,7 @@ type Loader struct {
 	std        types.Importer
 	pkgs       map[string]*Package
 	rowKernels map[types.Object]bool // //turbdb:rowkernel functions, module-wide
+	locks      *LockGraph            // //turbdb:lockrank hierarchy + acquisition graph, module-wide
 }
 
 // NewLoader locates the module enclosing dir (by walking up to go.mod).
@@ -62,6 +63,7 @@ func NewLoader(dir string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
 		rowKernels: make(map[types.Object]bool),
+		locks:      NewLockGraph(),
 	}, nil
 }
 
@@ -286,6 +288,8 @@ func (l *Loader) load(importPath string) (*Package, error) {
 	pkg.Types = tpkg
 	pkg.RowKernels = l.rowKernels
 	l.recordRowKernels(pkg)
+	pkg.Locks = l.locks
+	recordLockGraph(pkg, l.locks)
 	l.pkgs[importPath] = pkg
 	return pkg, nil
 }

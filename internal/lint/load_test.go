@@ -7,9 +7,11 @@ import (
 	"testing"
 )
 
-// loadFixture loads one fixture package from testdata/src and fails the test
-// on any hard loader error.
-func loadFixture(t *testing.T, includeTests bool, dir string) *Package {
+// loadFixtureWith loads one fixture package through a fresh, specially
+// configured loader; unlike loadFixture it tolerates type errors (package
+// broken depends on that) and can include _test.go files. Everything else
+// goes through loadFixture's shared loader.
+func loadFixtureWith(t *testing.T, includeTests bool, dir string) *Package {
 	t.Helper()
 	loader, err := NewLoader(filepath.Join("testdata", "src"))
 	if err != nil {
@@ -43,7 +45,7 @@ func TestLoadExcludesConstrainedFiles(t *testing.T) {
 	if runtime.GOOS == "plan9" {
 		t.Skip("fixture uses a plan9 GOOS suffix as the excluded file")
 	}
-	pkg := loadFixture(t, false, "buildtags")
+	pkg := loadFixture(t, "buildtags")
 	if len(pkg.TypeErrors) != 0 {
 		t.Fatalf("type errors from excluded files leaking in: %v", pkg.TypeErrors)
 	}
@@ -68,7 +70,7 @@ func TestLoadTestOnlyPackage(t *testing.T) {
 		t.Fatalf("IncludeTests=false: error = %q, want mention of missing Go files", err)
 	}
 
-	pkg := loadFixture(t, true, "testonly")
+	pkg := loadFixtureWith(t, true, "testonly")
 	if len(pkg.TypeErrors) != 0 {
 		t.Fatalf("IncludeTests=true: unexpected type errors: %v", pkg.TypeErrors)
 	}
@@ -82,7 +84,7 @@ func TestLoadTestOnlyPackage(t *testing.T) {
 // still loads (TypeErrors populated, no hard error) and that running the
 // full analyzer suite over its partial type information does not panic.
 func TestLoadTypeErrorPackage(t *testing.T) {
-	pkg := loadFixture(t, false, "broken")
+	pkg := loadFixtureWith(t, false, "broken")
 	if len(pkg.TypeErrors) == 0 {
 		t.Fatal("want TypeErrors for package broken, got none")
 	}

@@ -1,0 +1,70 @@
+// Package atomichygiene exercises the single-access-regime analyzer: plain
+// reads/writes of variables accessed via sync/atomic, plain writes of
+// //turbdb:atomic-annotated fields, and declarations mixing a mutex guard
+// with atomic access. Negative cases prove typed atomics, purely
+// mutex-guarded fields, and reasoned suppressions stay silent.
+package atomichygiene
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	hits int64 // incremented via atomic.AddInt64 below
+	//turbdb:atomic
+	flags uint32
+
+	mu sync.Mutex
+	// guarded by mu
+	count int64 // want `stats.count mixes .// guarded by. with sync/atomic access`
+
+	lagged atomic.Int64 // guarded by mu; want `stats.lagged is a typed atomic but carries`
+
+	okTotal atomic.Int64 // typed atomic, single regime: never flagged
+
+	n int // guarded by mu; plain field, mutex regime only: never flagged
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.StoreUint32(&s.flags, 1)
+}
+
+// badRead reads hits without going through sync/atomic: torn-value risk.
+func (s *stats) badRead() int64 {
+	return s.hits // want `non-atomic access of stats.hits, which is accessed via sync/atomic elsewhere`
+}
+
+// badWrite writes an annotated field plainly: races every atomic access.
+func (s *stats) badWrite() {
+	s.flags = 0 // want `non-atomic access of stats.flags, which is annotated //turbdb:atomic`
+}
+
+// mixed shows why count is flagged at its declaration: one path uses the
+// mutex, another bypasses it with an atomic load.
+func (s *stats) mixed() int64 {
+	return atomic.LoadInt64(&s.count)
+}
+
+// goodTyped uses the typed atomic's method set, the recommended fix.
+func (s *stats) goodTyped() int64 {
+	s.okTotal.Add(1)
+	return s.okTotal.Load()
+}
+
+// goodGuarded accesses the plain field under its mutex; no atomic regime in
+// play, so atomichygiene stays silent (lockcheck owns this field).
+func (s *stats) goodGuarded() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// newStats stores an initial value before the object is shared; sound, but
+// beyond static proof, so it carries a reasoned suppression.
+func newStats() *stats {
+	s := &stats{}
+	s.hits = 0 //turbdb:ignore atomichygiene constructor runs before the object is shared
+	return s
+}

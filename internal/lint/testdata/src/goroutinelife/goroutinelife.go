@@ -1,0 +1,120 @@
+// Package goroutinelife exercises the goroutine-ownership analyzer:
+// fire-and-forget literals, dynamically dispatched spawns, WaitGroups whose
+// Wait never runs, Add inside the tracked goroutine, and Wait under a lock
+// the goroutine needs. Negative cases prove that Done-watching bodies,
+// properly tracked goroutines, and reasoned suppressions stay silent.
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// fireAndForget has no termination story at all.
+func fireAndForget() {
+	go func() { // want `fire-and-forget goroutine \(function literal\)`
+		work()
+	}()
+}
+
+// dynamic launches a function value; the body is unknowable statically.
+func dynamic(fn func()) {
+	go fn() // want `goroutine launches a dynamic call, whose body cannot be analyzed statically`
+}
+
+// neverJoined signals a WaitGroup nobody ever waits on.
+var orphan sync.WaitGroup
+
+func neverJoined() {
+	orphan.Add(1)
+	go func() { // want `goroutine signals WaitGroup orphan, but its Wait is never called in this package`
+		defer orphan.Done()
+		work()
+	}()
+}
+
+// addInside increments the counter from inside the goroutine it tracks: the
+// spawner can reach Wait before the goroutine is scheduled.
+type racer struct {
+	wg sync.WaitGroup
+}
+
+func (r *racer) addInside() {
+	go func() {
+		r.wg.Add(1) // want `wg.Add of wg inside the goroutine it tracks`
+		defer r.wg.Done()
+		work()
+	}()
+	r.wg.Wait()
+}
+
+// joiner's goroutine needs mu; badJoin waits for it while holding mu.
+type joiner struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+func (j *joiner) spawn() {
+	j.wg.Add(1)
+	go func() {
+		defer j.wg.Done()
+		j.mu.Lock()
+		j.n++
+		j.mu.Unlock()
+	}()
+}
+
+func (j *joiner) badJoin() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.wg.Wait() // want `wg.Wait on wg while holding joiner.mu, which a goroutine tracked by this WaitGroup acquires — deadlock`
+}
+
+// goodJoin waits with no locks held: silent.
+func (j *joiner) goodJoin() {
+	j.wg.Wait()
+}
+
+// watcher bodies that select on ctx.Done have a shutdown story: silent.
+func watcher(ctx context.Context, ticks <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticks:
+				work()
+			}
+		}
+	}()
+}
+
+// tracked is the canonical owned goroutine: Add before, deferred Done
+// inside, Wait reachable. Silent.
+func tracked() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// handshake's lifecycle is sound but beyond static proof; the reasoned
+// suppression keeps the exception auditable.
+type stepper struct {
+	resume chan struct{}
+}
+
+func (s *stepper) run() {
+	<-s.resume
+	work()
+}
+
+func (s *stepper) start() {
+	go s.run() //turbdb:ignore goroutinelife run exits after one handshake; owner always sends resume exactly once
+}

@@ -1,0 +1,133 @@
+// Package lockorder exercises the lock-hierarchy analyzer: rank inversions
+// (direct and through a call path), self re-acquisition, cycles between
+// unranked mutexes, and directive validation. Negative cases prove that
+// strictly increasing acquisition, sequential (non-nested) locking, fresh
+// goroutine contexts, and reasoned suppressions stay silent.
+package lockorder
+
+import "sync"
+
+type ranked struct {
+	//turbdb:lockrank lo.state 10
+	mu sync.Mutex
+	//turbdb:lockrank lo.cache 20
+	cacheMu sync.Mutex
+	//turbdb:lockrank lo.stats 30
+	statsMu sync.Mutex
+}
+
+// badDirect inverts the declared order within one body.
+func (r *ranked) badDirect() {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	r.mu.Lock() // want `acquires lo.state \(lockrank 10\) while holding lo.cache \(lockrank 20\); levels must strictly increase`
+	r.mu.Unlock()
+}
+
+// lockCache is a helper whose acquisition badTransitive inherits.
+func (r *ranked) lockCache() {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+}
+
+// badTransitive inverts the order through a callee; the diagnostic carries
+// the call path.
+func (r *ranked) badTransitive() {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	r.lockCache() // want `acquires lo.cache \(lockrank 20\) while holding lo.stats \(lockrank 30\); levels must strictly increase — path: badTransitive → lockCache`
+}
+
+// reacquire takes a lock it already holds; sync.Mutex is not reentrant.
+func (r *ranked) reacquire() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mu.Lock() // want `acquires lo.state while already holding it \(self-deadlock\)`
+	r.mu.Unlock()
+}
+
+// sequential releases before the next acquisition: no nesting, no edge.
+func (r *ranked) sequential() {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.cacheMu.Lock()
+	r.cacheMu.Unlock()
+}
+
+// spawned goroutines run on their own lock state: the literal's acquisition
+// of a lower-ranked lock is not nested under statsMu.
+func (r *ranked) spawned(join *sync.WaitGroup) {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	join.Add(1)
+	go func() {
+		defer join.Done()
+		r.mu.Lock()
+		r.mu.Unlock()
+	}()
+}
+
+type nested struct {
+	//turbdb:lockrank lo.low 1
+	low sync.Mutex
+	//turbdb:lockrank lo.high 2
+	high sync.Mutex
+}
+
+// goodNest acquires in strictly increasing rank order: silent.
+func (n *nested) goodNest() {
+	n.low.Lock()
+	defer n.low.Unlock()
+	n.high.Lock()
+	defer n.high.Unlock()
+}
+
+type cyc struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// cycAB and cycBA take the same unranked locks in opposite orders: a cycle
+// even though neither lock declares a rank. Reported once, at the cycle's
+// earliest acquisition.
+func (c *cyc) cycAB() {
+	c.a.Lock()
+	defer c.a.Unlock()
+	c.b.Lock() // want `lock-order cycle cyc.a → cyc.b → cyc.a`
+	c.b.Unlock()
+}
+
+func (c *cyc) cycBA() {
+	c.b.Lock()
+	defer c.b.Unlock()
+	c.a.Lock()
+	c.a.Unlock()
+}
+
+type badDecls struct {
+	//turbdb:lockrank justaname
+	m1 sync.Mutex // want `//turbdb:lockrank wants`
+	//turbdb:lockrank lo.notmu 5
+	n int // want `not a sync.Mutex or sync.RWMutex`
+	//turbdb:lockrank lo.dup 7
+	m2 sync.Mutex
+	//turbdb:lockrank lo.dup 8
+	m3 sync.Mutex // want `lockrank name "lo.dup" redeclared with level 8 \(first declared with level 7\)`
+}
+
+func keepFields(b *badDecls) int { return b.n }
+
+type quiet struct {
+	//turbdb:lockrank lo.outer 100
+	outer sync.Mutex
+	//turbdb:lockrank lo.inner 200
+	inner sync.Mutex
+}
+
+// suppressed documents a deliberate inversion with a reasoned ignore.
+func (q *quiet) suppressed() {
+	q.inner.Lock()
+	defer q.inner.Unlock()
+	q.outer.Lock() //turbdb:ignore lockorder init-only path, runs before any concurrency
+	q.outer.Unlock()
+}

@@ -104,6 +104,7 @@ type poolKey struct {
 }
 
 type bufferPool struct {
+	//turbdb:lockrank node.bufpool 60
 	mu   sync.Mutex
 	seen map[poolKey]bool // guarded by mu
 }
@@ -271,6 +272,7 @@ func (n *Node) gatherField(ctx context.Context, wp *sim.Proc, rawField string, s
 // Without it assembleExtended allocates a fresh multi-KB block per atom per
 // raw field per worker, which dominates steady-state garbage.
 type blockPool struct {
+	//turbdb:lockrank node.blockpool 65
 	mu    sync.Mutex
 	pools map[int]*sync.Pool // guarded by mu
 }

@@ -91,6 +91,7 @@ type Node struct {
 	partialHalo bool
 	extPool     *blockPool
 
+	//turbdb:lockrank node.state 20
 	mu sync.Mutex
 }
 

@@ -118,14 +118,14 @@ func (n *Node) GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold)
 
 	// Algorithm 1, lines 29–36: evaluate from the raw data.
 	var total atomic.Int64
-	overLimit := false
+	var overLimit atomic.Bool // visitors from every worker process race on it
 	results := make([][]query.ResultPoint, n.Processes())
 	visitFor := func(worker int) func(grid.Point, float64) bool {
 		return func(pt grid.Point, norm float64) bool {
 			if norm >= q.Threshold {
 				results[worker] = append(results[worker], query.PointFor(pt, norm))
 				if int(total.Add(1)) > q.Limit {
-					overLimit = true
+					overLimit.Store(true)
 					return false
 				}
 			}
@@ -142,7 +142,7 @@ func (n *Node) GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold)
 	if err != nil {
 		return nil, err
 	}
-	if overLimit {
+	if overLimit.Load() {
 		return nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: int(total.Load())}
 	}
 

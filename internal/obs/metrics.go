@@ -192,6 +192,7 @@ var SizeBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6}
 // lookups are register-or-get and take a lock; hold the returned pointer at
 // package init so hot paths never touch the registry.
 type Registry struct {
+	//turbdb:lockrank obs.metrics 90
 	mu    sync.Mutex
 	names []string // registration order; guarded by mu
 	types map[string]string

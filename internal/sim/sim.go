@@ -87,6 +87,7 @@ func (k *Kernel) Now() time.Duration { return k.now }
 func (k *Kernel) Go(name string, fn func(*Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
 	k.schedule(k.now, p)
+	//turbdb:ignore goroutinelife strict handshake: the kernel resumes each proc exactly once per step and joins on yielded; Run does not return while any proc is live
 	go func() {
 		<-p.resume // wait for the kernel to run us the first time
 		fn(p)

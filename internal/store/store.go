@@ -52,6 +52,7 @@ type Store struct {
 	owned      morton.Range // atom codes this node stores
 	partitions int          // number of table partitions (files)
 
+	//turbdb:lockrank store.shard 30
 	mu     sync.RWMutex
 	fields map[string]FieldMeta      // guarded by mu
 	data   map[string]map[Key][]byte // guarded by mu

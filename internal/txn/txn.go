@@ -65,6 +65,7 @@ type table struct {
 
 // DB is a multi-version row store. The zero value is not usable; call New.
 type DB struct {
+	//turbdb:lockrank txn.db 40
 	mu     sync.Mutex
 	clock  uint64            // guarded by mu
 	tables map[string]*table // guarded by mu

@@ -74,6 +74,7 @@ type Client struct {
 	http       *http.Client
 	reqTimeout time.Duration
 
+	//turbdb:lockrank wire.client 50
 	mu   sync.Mutex
 	info *InfoResponse
 }

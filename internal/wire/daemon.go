@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// DaemonConfig configures RunDaemon, the shared serve-and-drain loop of
+// turbdb-server and turbdb-mediator.
+type DaemonConfig struct {
+	// Server is the query-port server (required).
+	Server *http.Server
+	// DebugAddr optionally serves the diagnostics endpoints (pprof,
+	// /metrics, /debug/trace) on their own listener — never on the query
+	// port. Best-effort: a failure to serve diagnostics must not take the
+	// daemon down.
+	DebugAddr string
+	// Drain bounds the graceful-shutdown window; in-flight requests get
+	// this long to finish before their connections are cut.
+	Drain time.Duration
+	// Logf defaults to log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+// RunDaemon serves cfg.Server until ctx is canceled or a SIGINT/SIGTERM
+// arrives, then drains in-flight requests for at most cfg.Drain before
+// force-closing connections (their request contexts cancel, aborting
+// evaluations server-side). The diagnostics listener, when enabled, is shut
+// down on the same path; both serve goroutines are joined before RunDaemon
+// returns, so a drained daemon leaves zero goroutines behind. A clean drain
+// returns nil (http.ErrServerClosed is swallowed); a listen failure on the
+// query port returns that error.
+func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errCh <- cfg.Server.ListenAndServe()
+	}()
+
+	var debug *http.Server
+	if cfg.DebugAddr != "" {
+		debug = &http.Server{Addr: cfg.DebugAddr, Handler: DebugHandler()}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			logf("diagnostics on http://%s/metrics and /debug/pprof/", cfg.DebugAddr)
+			if err := debug.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logf("debug endpoint: %v", err)
+			}
+		}()
+	}
+
+	var err error
+	select {
+	case err = <-errCh:
+		// the query listener failed on its own; nothing left to drain
+	case <-ctx.Done():
+		logf("shutdown requested, draining in-flight requests (up to %s)", cfg.Drain)
+		//turbdb:ignore ctxpropagate ctx is already canceled here; the drain deadline must outlive it or Shutdown would return immediately
+		sdCtx, cancel := context.WithTimeout(context.Background(), cfg.Drain)
+		defer cancel()
+		if sdErr := cfg.Server.Shutdown(sdCtx); sdErr != nil {
+			logf("drain deadline passed, canceling in-flight requests: %v", sdErr)
+			err = cfg.Server.Close()
+		} else {
+			logf("drained cleanly")
+		}
+		<-errCh // join the serve result (ErrServerClosed after a shutdown)
+	}
+	if debug != nil {
+		if cErr := debug.Close(); cErr != nil {
+			logf("debug endpoint close: %v", cErr)
+		}
+	}
+	wg.Wait()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

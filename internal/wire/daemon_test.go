@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/obs"
+)
+
+// TestRunDaemonDrainLeavesNoGoroutines pins RunDaemon's post-drain contract:
+// canceling the context shuts down both the query server and the debug
+// listener, returns nil, and joins every goroutine the daemon spawned — the
+// leak the old per-command serveDebug helper (a fire-and-forget
+// http.ListenAndServe goroutine with no shutdown path) used to leave behind.
+func TestRunDaemonDrainLeavesNoGoroutines(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: http.NotFoundHandler()}
+
+	var wg sync.WaitGroup
+	var runErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = RunDaemon(ctx, DaemonConfig{
+			Server:    srv,
+			DebugAddr: "127.0.0.1:0",
+			Drain:     time.Second,
+			Logf:      t.Logf,
+		})
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let both listeners start
+	cancel()
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("RunDaemon returned %v, want nil after a clean drain", runErr)
+	}
+	obs.VerifyNoLeaks(t)
+}
+
+// TestRunDaemonListenFailure pins the error path: a query port that cannot
+// be bound surfaces the listen error immediately, and the daemon still
+// leaves no goroutines behind.
+func TestRunDaemonListenFailure(t *testing.T) {
+	srv := &http.Server{Addr: "256.256.256.256:0", Handler: http.NotFoundHandler()}
+	err := RunDaemon(context.Background(), DaemonConfig{
+		Server: srv,
+		Drain:  time.Second,
+		Logf:   t.Logf,
+	})
+	if err == nil {
+		t.Fatal("RunDaemon returned nil, want a listen error for an unbindable address")
+	}
+	obs.VerifyNoLeaks(t)
+}

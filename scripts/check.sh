@@ -1,41 +1,71 @@
 #!/bin/sh
 # check.sh runs the same gate as CI (.github/workflows/ci.yml), in the same
-# order: cheap static checks first, the race-detector lane last.
+# order: cheap static checks first, the race-detector lane last. Each lane
+# reports its wall-clock time so slow lanes are visible at a glance.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo '>> go build ./...'
+# Every lane shells out to the go tool, and half of them die with a cryptic
+# "module lookup disabled" / "dial tcp" error when the module cache is cold
+# and the network is unavailable. Fail fast with a clear message instead.
+if ! go list -deps ./... >/dev/null 2>&1; then
+	echo 'check.sh: `go list -deps ./...` failed — the build graph cannot be loaded.' >&2
+	echo 'check.sh: if the error below mentions downloads or dial/lookup failures,' >&2
+	echo 'check.sh: the module cache is cold and there is no network; run `go mod download`' >&2
+	echo 'check.sh: somewhere with network access first.' >&2
+	go list -deps ./... >/dev/null
+	exit 1
+fi
+
+LANE_START=0
+lane() {
+	LANE_START=$(date +%s)
+	echo ">> $*"
+}
+lane_done() {
+	echo "   done in $(($(date +%s) - LANE_START))s"
+}
+
+lane 'go build ./...'
 go build ./...
+lane_done
 
-echo '>> go vet ./...'
+lane 'go vet ./...'
 go vet ./...
+lane_done
 
-echo '>> turbdb-vet ./...'
+lane 'turbdb-vet ./...'
 go run ./cmd/turbdb-vet ./...
+lane_done
 
-echo '>> go test ./...'
+lane 'go test ./...'
 go test ./...
+lane_done
 
-echo '>> go test -race -short ./...'
+lane 'go test -race -short ./...'
 go test -race -short ./...
+lane_done
 
 # Coverage lane: statement-coverage floors for the packages the test-first
 # hardening pass owns (cache, txn, query, obs); see scripts/coverage.sh.
-echo '>> coverage floors (cache, txn, query, obs)'
+lane 'coverage floors (cache, txn, query, obs)'
 sh scripts/coverage.sh
+lane_done
 
 # The chaos suites (fault injection, node death mid-query) are the tests most
 # likely to surface races in the retry/breaker/partial-merge paths; run the
 # fault-tolerance packages in full under the race detector so -short filters
 # above can never skip them.
-echo '>> go test -race fault-tolerance packages'
+lane 'go test -race fault-tolerance packages'
 go test -race ./internal/faulttol/... ./internal/faultinject/... ./internal/cluster/... ./internal/wire/...
+lane_done
 
 # Benchmark smoke lane: one iteration of every kernel microbenchmark, so a
 # change that breaks a benchmark (or its setup) fails the gate instead of
 # surfacing the next time someone runs scripts/bench.sh.
-echo '>> benchmark smoke (kernel packages, 1 iteration)'
+lane 'benchmark smoke (kernel packages, 1 iteration)'
 go test -run=NONE -bench=. -benchtime=1x ./internal/stencil ./internal/field ./internal/derived ./internal/node
+lane_done
 
 # Fuzz smoke lane: a short coverage-guided run of each fuzz target beyond its
 # seed corpus (the seeds already ran as plain tests above). `go test -fuzz`
@@ -44,11 +74,12 @@ go test -run=NONE -bench=. -benchtime=1x ./internal/stencil ./internal/field ./i
 if [ "${SKIP_FUZZ:-0}" = "1" ]; then
 	echo '>> fuzz smoke: skipped (SKIP_FUZZ=1)'
 else
-	echo '>> fuzz smoke (10s per target)'
+	lane 'fuzz smoke (10s per target)'
 	go test -run=NONE -fuzz='^FuzzEncodeDecode$' -fuzztime=10s ./internal/morton
 	go test -run=NONE -fuzz='^FuzzCodeRoundTrip$' -fuzztime=10s ./internal/morton
 	go test -run=NONE -fuzz='^FuzzRequestDecode$' -fuzztime=10s ./internal/wire
 	go test -run=NONE -fuzz='^FuzzResponseDecode$' -fuzztime=10s ./internal/wire
+	lane_done
 fi
 
 echo 'All checks passed.'

@@ -64,7 +64,8 @@ type DB struct {
 	registry *derived.Registry
 	custom   []string // names registered via RegisterField, in order; guarded by mu
 
-	mu sync.Mutex // serializes simulated queries
+	//turbdb:lockrank turbdb.db 10
+	mu sync.Mutex // serializes simulated queries; held across whole queries, so it ranks below every internal lock
 }
 
 // Open synthesizes a dataset and assembles a cluster over it.
