@@ -11,6 +11,12 @@
 // -peers lists ALL node URLs in node order (including this node, which is
 // skipped); peers supply the halo band for derived-field kernels.
 //
+// -replica-shards lists extra shard indexes this node holds as replicas
+// (loaded from the same deployment directory), e.g. node 2 of a k=2 ring
+// runs with -replica-shards 1. The node advertises the replica ranges via
+// /info, so a replica-aware mediator can fail queries over to it when a
+// primary dies.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-
 // flight queries get -drain to finish, then remaining connections are cut
 // (their request contexts cancel, aborting the evaluations server-side).
@@ -23,14 +29,59 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/turbdb/turbdb/internal/cache"
+	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/node"
 	"github.com/turbdb/turbdb/internal/store"
 	"github.com/turbdb/turbdb/internal/wire"
 )
+
+// loadReplicaShards adopts each listed shard's range into st and copies
+// its atoms in from the deployment directory, so the node can serve the
+// ranges when their primaries die.
+func loadReplicaShards(st *store.Store, root string, m store.Manifest, self int, list string) error {
+	for _, tok := range strings.Split(list, ",") {
+		j, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad -replica-shards entry %q: %w", tok, err)
+		}
+		if j < 0 || j >= len(m.Shards) {
+			return fmt.Errorf("-replica-shards index %d out of range (deployment has %d shards)", j, len(m.Shards))
+		}
+		if j == self {
+			continue // the primary shard is already open
+		}
+		r := morton.Range{Lo: morton.Code(m.Shards[j][0]), Hi: morton.Code(m.Shards[j][1])}
+		st.AdoptRange(r)
+		src, err := store.OpenShard(root, m, j)
+		if err != nil {
+			return fmt.Errorf("replica shard %d: %w", j, err)
+		}
+		codes := make([]morton.Code, 0, r.Hi-r.Lo)
+		for c := r.Lo; c < r.Hi; c++ {
+			codes = append(codes, c)
+		}
+		for _, fm := range m.Fields {
+			for step := 0; step < m.Steps; step++ {
+				blobs, err := src.ReadAtoms(nil, fm.Name, step, codes)
+				if err != nil {
+					return fmt.Errorf("replica shard %d: reading %q step %d: %w", j, fm.Name, step, err)
+				}
+				for code, b := range blobs {
+					if err := st.Put(fm.Name, step, code, b); err != nil {
+						return fmt.Errorf("replica shard %d: adopting atom %v: %w", j, code, err)
+					}
+				}
+			}
+		}
+		log.Printf("holding shard %d %v as a replica", j, r)
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -41,6 +92,7 @@ func main() {
 		nodeID    = flag.Int("node", 0, "node index within the deployment")
 		addr      = flag.String("addr", ":7070", "listen address")
 		peers     = flag.String("peers", "", "comma-separated URLs of all node services, in node order")
+		replicas  = flag.String("replica-shards", "", "comma-separated shard indexes to also hold as replicas")
 		withCache = flag.Bool("cache", true, "enable the semantic query-result cache")
 		cacheCap  = flag.Int64("cache-capacity", 0, "cache capacity in bytes (0 = unlimited)")
 		processes = flag.Int("processes", 1, "worker processes per query")
@@ -61,6 +113,11 @@ func main() {
 	st, err := store.OpenShard(*data, manifest, *nodeID)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *replicas != "" {
+		if err := loadReplicaShards(st, *data, manifest, *nodeID, *replicas); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var ca *cache.Cache

@@ -46,6 +46,20 @@ func (d *dyingClient) GetThreshold(ctx context.Context, p *sim.Proc, q query.Thr
 	return d.NodeClient.GetThreshold(ctx, p, q)
 }
 
+func (d *dyingClient) GetPDF(ctx context.Context, p *sim.Proc, q query.PDF) (*node.PDFResult, error) {
+	if err := d.fail(); err != nil {
+		return nil, err
+	}
+	return d.NodeClient.GetPDF(ctx, p, q)
+}
+
+func (d *dyingClient) GetTopK(ctx context.Context, p *sim.Proc, q query.TopK) (*node.TopKResult, error) {
+	if err := d.fail(); err != nil {
+		return nil, err
+	}
+	return d.NodeClient.GetTopK(ctx, p, q)
+}
+
 // fastRetry keeps chaos tests quick: two attempts, millisecond backoff.
 func fastRetry() *faulttol.Policy {
 	return &faulttol.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}

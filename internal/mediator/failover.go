@@ -1,0 +1,548 @@
+package mediator
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/faulttol"
+	"github.com/turbdb/turbdb/internal/membership"
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/netmodel"
+	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/obs"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+// Failover metrics: how often a Morton range was re-routed to a replica
+// after its primary failed, and the routing-table version in effect.
+var (
+	mReroutes    = obs.Default().Counter("turbdb_failover_reroutes_total")
+	mTopoVersion = obs.Default().Gauge("turbdb_topology_version")
+)
+
+// Topology is the mediator's routing table under k-way replication: the
+// Morton ranges of the current placement and, per range, the nodes holding
+// it (primary first). Derived from membership.Placement by cluster
+// assembly; installed atomically via UpdateTopology on every rebalance.
+type Topology struct {
+	// Version identifies the placement (bumped on every rebalance).
+	Version uint64
+	// Ranges are the placement's contiguous Morton ranges.
+	Ranges []morton.Range
+	// Owners[i] lists the node ids holding Ranges[i], primary first.
+	Owners [][]int
+}
+
+// clone deep-copies the topology so callers cannot mutate installed state.
+func (t Topology) clone() Topology {
+	out := Topology{Version: t.Version}
+	out.Ranges = append([]morton.Range(nil), t.Ranges...)
+	out.Owners = make([][]int, len(t.Owners))
+	for i, o := range t.Owners {
+		out.Owners[i] = append([]int(nil), o...)
+	}
+	return out
+}
+
+// errReplicasDown reports a range whose every replica was unavailable
+// before any RPC could be attempted (all owners down or unregistered). It
+// is an availability failure, so partial mode may degrade around it.
+type errReplicasDown struct{ ri int }
+
+func (e errReplicasDown) Error() string {
+	return fmt.Sprintf("mediator: no live replica for range %d", e.ri)
+}
+
+// Transient marks the failure as availability-class.
+func (e errReplicasDown) Transient() bool { return true }
+
+// topoSnapshot is a consistent view of the routing state, taken once per
+// query so a concurrent rebalance never splits one fan-out across two
+// placements.
+type topoSnapshot struct {
+	topo    *Topology
+	clients map[int]NodeClient
+	fts     map[int]*faulttol.Executor
+	links   map[int]*netmodel.Link
+}
+
+// replicated reports whether topology routing is enabled.
+func (m *Mediator) replicated() bool {
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	return m.topo != nil
+}
+
+// snapshotTopo copies the routing state under the topology lock.
+func (m *Mediator) snapshotTopo() topoSnapshot {
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	s := topoSnapshot{
+		topo:    m.topo,
+		clients: make(map[int]NodeClient, len(m.clients)),
+		fts:     make(map[int]*faulttol.Executor, len(m.fts)),
+		links:   make(map[int]*netmodel.Link, len(m.links)),
+	}
+	for id, c := range m.clients {
+		s.clients[id] = c
+	}
+	for id, ft := range m.fts {
+		s.fts[id] = ft
+	}
+	for id, l := range m.links {
+		s.links[id] = l
+	}
+	return s
+}
+
+// UpdateTopology atomically installs a new routing table (a rebalance
+// flip). Queries already in flight finish on the placement they started
+// with; every owner must already be registered.
+func (m *Mediator) UpdateTopology(t Topology) error {
+	nt := t.clone()
+	if len(nt.Ranges) != len(nt.Owners) {
+		return fmt.Errorf("mediator: topology has %d ranges but %d owner lists", len(nt.Ranges), len(nt.Owners))
+	}
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	if m.clients == nil {
+		return fmt.Errorf("mediator: not assembled with a topology")
+	}
+	for ri, owners := range nt.Owners {
+		if len(owners) == 0 && !nt.Ranges[ri].Empty() {
+			return fmt.Errorf("mediator: range %d has no owners", ri)
+		}
+		for _, id := range owners {
+			if _, ok := m.clients[id]; !ok {
+				return fmt.Errorf("mediator: topology owner %d of range %d is not registered", id, ri)
+			}
+		}
+	}
+	m.topo = &nt
+	mTopoVersion.Set(int64(nt.Version))
+	return nil
+}
+
+// RegisterNode adds (or replaces) a node client for topology routing — a
+// joining node is registered before the topology referencing it is
+// installed. In real mode the node gets its own breaker and retry
+// executor; in simulation mode link carries its mediator↔node transfers.
+// ctx bounds the validation round-trip to the node.
+func (m *Mediator) RegisterNode(ctx context.Context, id int, c NodeClient, link *netmodel.Link) error {
+	if !m.replicated() {
+		return fmt.Errorf("mediator: not assembled with a topology")
+	}
+	d, err := c.Describe(ctx)
+	if err != nil {
+		return fmt.Errorf("mediator: node %d unreachable: %w", id, err)
+	}
+	if d.Dataset != m.Dataset() {
+		return fmt.Errorf("mediator: node %d serves dataset %q, not %q", id, d.Dataset, m.Dataset())
+	}
+	var ft *faulttol.Executor
+	if m.kernel == nil {
+		ft = m.newExecutor(id)
+	}
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	m.clients[id] = c
+	if ft != nil {
+		m.fts[id] = ft
+	}
+	if link != nil {
+		m.links[id] = link
+	}
+	return nil
+}
+
+// clientList returns the management fan-out targets (DropCache,
+// SetProcesses): topology-registered clients in id order, or the legacy
+// fixed node slice.
+func (m *Mediator) clientList() []NodeClient {
+	if !m.replicated() {
+		return m.nodes
+	}
+	snap := m.snapshotTopo()
+	ids := make([]int, 0, len(snap.clients))
+	for id := range snap.clients {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]NodeClient, len(ids))
+	for i, id := range ids {
+		out[i] = snap.clients[id]
+	}
+	return out
+}
+
+// routeOrder returns the failover order for one range's owner list: Alive
+// members in placement order first, then Suspect/Leaving ones, with
+// open-breaker nodes pushed to the back of their class. Non-serving
+// members (Joining, Left) are excluded entirely.
+func (m *Mediator) routeOrder(snap topoSnapshot, owners []int) []int {
+	type cand struct{ id, pri, idx int }
+	cands := make([]cand, 0, len(owners))
+	for idx, id := range owners {
+		st := membership.Alive
+		if m.members != nil {
+			st = m.members.State(id)
+		}
+		if !st.Serving() {
+			continue
+		}
+		pri := 0
+		if st != membership.Alive {
+			pri = 1
+		}
+		if ft := snap.fts[id]; ft != nil && ft.Breaker != nil && ft.Breaker.State() == faulttol.Open {
+			pri += 2
+		}
+		cands = append(cands, cand{id: id, pri: pri, idx: idx})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].pri != cands[j].pri {
+			return cands[i].pri < cands[j].pri
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// fanResult is the outcome of one replicated fan-out.
+type fanResult[T any] struct {
+	// results are the successful per-RPC answers, each covering one or more
+	// ranges exactly once — merging them never double-counts a cell.
+	results []T
+	// failed are the ranges every replica was down for.
+	failed []NodeFailure
+	// reroutes counts range re-assignments to a replica after a failure.
+	reroutes int
+	// total is the cell count across all non-empty topology ranges; ranges
+	// is how many there are.
+	total  uint64
+	ranges int
+}
+
+// fanoutReplicated runs one query's replica-aware fan-out: every non-empty
+// topology range is routed to its first live owner, ranges are grouped per
+// node into one scan-restricted RPC, and on a transient (or
+// retries-exhausted) failure the affected ranges advance to their next
+// untried replica in further rounds. A range ends up in failed only when
+// every replica is down; a non-transient error fails the whole query, as
+// in the legacy fan-out.
+func fanoutReplicated[T any](
+	m *Mediator,
+	ctx context.Context,
+	p *sim.Proc,
+	call func(ctx context.Context, wp *sim.Proc, cli NodeClient, link *netmodel.Link, scan []morton.Range) (T, error),
+) (fanResult[T], error) {
+	snap := m.snapshotTopo()
+	t := snap.topo
+	var fr fanResult[T]
+
+	type assignment struct {
+		ri     int   // index into t.Ranges
+		owners []int // failover order
+		next   int   // next owner to try
+		err    error // last failure
+	}
+	pending := make([]*assignment, 0, len(t.Ranges))
+	for i, r := range t.Ranges {
+		if r.Empty() {
+			continue
+		}
+		fr.total += r.CellCount()
+		fr.ranges++
+		pending = append(pending, &assignment{ri: i, owners: m.routeOrder(snap, t.Owners[i])})
+	}
+
+	round := 0
+	for len(pending) > 0 {
+		groups := make(map[int][]*assignment)
+		for _, a := range pending {
+			for a.next < len(a.owners) {
+				if _, ok := snap.clients[a.owners[a.next]]; ok {
+					break
+				}
+				a.next++
+			}
+			if a.next >= len(a.owners) {
+				err := a.err
+				if err == nil {
+					err = errReplicasDown{ri: a.ri}
+				}
+				last := -1
+				if n := len(a.owners); n > 0 {
+					last = a.owners[n-1]
+				}
+				fr.failed = append(fr.failed, NodeFailure{Node: last, Owned: t.Ranges[a.ri], Err: err})
+				continue
+			}
+			groups[a.owners[a.next]] = append(groups[a.owners[a.next]], a)
+		}
+		if len(groups) == 0 {
+			break
+		}
+		ids := make([]int, 0, len(groups))
+		for id := range groups {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+
+		results := make([]T, len(ids))
+		errs := make([]error, len(ids))
+		m.exec.Fork(p, len(ids), func(gi int, wp *sim.Proc) {
+			id := ids[gi]
+			name := fmt.Sprintf("node[%d]", id)
+			if round > 0 {
+				name = fmt.Sprintf("failover[%d]", id)
+			}
+			nctx, nsp := obs.StartSpan(ctx, name)
+			defer nsp.End()
+			scan := make([]morton.Range, 0, len(groups[id]))
+			for _, a := range groups[id] {
+				scan = append(scan, t.Ranges[a.ri])
+			}
+			// Canonical scan order keeps node-side cache keys stable across
+			// rounds and placements.
+			sort.Slice(scan, func(i, j int) bool { return scan[i].Lo < scan[j].Lo })
+			do := func(c context.Context) error {
+				var err error
+				results[gi], err = call(c, wp, snap.clients[id], snap.links[id], scan)
+				return err
+			}
+			if ft := snap.fts[id]; ft != nil {
+				errs[gi] = ft.Do(nctx, do)
+			} else {
+				errs[gi] = do(nctx)
+			}
+		})
+
+		var next []*assignment
+		for gi, id := range ids {
+			if errs[gi] == nil {
+				fr.results = append(fr.results, results[gi])
+				continue
+			}
+			if !faulttol.Transient(errs[gi]) {
+				return fr, fmt.Errorf("mediator: node %d: %w", id, errs[gi])
+			}
+			for _, a := range groups[id] {
+				a.err = errs[gi]
+				a.next++
+				if a.next < len(a.owners) {
+					fr.reroutes++
+				}
+				next = append(next, a)
+			}
+		}
+		pending = next
+		round++
+	}
+	if fr.reroutes > 0 {
+		mReroutes.Add(int64(fr.reroutes))
+	}
+	return fr, nil
+}
+
+// collectRangeFailures is the replicated counterpart of collectFailures:
+// failures are ranges with every replica down. Strict mode (or a
+// non-degradable failure) fails the query; partial mode computes coverage
+// from the missing cells. A replica absorbing a primary failure never
+// reaches this function — the range simply is not in failures and coverage
+// stays 1.
+func (m *Mediator) collectRangeFailures(failures []NodeFailure, total uint64, ranges int, stats *QueryStats) error {
+	stats.Coverage = 1
+	if len(failures) == 0 {
+		return nil
+	}
+	for _, f := range failures {
+		if !m.allowPartial || !faulttol.Transient(f.Err) {
+			return fmt.Errorf("mediator: node %d: %w", f.Node, f.Err)
+		}
+	}
+	if len(failures) == ranges {
+		return fmt.Errorf("mediator: all %d ranges failed on every replica, first: %w", ranges, failures[0].Err)
+	}
+	var missing uint64
+	for _, f := range failures {
+		missing += f.Owned.CellCount()
+	}
+	if total > 0 {
+		stats.Coverage = 1 - float64(missing)/float64(total)
+	} else {
+		// Degenerate topology (unknown ranges): fall back to range counts.
+		stats.Coverage = 1 - float64(len(failures))/float64(ranges)
+	}
+	stats.Failures = failures
+	return nil
+}
+
+// thresholdReplicated is Threshold's replica-aware fan-out and merge.
+func (m *Mediator) thresholdReplicated(ctx context.Context, p *sim.Proc, q query.Threshold, stats *QueryStats, start time.Duration) ([]query.ResultPoint, *QueryStats, error) {
+	fr, err := fanoutReplicated(m, ctx, p, func(ctx context.Context, wp *sim.Proc, cli NodeClient, link *netmodel.Link, scan []morton.Range) (*node.ThresholdResult, error) {
+		if link != nil {
+			link.Transfer(wp, RequestWireBytes)
+		}
+		qq := q
+		qq.Scan = scan
+		r, err := cli.GetThreshold(ctx, wp, qq)
+		if link != nil && err == nil {
+			link.Transfer(wp, query.WireBytes(len(r.Points)))
+		}
+		return r, err
+	})
+	if err != nil {
+		mQueryErrs.Inc()
+		return nil, nil, err
+	}
+	fanout := m.exec.Now() - start
+	if err := m.collectRangeFailures(fr.failed, fr.total, fr.ranges, stats); err != nil {
+		mQueryErrs.Inc()
+		return nil, nil, err
+	}
+	stats.Reroutes = fr.reroutes
+
+	_, msp := obs.StartSpan(ctx, "merge")
+	var pts []query.ResultPoint
+	for _, r := range fr.results {
+		pts = append(pts, r.Points...)
+		stats.NodeCritical.Max(r.Breakdown)
+		if r.FromCache {
+			stats.CacheHits++
+		}
+		stats.ResponseBytes += query.WireBytes(len(r.Points))
+	}
+	if len(pts) > q.Limit {
+		msp.End()
+		mQueryErrs.Inc()
+		return nil, nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: len(pts)}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Code < pts[j].Code })
+	msp.End()
+
+	stats.MediatorDBComm = fanout - stats.NodeCritical.Total
+	if stats.MediatorDBComm < 0 {
+		stats.MediatorDBComm = 0
+	}
+	userStart := m.exec.Now()
+	_, dsp := obs.StartSpan(ctx, "deliver")
+	if m.kernel != nil {
+		m.userLink.Transfer(p, query.WireBytes(len(pts)))
+	}
+	dsp.End()
+	stats.MediatorUserComm = m.exec.Now() - userStart
+	stats.Points = len(pts)
+	stats.Total = m.exec.Now() - start
+	m.noteQuery(stats)
+	return pts, stats, nil
+}
+
+// pdfReplicated is PDF's replica-aware fan-out and merge.
+func (m *Mediator) pdfReplicated(ctx context.Context, p *sim.Proc, q query.PDF, stats *QueryStats, start time.Duration) ([]int64, *QueryStats, error) {
+	fr, err := fanoutReplicated(m, ctx, p, func(ctx context.Context, wp *sim.Proc, cli NodeClient, link *netmodel.Link, scan []morton.Range) (*node.PDFResult, error) {
+		if link != nil {
+			link.Transfer(wp, RequestWireBytes)
+		}
+		qq := q
+		qq.Scan = scan
+		r, err := cli.GetPDF(ctx, wp, qq)
+		if link != nil && err == nil {
+			link.Transfer(wp, 16*q.Bins)
+		}
+		return r, err
+	})
+	if err != nil {
+		mQueryErrs.Inc()
+		return nil, nil, err
+	}
+	fanout := m.exec.Now() - start
+	if err := m.collectRangeFailures(fr.failed, fr.total, fr.ranges, stats); err != nil {
+		mQueryErrs.Inc()
+		return nil, nil, err
+	}
+	stats.Reroutes = fr.reroutes
+
+	_, msp := obs.StartSpan(ctx, "merge")
+	counts := make([]int64, q.Bins)
+	for _, r := range fr.results {
+		for j, c := range r.Counts {
+			counts[j] += c
+		}
+		stats.NodeCritical.Max(r.Breakdown)
+	}
+	msp.End()
+	stats.MediatorDBComm = fanout - stats.NodeCritical.Total
+	if stats.MediatorDBComm < 0 {
+		stats.MediatorDBComm = 0
+	}
+	userStart := m.exec.Now()
+	if m.kernel != nil {
+		m.userLink.Transfer(p, 16*q.Bins)
+	}
+	stats.MediatorUserComm = m.exec.Now() - userStart
+	stats.Total = m.exec.Now() - start
+	m.noteQuery(stats)
+	return counts, stats, nil
+}
+
+// topKReplicated is TopK's replica-aware fan-out and merge.
+func (m *Mediator) topKReplicated(ctx context.Context, p *sim.Proc, q query.TopK, stats *QueryStats, start time.Duration) ([]query.ResultPoint, *QueryStats, error) {
+	fr, err := fanoutReplicated(m, ctx, p, func(ctx context.Context, wp *sim.Proc, cli NodeClient, link *netmodel.Link, scan []morton.Range) (*node.TopKResult, error) {
+		if link != nil {
+			link.Transfer(wp, RequestWireBytes)
+		}
+		qq := q
+		qq.Scan = scan
+		r, err := cli.GetTopK(ctx, wp, qq)
+		if link != nil && err == nil {
+			link.Transfer(wp, query.WireBytes(len(r.Points)))
+		}
+		return r, err
+	})
+	if err != nil {
+		mQueryErrs.Inc()
+		return nil, nil, err
+	}
+	fanout := m.exec.Now() - start
+	if err := m.collectRangeFailures(fr.failed, fr.total, fr.ranges, stats); err != nil {
+		mQueryErrs.Inc()
+		return nil, nil, err
+	}
+	stats.Reroutes = fr.reroutes
+
+	var all []query.ResultPoint
+	for _, r := range fr.results {
+		all = append(all, r.Points...)
+		stats.NodeCritical.Max(r.Breakdown)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Value != all[j].Value { //lint:allow floateq exact tie-break keeps the order total and deterministic
+			return all[i].Value > all[j].Value
+		}
+		return all[i].Code < all[j].Code
+	})
+	if len(all) > q.K {
+		all = all[:q.K]
+	}
+	stats.MediatorDBComm = fanout - stats.NodeCritical.Total
+	if stats.MediatorDBComm < 0 {
+		stats.MediatorDBComm = 0
+	}
+	userStart := m.exec.Now()
+	if m.kernel != nil {
+		m.userLink.Transfer(p, query.WireBytes(len(all)))
+	}
+	stats.MediatorUserComm = m.exec.Now() - userStart
+	stats.Points = len(all)
+	stats.Total = m.exec.Now() - start
+	m.noteQuery(stats)
+	return all, stats, nil
+}

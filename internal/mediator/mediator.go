@@ -22,10 +22,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/turbdb/turbdb/internal/faulttol"
 	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/membership"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/netmodel"
 	"github.com/turbdb/turbdb/internal/node"
@@ -91,6 +93,18 @@ type Config struct {
 	// DescribeCtx bounds the constructor's Describe round-trips; nil
 	// means context.Background().
 	DescribeCtx context.Context
+
+	// Topology enables replica-aware routing: the fan-out targets ranges
+	// (not nodes), each range is sent to its first live owner, and a
+	// failed range fails over to the next replica before partial mode is
+	// even considered. Node i of Nodes is registered under id i; further
+	// nodes join via RegisterNode. nil keeps the legacy one-node-per-shard
+	// fan-out.
+	Topology *Topology
+	// Members tracks node lifecycle and health for topology routing;
+	// required when Topology is set. Breaker transitions feed back into it
+	// (open marks the node Suspect, closed marks it Alive).
+	Members *membership.Table
 }
 
 // Mediator is the query front end. Safe for concurrent use in real mode.
@@ -104,6 +118,20 @@ type Mediator struct {
 
 	allowPartial bool
 	ft           []*faulttol.Executor // nil in simulation mode
+
+	members *membership.Table // nil outside topology routing
+	policy  faulttol.Policy   // retry/breaker tuning for late-registered nodes
+	bcfg    faulttol.BreakerConfig
+
+	// Topology routing state. nil maps mean the mediator was assembled
+	// without a topology and the legacy fixed fan-out is in effect.
+	//
+	//turbdb:lockrank mediator.topology 12
+	topoMu  sync.Mutex
+	topo    *Topology                  // guarded by topoMu
+	clients map[int]NodeClient         // guarded by topoMu
+	fts     map[int]*faulttol.Executor // guarded by topoMu
+	links   map[int]*netmodel.Link     // guarded by topoMu
 }
 
 // New validates the config, contacts every node for its description
@@ -150,31 +178,72 @@ func New(cfg Config) (*Mediator, error) {
 		userLink:     cfg.UserLink,
 		exec:         &node.Exec{Kernel: cfg.Kernel},
 		allowPartial: cfg.AllowPartial,
+		members:      cfg.Members,
 	}
 	// Fault tolerance runs in real mode only: the simulation models a
 	// fault-free cluster on a virtual clock, where wall-clock backoff is
 	// meaningless.
 	if cfg.Kernel == nil {
-		policy := faulttol.DefaultPolicy()
+		m.policy = faulttol.DefaultPolicy()
 		if cfg.Retry != nil {
-			policy = *cfg.Retry
+			m.policy = *cfg.Retry
 		}
-		var bcfg faulttol.BreakerConfig
 		if cfg.Breaker != nil {
-			bcfg = *cfg.Breaker
+			m.bcfg = *cfg.Breaker
 		}
 		m.ft = make([]*faulttol.Executor, len(cfg.Nodes))
 		for i := range m.ft {
-			// Per-node breaker state gauge, kept current by the transition
-			// hook (0 = closed, 1 = open, 2 = half-open).
-			g := obs.Default().Gauge(fmt.Sprintf("turbdb_breaker_state{node=%q}", fmt.Sprint(i)))
-			g.Set(int64(faulttol.Closed))
-			nbcfg := bcfg
-			nbcfg.OnTransition = func(from, to faulttol.State) { g.Set(int64(to)) }
-			m.ft[i] = &faulttol.Executor{Policy: policy, Breaker: faulttol.NewBreaker(nbcfg)}
+			m.ft[i] = m.newExecutor(i)
+		}
+	}
+	if cfg.Topology != nil {
+		if cfg.Members == nil {
+			return nil, fmt.Errorf("mediator: a topology requires a membership table")
+		}
+		m.topoMu.Lock()
+		m.clients = make(map[int]NodeClient, len(cfg.Nodes))
+		m.fts = make(map[int]*faulttol.Executor, len(cfg.Nodes))
+		m.links = make(map[int]*netmodel.Link, len(cfg.Nodes))
+		for i, n := range cfg.Nodes {
+			m.clients[i] = n
+			if m.ft != nil {
+				m.fts[i] = m.ft[i]
+			}
+			if cfg.Kernel != nil {
+				m.links[i] = cfg.NodeLinks[i]
+			}
+		}
+		m.topoMu.Unlock()
+		if err := m.UpdateTopology(*cfg.Topology); err != nil {
+			return nil, err
 		}
 	}
 	return m, nil
+}
+
+// newExecutor builds the retry/breaker executor for one node in real mode.
+// The transition hook keeps the per-node breaker state gauge current
+// (0 = closed, 1 = open, 2 = half-open) and, when a membership table is
+// attached, folds breaker health into it: an opening breaker marks the
+// node Suspect (de-prioritizing it in replica routing), a closing one
+// marks it Alive again.
+func (m *Mediator) newExecutor(id int) *faulttol.Executor {
+	g := obs.Default().Gauge(fmt.Sprintf("turbdb_breaker_state{node=%q}", fmt.Sprint(id)))
+	g.Set(int64(faulttol.Closed))
+	members := m.members
+	nbcfg := m.bcfg
+	nbcfg.OnTransition = func(from, to faulttol.State) {
+		g.Set(int64(to))
+		if members != nil {
+			switch to {
+			case faulttol.Open:
+				members.MarkSuspect(id)
+			case faulttol.Closed:
+				members.MarkAlive(id)
+			}
+		}
+	}
+	return &faulttol.Executor{Policy: m.policy, Breaker: faulttol.NewBreaker(nbcfg)}
 }
 
 // Nodes returns the mediator's node clients.
@@ -187,12 +256,19 @@ func (m *Mediator) Grid() grid.Grid { return m.descs[0].Grid }
 func (m *Mediator) Dataset() string { return m.descs[0].Dataset }
 
 // BreakerState reports node i's circuit-breaker state (Closed in
-// simulation mode, where breakers are disabled).
+// simulation mode, where breakers are disabled). Nodes registered after
+// assembly are looked up in the topology routing state.
 func (m *Mediator) BreakerState(i int) faulttol.State {
-	if m.ft == nil || m.ft[i].Breaker == nil {
-		return faulttol.Closed
+	if m.ft != nil && i < len(m.ft) && m.ft[i].Breaker != nil {
+		return m.ft[i].Breaker.State()
 	}
-	return m.ft[i].Breaker.State()
+	m.topoMu.Lock()
+	ft := m.fts[i]
+	m.topoMu.Unlock()
+	if ft != nil && ft.Breaker != nil {
+		return ft.Breaker.State()
+	}
+	return faulttol.Closed
 }
 
 // NodeFailure records one node the mediator degraded around in a partial
@@ -233,8 +309,12 @@ type QueryStats struct {
 	// partial mode degraded around dead nodes.
 	Coverage float64
 	// Failures lists the nodes the answer is missing (partial mode only;
-	// nil for a complete answer).
+	// nil for a complete answer). Under replication an entry means every
+	// replica of the range was down.
 	Failures []NodeFailure
+	// Reroutes counts Morton ranges re-routed to a replica after a
+	// failure during this query (replicated topologies only).
+	Reroutes int
 
 	// Trace is the query's span tree when the caller attached one to the
 	// query context (obs.ContextWithTrace); nil otherwise. The mediator's
@@ -314,6 +394,9 @@ func (m *Mediator) Threshold(ctx context.Context, p *sim.Proc, q query.Threshold
 
 	stats := &QueryStats{Trace: obs.TraceFrom(ctx)}
 	start := m.exec.Now()
+	if m.replicated() {
+		return m.thresholdReplicated(ctx, p, q, stats, start)
+	}
 
 	results := make([]*node.ThresholdResult, len(m.nodes))
 	errs := make([]error, len(m.nodes))
@@ -404,6 +487,9 @@ func (m *Mediator) PDF(ctx context.Context, p *sim.Proc, q query.PDF) ([]int64, 
 	}
 	stats := &QueryStats{Trace: obs.TraceFrom(ctx)}
 	start := m.exec.Now()
+	if m.replicated() {
+		return m.pdfReplicated(ctx, p, q, stats, start)
+	}
 	results := make([]*node.PDFResult, len(m.nodes))
 	errs := make([]error, len(m.nodes))
 	m.exec.Fork(p, len(m.nodes), func(i int, wp *sim.Proc) {
@@ -468,6 +554,9 @@ func (m *Mediator) TopK(ctx context.Context, p *sim.Proc, q query.TopK) ([]query
 	}
 	stats := &QueryStats{Trace: obs.TraceFrom(ctx)}
 	start := m.exec.Now()
+	if m.replicated() {
+		return m.topKReplicated(ctx, p, q, stats, start)
+	}
 	results := make([]*node.TopKResult, len(m.nodes))
 	errs := make([]error, len(m.nodes))
 	m.exec.Fork(p, len(m.nodes), func(i int, wp *sim.Proc) {
@@ -526,7 +615,7 @@ func (m *Mediator) TopK(ctx context.Context, p *sim.Proc, q query.TopK) ([]query
 // the cold-cache knob of the paper's experiments. ctx bounds the whole
 // fan-out.
 func (m *Mediator) DropCache(ctx context.Context, fieldName string, order, step int) error {
-	for _, n := range m.nodes {
+	for _, n := range m.clientList() {
 		if err := n.DropCacheEntry(ctx, fieldName, order, step); err != nil {
 			return err
 		}
@@ -537,7 +626,7 @@ func (m *Mediator) DropCache(ctx context.Context, fieldName string, order, step 
 // SetProcesses sets the per-query worker count on every node (the scale-up
 // knob of Fig. 7a). ctx bounds the whole fan-out.
 func (m *Mediator) SetProcesses(ctx context.Context, procs int) error {
-	for _, n := range m.nodes {
+	for _, n := range m.clientList() {
 		if err := n.SetProcesses(ctx, procs); err != nil {
 			return err
 		}

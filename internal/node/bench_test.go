@@ -50,7 +50,7 @@ func BenchmarkAssembleExtended(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	codes, err := n.ownedAtomsCovering(g.Domain())
+	codes, err := n.scanAtomsCovering(g.Domain(), nil)
 	if err != nil {
 		b.Fatal(err)
 	}

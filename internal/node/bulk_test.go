@@ -100,7 +100,7 @@ func TestPartialHaloSkipPathMatchesBruteForceExactly(t *testing.T) {
 
 		// Expected survivors: this node's atoms whose whole halo band is
 		// locally owned.
-		codes, err := n.ownedAtomsCovering(g.Domain())
+		codes, err := n.scanAtomsCovering(g.Domain(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func TestScanShardSteadyStateZeroAllocsPerAtom(t *testing.T) {
 	st := stencil.MustGet(order)
 	hw := st.HalfWidth
 	qbox := g.Domain()
-	codes, err := n.ownedAtomsCovering(qbox)
+	codes, err := n.scanAtomsCovering(qbox, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -179,10 +179,14 @@ func (n *Node) gatherField(ctx context.Context, wp *sim.Proc, rawField string, s
 		}
 	}
 
-	owned := n.store.Owned()
+	// Replica ranges count as local: a halo atom this node also holds as a
+	// replica is served from its own store instead of a peer fetch. The
+	// data-presence check matters mid-rebalance — an adopted range whose
+	// atoms are still streaming in is fetched from a peer, not read from
+	// the (empty) local store.
 	var local, remote []morton.Code
 	for c := range needed {
-		if owned.Contains(c) {
+		if n.store.Owns(c) && n.store.HasAtom(rawField, step, c) {
 			local = append(local, c)
 		} else {
 			remote = append(remote, c)
@@ -466,8 +470,10 @@ func sortCodes(cs []morton.Code) {
 }
 
 // evalPhases runs the two-phase (I/O then compute) data-parallel evaluation
-// over this node's shard of qbox and reports phase timings. makeVisitor
-// builds a per-worker visit callback plus a completion hook.
+// over this node's shard of qbox and reports phase timings. scan restricts
+// the shard to the given atom ranges (replica routing); empty means the
+// node's primary range. makeVisitor builds a per-worker visit callback plus
+// a completion hook.
 func (n *Node) evalPhases(
 	ctx context.Context,
 	p *sim.Proc,
@@ -475,12 +481,13 @@ func (n *Node) evalPhases(
 	st stencil.Stencil,
 	step int,
 	qbox grid.Box,
+	scan []morton.Range,
 	hw int,
 	visitFor func(worker int) func(pt grid.Point, norm float64) bool,
 ) (Breakdown, error) {
 	var bd Breakdown
 	procs := n.Processes()
-	codes, err := n.ownedAtomsCovering(qbox)
+	codes, err := n.scanAtomsCovering(qbox, scan)
 	if err != nil {
 		return bd, err
 	}

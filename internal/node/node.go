@@ -42,6 +42,10 @@ type Description struct {
 	Dataset string
 	Grid    grid.Grid
 	Owned   morton.Range
+	// Held lists every range the node's store holds (primary first, then
+	// replica ranges) — what replica-aware peer routing keys on. Empty is
+	// equivalent to [Owned].
+	Held []morton.Range
 }
 
 // Config assembles a Node.
@@ -139,13 +143,20 @@ func (n *Node) Dataset() string { return n.dataset }
 // Grid returns the dataset geometry.
 func (n *Node) Grid() grid.Grid { return n.store.Grid() }
 
-// Owned returns the node's atom-code range.
+// Owned returns the node's primary atom-code range.
 func (n *Node) Owned() morton.Range { return n.store.Owned() }
+
+// Held returns every atom-code range the node's store holds (primary plus
+// replica ranges).
+func (n *Node) Held() []morton.Range { return n.store.Held() }
 
 // Describe implements the mediator's client view; for an in-process node
 // it never fails.
 func (n *Node) Describe(_ context.Context) (Description, error) {
-	return Description{Dataset: n.dataset, Grid: n.store.Grid(), Owned: n.store.Owned()}, nil
+	return Description{
+		Dataset: n.dataset, Grid: n.store.Grid(),
+		Owned: n.store.Owned(), Held: n.store.Held(),
+	}, nil
 }
 
 // Cache returns the node's cache (nil when caching is disabled).
@@ -178,17 +189,35 @@ func (n *Node) Processes() int {
 	return n.processes
 }
 
-// ownedAtomsCovering returns this node's atoms that intersect box b, sorted.
-func (n *Node) ownedAtomsCovering(b grid.Box) ([]morton.Code, error) {
+// scanAtomsCovering returns the atoms of box b this evaluation must scan,
+// sorted: the node's primary range by default, or exactly the requested
+// scan ranges under the mediator's replica routing. Every scanned atom must
+// be held locally — a scan range this node does not hold is a routing bug
+// and fails loudly rather than answering from missing data.
+func (n *Node) scanAtomsCovering(b grid.Box, scan []morton.Range) ([]morton.Code, error) {
 	all, err := n.store.Grid().AtomsCovering(b)
 	if err != nil {
 		return nil, err
 	}
-	owned := n.store.Owned()
 	out := all[:0]
+	if len(scan) == 0 {
+		owned := n.store.Owned()
+		for _, c := range all {
+			if owned.Contains(c) {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	}
 	for _, c := range all {
-		if owned.Contains(c) {
-			out = append(out, c)
+		for _, r := range scan {
+			if r.Contains(c) {
+				if !n.store.Owns(c) {
+					return nil, fmt.Errorf("node %d: routed atom %v outside held ranges", n.id, c)
+				}
+				out = append(out, c)
+				break
+			}
 		}
 	}
 	return out, nil

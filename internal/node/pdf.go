@@ -62,7 +62,7 @@ func (n *Node) GetPDF(ctx context.Context, p *sim.Proc, q query.PDF) (*PDFResult
 	}
 
 	start := n.exec.Now()
-	ckey := cacheFieldKey(q.Field, q.FDOrder)
+	ckey := cacheFieldKey(q.Field, q.FDOrder) + scanCacheSuffix(q.Scan)
 	if n.cache != nil {
 		counts, ok, err := n.cache.LookupAgg(p, q.Dataset, ckey, q.Timestep, pdfCacheKey(q))
 		if err != nil {
@@ -84,7 +84,7 @@ func (n *Node) GetPDF(ctx context.Context, p *sim.Proc, q query.PDF) (*PDFResult
 			return true
 		}
 	}
-	bd, err := n.evalPhases(ctx, p, f, st, q.Timestep, q.Box, hw, visitFor)
+	bd, err := n.evalPhases(ctx, p, f, st, q.Timestep, q.Box, q.Scan, hw, visitFor)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +172,7 @@ func (n *Node) GetTopK(ctx context.Context, p *sim.Proc, q query.TopK) (*TopKRes
 			return true
 		}
 	}
-	bd, err := n.evalPhases(ctx, p, f, st, q.Timestep, q.Box, hw, visitFor)
+	bd, err := n.evalPhases(ctx, p, f, st, q.Timestep, q.Box, q.Scan, hw, visitFor)
 	if err != nil {
 		return nil, err
 	}

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync/atomic"
 
 	"github.com/turbdb/turbdb/internal/cache"
 	"github.com/turbdb/turbdb/internal/derived"
 	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
 	"github.com/turbdb/turbdb/internal/sim"
@@ -31,6 +33,21 @@ type ThresholdResult struct {
 // on the finite-difference order, so it is part of the key.
 func cacheFieldKey(fieldName string, order int) string {
 	return fmt.Sprintf("%s/fd%d", fieldName, order)
+}
+
+// scanCacheSuffix makes replica-routed scans cache-distinct: the same box
+// over different assigned ranges yields different point sets, so the scan
+// signature joins the cache key. Empty for the legacy whole-shard scan,
+// keeping those keys byte-identical to before.
+func scanCacheSuffix(scan []morton.Range) string {
+	if len(scan) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range scan {
+		fmt.Fprintf(&b, "@%d-%d", uint64(r.Lo), uint64(r.Hi))
+	}
+	return b.String()
 }
 
 // resolveField looks up the queried field and verifies this node stores its
@@ -92,7 +109,7 @@ func (n *Node) GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold)
 
 	res := &ThresholdResult{}
 	start := n.exec.Now()
-	ckey := cacheFieldKey(q.Field, q.FDOrder)
+	ckey := cacheFieldKey(q.Field, q.FDOrder) + scanCacheSuffix(q.Scan)
 
 	// Algorithm 1, lines 4–28: cache interrogation.
 	if n.cache != nil {
@@ -132,7 +149,7 @@ func (n *Node) GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold)
 			return true
 		}
 	}
-	bd, err := n.evalPhases(ctx, p, f, st, q.Timestep, q.Box, hw, visitFor)
+	bd, err := n.evalPhases(ctx, p, f, st, q.Timestep, q.Box, q.Scan, hw, visitFor)
 	res.Breakdown.IO = bd.IO
 	res.Breakdown.Compute = bd.Compute
 	res.Breakdown.AtomsRead = bd.AtomsRead
@@ -187,5 +204,18 @@ func (n *Node) DropCacheEntry(ctx context.Context, fieldName string, order, step
 	if order == 0 {
 		order = query.DefaultFDOrder
 	}
-	return n.cache.Drop(n.dataset, cacheFieldKey(fieldName, order), step)
+	base := cacheFieldKey(fieldName, order)
+	if err := n.cache.Drop(n.dataset, base, step); err != nil {
+		return err
+	}
+	// Replica-routed scans cache under scan-suffixed keys; drop those too so
+	// a cold-cache request stays cold regardless of the routing in effect.
+	for _, row := range n.cache.Entries() {
+		if row.Dataset == n.dataset && row.Timestep == step && strings.HasPrefix(row.Field, base+"@") {
+			if err := n.cache.Drop(n.dataset, row.Field, step); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

@@ -70,6 +70,11 @@ type Threshold struct {
 	FDOrder int
 	// Limit caps the result size; 0 = DefaultLimit.
 	Limit int
+	// Scan restricts the node-side scan to these atom-code ranges — the
+	// mediator's replica routing under k-way placement assigns each node
+	// exactly the ranges it answers for. Empty means the node's primary
+	// range (the legacy one-shard-per-node fan-out).
+	Scan []morton.Range
 }
 
 // Normalize fills defaults and resolves the zero Box to the domain.
@@ -151,6 +156,9 @@ type PDF struct {
 	Min      float64
 	Width    float64
 	FDOrder  int
+	// Scan restricts the node-side scan to these atom-code ranges (replica
+	// routing); empty means the node's primary range.
+	Scan []morton.Range
 }
 
 // Normalize fills defaults.
@@ -203,6 +211,9 @@ type TopK struct {
 	Box      grid.Box
 	K        int
 	FDOrder  int
+	// Scan restricts the node-side scan to these atom-code ranges (replica
+	// routing); empty means the node's primary range.
+	Scan []morton.Range
 }
 
 // Normalize fills defaults.

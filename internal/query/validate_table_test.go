@@ -1,6 +1,7 @@
 package query
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -160,7 +161,7 @@ func TestNormalizeDefaults(t *testing.T) {
 		t.Fatalf("Normalize defaults wrong: %+v", q)
 	}
 	exp := Threshold{Dataset: "d", Field: "f", FDOrder: 8, Limit: 5, Box: boxOf(0, 8)}
-	if got := exp.Normalize(testDomain); got != exp {
+	if got := exp.Normalize(testDomain); !reflect.DeepEqual(got, exp) {
 		t.Fatalf("Normalize overrode explicit values: %+v", got)
 	}
 	p := PDF{Dataset: "d", Field: "f", Bins: 2, Width: 1}.Normalize(testDomain)

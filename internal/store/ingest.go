@@ -5,6 +5,7 @@ import (
 
 	"github.com/turbdb/turbdb/internal/field"
 	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/morton"
 )
 
 // IngestBlock slices a whole-domain block of one field at one time-step into
@@ -27,16 +28,23 @@ func (s *Store) IngestBlock(fieldName string, step int, bl *field.Block) (int, e
 			fieldName, bl.Bounds, s.grid.Domain())
 	}
 	stored := 0
-	for code := s.owned.Lo; code < s.owned.Hi; code++ {
-		abox := s.grid.AtomBox(code)
-		atom := field.NewBlock(abox, meta.NComp)
-		if err := atom.CopyFrom(bl, grid.Point{}); err != nil {
-			return stored, err
+	seen := make(map[morton.Code]bool)
+	for _, r := range s.Held() {
+		for code := r.Lo; code < r.Hi; code++ {
+			if seen[code] {
+				continue // held ranges may overlap after rebalances
+			}
+			seen[code] = true
+			abox := s.grid.AtomBox(code)
+			atom := field.NewBlock(abox, meta.NComp)
+			if err := atom.CopyFrom(bl, grid.Point{}); err != nil {
+				return stored, err
+			}
+			if err := s.Put(fieldName, step, code, atom.Bytes()); err != nil {
+				return stored, err
+			}
+			stored++
 		}
-		if err := s.Put(fieldName, step, code, atom.Bytes()); err != nil {
-			return stored, err
-		}
-		stored++
 	}
 	return stored, nil
 }

@@ -49,11 +49,12 @@ type FieldMeta struct {
 // use in real mode; in simulation mode the DES kernel serializes access.
 type Store struct {
 	grid       grid.Grid
-	owned      morton.Range // atom codes this node stores
+	owned      morton.Range // primary atom-code range (immutable)
 	partitions int          // number of table partitions (files)
 
 	//turbdb:lockrank store.shard 30
 	mu     sync.RWMutex
+	extras []morton.Range            // replica/rebalance ranges adopted after construction; guarded by mu
 	fields map[string]FieldMeta      // guarded by mu
 	data   map[string]map[Key][]byte // guarded by mu
 
@@ -106,8 +107,82 @@ func New(cfg Config) (*Store, error) {
 // Grid returns the dataset geometry.
 func (s *Store) Grid() grid.Grid { return s.grid }
 
-// Owned returns the atom-code range this node stores.
+// Owned returns the primary atom-code range this node stores.
 func (s *Store) Owned() morton.Range { return s.owned }
+
+// AdoptRange extends the store to also hold r — a replica range under k-way
+// placement, or a range gained in a rebalance. Adopting a range the store
+// already holds in full is a no-op; empty ranges are ignored. Data for the
+// range is not materialized here: callers stream (or ingest) the atoms
+// separately.
+func (s *Store) AdoptRange(r morton.Range) {
+	if r.Empty() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.coversLocked(r) {
+		return
+	}
+	s.extras = append(s.extras, r)
+}
+
+// coversLocked reports whether one held range fully contains r.
+func (s *Store) coversLocked(r morton.Range) bool {
+	if s.owned.Lo <= r.Lo && r.Hi <= s.owned.Hi {
+		return true
+	}
+	for _, e := range s.extras {
+		if e.Lo <= r.Lo && r.Hi <= e.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Held returns every range this store holds: the primary first, then the
+// adopted ranges in adoption order. Ranges may overlap after rebalances.
+func (s *Store) Held() []morton.Range {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]morton.Range, 0, 1+len(s.extras))
+	out = append(out, s.owned)
+	out = append(out, s.extras...)
+	return out
+}
+
+// Owns reports whether code falls in any held range.
+func (s *Store) Owns(code morton.Code) bool {
+	if s.owned.Contains(code) {
+		return true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ownsLocked(code)
+}
+
+// ownsLocked is Owns with s.mu already held.
+func (s *Store) ownsLocked(code morton.Code) bool {
+	if s.owned.Contains(code) {
+		return true
+	}
+	for _, e := range s.extras {
+		if e.Contains(code) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAtom reports whether the atom's blob is materialized — unlike Owns,
+// which only says the code falls in a held range. A freshly built or
+// still-streaming store owns ranges it has no data for yet.
+func (s *Store) HasAtom(fieldName string, step int, code morton.Code) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.data[fieldName][Key{Timestep: step, Code: code}]
+	return ok
+}
 
 // Fields lists the stored field schemas, sorted by name.
 func (s *Store) Fields() []FieldMeta {
@@ -150,7 +225,7 @@ func (s *Store) CreateField(meta FieldMeta) error {
 	return nil
 }
 
-// Put stores one atom blob. The code must fall in the owned range and the
+// Put stores one atom blob. The code must fall in a held range and the
 // blob length must match the field schema.
 func (s *Store) Put(fieldName string, step int, code morton.Code, blob []byte) error {
 	s.mu.Lock()
@@ -159,8 +234,8 @@ func (s *Store) Put(fieldName string, step int, code morton.Code, blob []byte) e
 	if !ok {
 		return fmt.Errorf("store: unknown field %q", fieldName)
 	}
-	if !s.owned.Contains(code) {
-		return fmt.Errorf("store: atom %v outside owned range %v", code, s.owned)
+	if !s.ownsLocked(code) {
+		return fmt.Errorf("store: atom %v outside held ranges (primary %v)", code, s.owned)
 	}
 	want := s.grid.PointsPerAtom() * meta.NComp * 4
 	if len(blob) != want {
@@ -186,7 +261,12 @@ func (s *Store) get(fieldName string, step int, code morton.Code) ([]byte, error
 }
 
 // stripe maps an atom code to the disk array its partition file lives on.
+// Atoms outside the primary range (replica ranges adopted later) stripe by
+// code so replica tables still spread across the arrays.
 func (s *Store) stripe(code morton.Code) uint64 {
+	if !s.owned.Contains(code) {
+		return uint64(code) % uint64(s.partitions)
+	}
 	span := uint64(s.owned.Hi - s.owned.Lo)
 	if span == 0 {
 		return 0

@@ -216,10 +216,16 @@ func (c *Client) Describe(ctx context.Context) (node.Description, error) {
 	if err != nil {
 		return node.Description{}, fmt.Errorf("wire: describe: %w", err)
 	}
+	owned := morton.Range{Lo: morton.Code(info.OwnedLo), Hi: morton.Code(info.OwnedHi)}
+	held := rangesFromDTO(info.Held)
+	if held == nil {
+		held = []morton.Range{owned}
+	}
 	return node.Description{
 		Dataset: info.Dataset,
 		Grid:    g,
-		Owned:   morton.Range{Lo: morton.Code(info.OwnedLo), Hi: morton.Code(info.OwnedHi)},
+		Owned:   owned,
+		Held:    held,
 	}, nil
 }
 
@@ -313,7 +319,7 @@ func (c *Client) SetProcesses(ctx context.Context, p int) error {
 	return c.call(ctx, PathSetProcesses, SetProcessesRequest{Processes: p}, nil)
 }
 
-// Owned returns the node's atom range (nodes only).
+// Owned returns the node's primary atom range (nodes only).
 func (c *Client) Owned(ctx context.Context) (morton.Range, error) {
 	info, err := c.Info(ctx)
 	if err != nil {
@@ -322,11 +328,30 @@ func (c *Client) Owned(ctx context.Context) (morton.Range, error) {
 	return morton.Range{Lo: morton.Code(info.OwnedLo), Hi: morton.Code(info.OwnedHi)}, nil
 }
 
-// PeerSet routes halo-atom fetches to the owning nodes of a cluster of
-// node services — the node.PeerFetcher for HTTP deployments. Ownership is
-// discovered from each service's /info. Each peer gets its own retry
-// policy and circuit breaker, so one dead peer fails fast instead of
-// stalling every halo exchange behind full timeouts.
+// Held returns every atom range the node's store holds — the primary plus
+// any adopted replica ranges (nodes only).
+func (c *Client) Held(ctx context.Context) ([]morton.Range, error) {
+	info, err := c.Info(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if held := rangesFromDTO(info.Held); held != nil {
+		return held, nil
+	}
+	owned, err := c.Owned(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return []morton.Range{owned}, nil
+}
+
+// PeerSet routes halo-atom fetches to the holding nodes of a cluster of
+// node services — the node.PeerFetcher for HTTP deployments. Holdings are
+// discovered from each service's /info (primary plus adopted replica
+// ranges), so under k-way replication an atom has several candidate peers
+// and a fetch fails over to the next holder when one is down. Each peer
+// gets its own retry policy and circuit breaker, so one dead peer fails
+// fast instead of stalling every halo exchange behind full timeouts.
 type PeerSet struct {
 	clients []*Client
 	self    int
@@ -343,46 +368,105 @@ func NewPeerSet(clients []*Client, self int) *PeerSet {
 	return &PeerSet{clients: clients, self: self, ft: ft}
 }
 
-// FetchAtoms implements node.PeerFetcher over HTTP.
+// holdersOf lists the peers holding code, primaries first so replicas only
+// serve when a primary is down. held[i] is peer i's held ranges.
+func (ps *PeerSet) holdersOf(code morton.Code, held [][]morton.Range) []int {
+	var primaries, replicas []int
+	for i, rs := range held {
+		if i == ps.self {
+			continue
+		}
+		for j, r := range rs {
+			if r.Contains(code) {
+				if j == 0 {
+					primaries = append(primaries, i)
+				} else {
+					replicas = append(replicas, i)
+				}
+				break
+			}
+		}
+	}
+	return append(primaries, replicas...)
+}
+
+// FetchAtoms implements node.PeerFetcher over HTTP. Atoms are batched per
+// holder; a transient failure re-routes the holder's batch to each atom's
+// next replica, and only an atom with every holder down fails the fetch.
 func (ps *PeerSet) FetchAtoms(ctx context.Context, p *sim.Proc, rawField string, step int, codes []morton.Code) (map[morton.Code][]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make(map[morton.Code][]byte, len(codes))
-	remaining := len(codes)
+	held := make([][]morton.Range, len(ps.clients))
 	for i, c := range ps.clients {
-		if i == ps.self || remaining == 0 {
+		if i == ps.self {
 			continue
 		}
-		owned, err := c.Owned(ctx)
-		if err != nil {
+		var err error
+		if held[i], err = c.Held(ctx); err != nil {
 			return nil, err
 		}
-		var mine []morton.Code
-		for _, code := range codes {
-			if owned.Contains(code) {
-				mine = append(mine, code)
-			}
-		}
-		if len(mine) == 0 {
+	}
+
+	type asg struct {
+		code    morton.Code
+		holders []int
+		next    int
+	}
+	pending := make([]*asg, 0, len(codes))
+	unheld := 0
+	for _, code := range codes {
+		hs := ps.holdersOf(code, held)
+		if len(hs) == 0 {
+			unheld++
 			continue
 		}
-		var blobs map[morton.Code][]byte
-		err = ps.ft[i].Do(ctx, func(ctx context.Context) error {
-			var ferr error
-			blobs, ferr = c.FetchAtoms(ctx, p, rawField, step, mine)
-			return ferr
-		})
-		if err != nil {
-			return nil, fmt.Errorf("wire: peer %d: %w", i, err)
-		}
-		for code, blob := range blobs {
-			out[code] = blob
-			remaining--
-		}
+		pending = append(pending, &asg{code: code, holders: hs})
 	}
-	if remaining > 0 {
-		return nil, fmt.Errorf("wire: %d halo atoms owned by no peer", remaining)
+	if unheld > 0 {
+		return nil, fmt.Errorf("wire: %d halo atoms owned by no peer", unheld)
+	}
+
+	out := make(map[morton.Code][]byte, len(codes))
+	for len(pending) > 0 {
+		byPeer := make(map[int][]*asg)
+		for _, a := range pending {
+			byPeer[a.holders[a.next]] = append(byPeer[a.holders[a.next]], a)
+		}
+		pending = pending[:0]
+		for peer, asgs := range byPeer {
+			c := ps.clients[peer]
+			mine := make([]morton.Code, len(asgs))
+			for i, a := range asgs {
+				mine[i] = a.code
+			}
+			var blobs map[morton.Code][]byte
+			err := ps.ft[peer].Do(ctx, func(ctx context.Context) error {
+				var ferr error
+				blobs, ferr = c.FetchAtoms(ctx, p, rawField, step, mine)
+				return ferr
+			})
+			if err != nil {
+				if !faulttol.Transient(err) {
+					return nil, fmt.Errorf("wire: peer %d: %w", peer, err)
+				}
+				for _, a := range asgs {
+					a.next++
+					if a.next >= len(a.holders) {
+						return nil, fmt.Errorf("wire: halo atom %v unavailable on every replica peer: %w", a.code, err)
+					}
+					pending = append(pending, a)
+				}
+				continue
+			}
+			for _, a := range asgs {
+				blob, ok := blobs[a.code]
+				if !ok {
+					return nil, fmt.Errorf("wire: peer %d omitted atom %v", peer, a.code)
+				}
+				out[a.code] = blob
+			}
+		}
 	}
 	return out, nil
 }

@@ -71,6 +71,37 @@ func boxFromDTO(d BoxDTO) grid.Box {
 	}
 }
 
+// RangeDTO is a half-open atom-code range [Lo, Hi) on the wire.
+type RangeDTO struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// rangesToDTO converts atom ranges; nil in, nil out, so omitempty fields
+// stay byte-identical for unreplicated deployments.
+func rangesToDTO(rs []morton.Range) []RangeDTO {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]RangeDTO, len(rs))
+	for i, r := range rs {
+		out[i] = RangeDTO{Lo: uint64(r.Lo), Hi: uint64(r.Hi)}
+	}
+	return out
+}
+
+// rangesFromDTO converts wire ranges.
+func rangesFromDTO(ds []RangeDTO) []morton.Range {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]morton.Range, len(ds))
+	for i, d := range ds {
+		out[i] = morton.Range{Lo: morton.Code(d.Lo), Hi: morton.Code(d.Hi)}
+	}
+	return out
+}
+
 // SpanDTO is one trace span on the wire. Offsets are microseconds from the
 // recording service's trace epoch; the receiver re-aligns them when
 // grafting (obs.Trace.Graft).
@@ -133,8 +164,11 @@ type ThresholdRequest struct {
 	Box       *BoxDTO `json:"box,omitempty"`
 	FDOrder   int     `json:"fdOrder,omitempty"`
 	Limit     int     `json:"limit,omitempty"`
-	TraceID   string  `json:"traceId,omitempty"`
-	Trace     bool    `json:"trace,omitempty"`
+	// Scan restricts the node-side scan to these atom-code ranges (replica
+	// failover re-routing). Absent means the node's primary range.
+	Scan    []RangeDTO `json:"scan,omitempty"`
+	TraceID string     `json:"traceId,omitempty"`
+	Trace   bool       `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -142,6 +176,7 @@ func (r ThresholdRequest) ToQuery() query.Threshold {
 	q := query.Threshold{
 		Dataset: r.Dataset, Field: r.Field, Timestep: r.Timestep,
 		Threshold: r.Threshold, FDOrder: r.FDOrder, Limit: r.Limit,
+		Scan: rangesFromDTO(r.Scan),
 	}
 	if r.Box != nil {
 		q.Box = boxFromDTO(*r.Box)
@@ -154,6 +189,7 @@ func ThresholdRequestFor(q query.Threshold) ThresholdRequest {
 	r := ThresholdRequest{
 		Dataset: q.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Threshold: q.Threshold, FDOrder: q.FDOrder, Limit: q.Limit,
+		Scan: rangesToDTO(q.Scan),
 	}
 	if q.Box != (grid.Box{}) {
 		b := boxToDTO(q.Box)
@@ -224,8 +260,10 @@ type PDFRequest struct {
 	Min      float64 `json:"min"`
 	Width    float64 `json:"width"`
 	FDOrder  int     `json:"fdOrder,omitempty"`
-	TraceID  string  `json:"traceId,omitempty"`
-	Trace    bool    `json:"trace,omitempty"`
+	// Scan restricts the node-side scan (replica failover re-routing).
+	Scan    []RangeDTO `json:"scan,omitempty"`
+	TraceID string     `json:"traceId,omitempty"`
+	Trace   bool       `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -233,6 +271,7 @@ func (r PDFRequest) ToQuery() query.PDF {
 	q := query.PDF{
 		Dataset: r.Dataset, Field: r.Field, Timestep: r.Timestep,
 		Bins: r.Bins, Min: r.Min, Width: r.Width, FDOrder: r.FDOrder,
+		Scan: rangesFromDTO(r.Scan),
 	}
 	if r.Box != nil {
 		q.Box = boxFromDTO(*r.Box)
@@ -245,6 +284,7 @@ func PDFRequestFor(q query.PDF) PDFRequest {
 	r := PDFRequest{
 		Dataset: q.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Bins: q.Bins, Min: q.Min, Width: q.Width, FDOrder: q.FDOrder,
+		Scan: rangesToDTO(q.Scan),
 	}
 	if q.Box != (grid.Box{}) {
 		b := boxToDTO(q.Box)
@@ -271,8 +311,10 @@ type TopKRequest struct {
 	Box      *BoxDTO `json:"box,omitempty"`
 	K        int     `json:"k"`
 	FDOrder  int     `json:"fdOrder,omitempty"`
-	TraceID  string  `json:"traceId,omitempty"`
-	Trace    bool    `json:"trace,omitempty"`
+	// Scan restricts the node-side scan (replica failover re-routing).
+	Scan    []RangeDTO `json:"scan,omitempty"`
+	TraceID string     `json:"traceId,omitempty"`
+	Trace   bool       `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -280,6 +322,7 @@ func (r TopKRequest) ToQuery() query.TopK {
 	q := query.TopK{
 		Dataset: r.Dataset, Field: r.Field, Timestep: r.Timestep,
 		K: r.K, FDOrder: r.FDOrder,
+		Scan: rangesFromDTO(r.Scan),
 	}
 	if r.Box != nil {
 		q.Box = boxFromDTO(*r.Box)
@@ -292,6 +335,7 @@ func TopKRequestFor(q query.TopK) TopKRequest {
 	r := TopKRequest{
 		Dataset: q.Dataset, Field: q.Field, Timestep: q.Timestep,
 		K: q.K, FDOrder: q.FDOrder,
+		Scan: rangesToDTO(q.Scan),
 	}
 	if q.Box != (grid.Box{}) {
 		b := boxToDTO(q.Box)
@@ -346,6 +390,10 @@ type InfoResponse struct {
 	Dx       float64 `json:"dx"`
 	OwnedLo  uint64  `json:"ownedLo,omitempty"`
 	OwnedHi  uint64  `json:"ownedHi,omitempty"`
+	// Held lists every range the node's store holds (primary first, then
+	// adopted replicas). Absent on mediators and unreplicated nodes, where
+	// it is equivalent to [Owned].
+	Held []RangeDTO `json:"held,omitempty"`
 }
 
 // ErrorResponse is the error envelope.

@@ -240,10 +240,16 @@ func (s *NodeServer) handleSetProcesses(w http.ResponseWriter, r *http.Request) 
 
 func (s *NodeServer) handleInfo(w http.ResponseWriter, r *http.Request) {
 	g := s.n.Grid()
-	writeJSON(w, InfoResponse{
+	info := InfoResponse{
 		Dataset: s.n.Dataset(), GridN: g.N, AtomSide: g.AtomSide, Dx: g.Dx,
 		OwnedLo: uint64(s.n.Owned().Lo), OwnedHi: uint64(s.n.Owned().Hi),
-	})
+	}
+	// Held is only reported when it says more than Owned does, keeping the
+	// unreplicated /info body byte-identical.
+	if held := s.n.Held(); len(held) > 1 || (len(held) == 1 && held[0] != s.n.Owned()) {
+		info.Held = rangesToDTO(held)
+	}
+	writeJSON(w, info)
 }
 
 // MediatorServer exposes the mediator (the user-facing Web-services) over

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -70,7 +71,7 @@ func TestTracedRequestJSONRoundTrip(t *testing.T) {
 	if got.TraceID != req.TraceID || !got.Trace {
 		t.Errorf("trace fields lost: %+v", got)
 	}
-	if got.ToQuery() != q {
+	if !reflect.DeepEqual(got.ToQuery(), q) {
 		t.Errorf("query round trip: %+v vs %+v", got.ToQuery(), q)
 	}
 

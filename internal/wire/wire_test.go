@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 
 	"github.com/turbdb/turbdb/internal/derived"
@@ -230,15 +231,15 @@ func TestDropCacheAndSetProcessesOverWire(t *testing.T) {
 func TestDTORoundTrips(t *testing.T) {
 	b := grid.Box{Lo: grid.Point{X: 1, Y: 2, Z: 3}, Hi: grid.Point{X: 4, Y: 5, Z: 6}}
 	q := query.Threshold{Dataset: "d", Field: "f", Timestep: 2, Threshold: 3.5, Box: b, FDOrder: 6, Limit: 99}
-	if got := ThresholdRequestFor(q).ToQuery(); got != q {
+	if got := ThresholdRequestFor(q).ToQuery(); !reflect.DeepEqual(got, q) {
 		t.Errorf("threshold round trip: %+v vs %+v", got, q)
 	}
 	pq := query.PDF{Dataset: "d", Field: "f", Timestep: 1, Box: b, Bins: 5, Min: 1, Width: 2, FDOrder: 2}
-	if got := PDFRequestFor(pq).ToQuery(); got != pq {
+	if got := PDFRequestFor(pq).ToQuery(); !reflect.DeepEqual(got, pq) {
 		t.Errorf("pdf round trip: %+v vs %+v", got, pq)
 	}
 	tq := query.TopK{Dataset: "d", Field: "f", Timestep: 1, Box: b, K: 9, FDOrder: 8}
-	if got := TopKRequestFor(tq).ToQuery(); got != tq {
+	if got := TopKRequestFor(tq).ToQuery(); !reflect.DeepEqual(got, tq) {
 		t.Errorf("topk round trip: %+v vs %+v", got, tq)
 	}
 	pts := []query.ResultPoint{{Code: 42, Value: 1.5}, {Code: 7, Value: -2}}

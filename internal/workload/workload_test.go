@@ -1,6 +1,9 @@
 package workload
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func validParams() Params {
 	return Params{
@@ -42,7 +45,7 @@ func TestDeterministic(t *testing.T) {
 		t.Fatal("lengths differ")
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("query %d differs", i)
 		}
 	}

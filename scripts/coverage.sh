@@ -2,16 +2,17 @@
 # coverage.sh runs the coverage lane: statement coverage for the packages
 # the observability PR hardened (cache, txn, query, obs), enforcing a
 # per-package floor so coverage can only ratchet up. The full profile is
-# written to coverage.out (uploaded as a CI artifact; feed it to
-# `go tool cover -html=coverage.out` locally).
+# written to the git-ignored .cover/ directory (uploaded as a CI artifact;
+# feed it to `go tool cover -html=.cover/coverage.out` locally).
 set -eu
 cd "$(dirname "$0")/.."
+mkdir -p .cover
 
 PKGS='./internal/cache ./internal/txn ./internal/query ./internal/obs'
 
 echo '>> go test -coverprofile (cache, txn, query, obs)'
 # shellcheck disable=SC2086
-go test -coverprofile=coverage.out -covermode=atomic $PKGS | tee coverage.txt
+go test -coverprofile=.cover/coverage.out -covermode=atomic $PKGS | tee .cover/coverage.txt
 
 # Per-package floors, in percent. Deliberately below current measurements
 # (regression tripwires, not targets): a PR that drops a package under its
@@ -29,7 +30,7 @@ floor_for() {
 status=0
 for pkg in $PKGS; do
 	path="github.com/turbdb/turbdb/${pkg#./}"
-	pct=$(awk -v p="$path" '$2 == p { for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%$/, "", $(i+1)); print $(i+1); exit } }' coverage.txt)
+	pct=$(awk -v p="$path" '$2 == p { for (i = 1; i <= NF; i++) if ($i == "coverage:") { sub(/%$/, "", $(i+1)); print $(i+1); exit } }' .cover/coverage.txt)
 	if [ -z "$pct" ]; then
 		echo "FAIL: no coverage reported for $pkg"
 		status=1
