@@ -20,6 +20,19 @@
 // to be held by at least k nodes, and re-routes a dead primary's ranges to
 // live replicas — partial answers become a last resort reserved for ranges
 // with every holder down.
+//
+// The concurrent query scheduler (on by default, -sched=false for the bare
+// mediator) adds admission control and shared-scan batching in front of the
+// fan-out: -sched-concurrent caps in-flight queries, -sched-window sets the
+// batching window merging concurrent threshold queries over the same
+// (field, order, step) into one node pass, and -sched-pools carves
+// per-tenant resource pools, e.g.
+//
+//	-sched-pools 'viz=8:32:10,batch=4:16:0'
+//
+// giving tenant "viz" 8 running slots, a 32-query queue and priority 10.
+// Queries name their tenant in the request's "tenant" field; over-quota
+// arrivals are shed with HTTP 429.
 package main
 
 import (
@@ -36,8 +49,40 @@ import (
 	"github.com/turbdb/turbdb/internal/membership"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/node"
+	"github.com/turbdb/turbdb/internal/sched"
 	"github.com/turbdb/turbdb/internal/wire"
 )
+
+// parsePools parses -sched-pools: comma-separated name=running:queued:prio
+// entries (any numeric part may be left empty for the default).
+func parsePools(spec string) (map[string]sched.Pool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	pools := make(map[string]sched.Pool)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("pool %q: want name=running:queued:priority", entry)
+		}
+		parts := strings.Split(rest, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("pool %q: want name=running:queued:priority", entry)
+		}
+		var p sched.Pool
+		for i, dst := range []*int{&p.MaxRunning, &p.MaxQueued, &p.Priority} {
+			if parts[i] == "" {
+				continue
+			}
+			if _, err := fmt.Sscanf(parts[i], "%d", dst); err != nil {
+				return nil, fmt.Errorf("pool %q: bad number %q", entry, parts[i])
+			}
+		}
+		pools[name] = p
+	}
+	return pools, nil
+}
 
 // discoverTopology builds the replica routing table from the nodes'
 // advertised holdings: range i is node i's primary range, owned by node i
@@ -90,6 +135,12 @@ func main() {
 		connTO  = flag.Duration("connect-timeout", 30*time.Second, "deadline for contacting every node at startup")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		dbgAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (off by default)")
+
+		schedOn    = flag.Bool("sched", true, "run the concurrent query scheduler (admission control + shared-scan batching)")
+		schedConc  = flag.Int("sched-concurrent", 0, "global concurrent-query cap (0 = 4×GOMAXPROCS)")
+		schedWin   = flag.Duration("sched-window", 2*time.Millisecond, "shared-scan batching window (0 disables batching)")
+		schedQueue = flag.Int("sched-queue", 0, "default per-tenant queue quota before shedding (0 = built-in default)")
+		schedPools = flag.String("sched-pools", "", "per-tenant pools, name=running:queued:priority[,...]")
 	)
 	flag.Parse()
 	if *nodes == "" {
@@ -123,12 +174,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mediator for %s (%d nodes, %d³ grid, partial=%v, replicas=%d) on %s\n",
-		m.Dataset(), len(clients), m.Grid().N, *partial, *repl, *addr)
-	srv := &http.Server{Addr: *addr, Handler: wire.NewMediatorServer(m).Handler()}
+	handler := wire.NewMediatorServer(m).Handler()
+	var s *sched.Scheduler
+	if *schedOn {
+		pools, err := parsePools(*schedPools)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err = sched.New(m, sched.Config{
+			MaxConcurrent: *schedConc,
+			DefaultPool:   sched.Pool{MaxQueued: *schedQueue},
+			Pools:         pools,
+			BatchWindow:   *schedWin,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = wire.NewQuerierServer(s).Handler()
+	}
+	fmt.Printf("mediator for %s (%d nodes, %d³ grid, partial=%v, replicas=%d, sched=%v) on %s\n",
+		m.Dataset(), len(clients), m.Grid().N, *partial, *repl, *schedOn, *addr)
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	err = wire.RunDaemon(context.Background(), wire.DaemonConfig{
 		Server: srv, DebugAddr: *dbgAddr, Drain: *drain,
 	})
+	if s != nil {
+		s.Close()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,13 +23,17 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: turbdb-query -mediator URL <command> [flags]
 
 commands:
-  threshold  -field F -value V [-step N] [-order 2|4|6|8] [-limit N] [-trace]
-  pdf        -field F -bins N -width W [-min M] [-step N]
-  topk       -field F -k N [-step N]
+  threshold  -field F -value V [-step N] [-order 2|4|6|8] [-limit N] [-trace] [-tenant T]
+  pdf        -field F -bins N -width W [-min M] [-step N] [-tenant T]
+  topk       -field F -k N [-step N] [-tenant T]
   info
 
 -trace prints the query's distributed span tree (mediator stages plus
 per-node scan, cache and halo timings) to stderr.
+
+-tenant bills the query to that resource pool on a mediator running the
+concurrent scheduler; over-quota queries fail with HTTP 429 — back off
+and retry.
 `)
 	os.Exit(2)
 }
@@ -62,6 +66,7 @@ func main() {
 	minv := fs.Float64("min", 0, "PDF first bin lower edge")
 	k := fs.Int("k", 10, "top-k size")
 	trace := fs.Bool("trace", false, "print the distributed span tree of the query to stderr")
+	tenant := fs.String("tenant", "", "resource pool the query is billed to (scheduler deployments)")
 	_ = fs.Parse(flag.Args()[1:]) //lint:allow droppederr ExitOnError flag set exits on bad input
 
 	switch cmd {
@@ -71,10 +76,14 @@ func main() {
 	case "threshold":
 		pts, stats, err := db.Threshold(turbdb.ThresholdQuery{
 			Field: *field, Timestep: *step, Threshold: *value,
-			FDOrder: *order, Limit: *limit, Trace: *trace,
+			FDOrder: *order, Limit: *limit, Trace: *trace, Tenant: *tenant,
 		})
 		if errors.Is(err, turbdb.ErrThresholdTooLow) {
 			log.Fatalf("threshold too low: %v", err)
+		}
+		var overQuota *turbdb.ErrOverQuota
+		if errors.As(err, &overQuota) {
+			log.Fatalf("shed: %v — back off and retry", err)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -91,7 +100,7 @@ func main() {
 	case "pdf":
 		counts, err := db.PDF(turbdb.PDFQuery{
 			Field: *field, Timestep: *step, Bins: *bins, Min: *minv, Width: *width,
-			FDOrder: *order,
+			FDOrder: *order, Tenant: *tenant,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -105,6 +114,7 @@ func main() {
 	case "topk":
 		pts, err := db.TopK(turbdb.TopKQuery{
 			Field: *field, Timestep: *step, K: *k, FDOrder: *order,
+			Tenant: *tenant,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -64,6 +64,24 @@ func (c *NodeClient) GetThreshold(ctx context.Context, p *sim.Proc, q query.Thre
 	return c.NodeClient.GetThreshold(ctx, p, q)
 }
 
+// GetThresholdBatch implements mediator.BatchNodeClient: a shared-scan
+// batch counts as one "threshold" call against the plan, so kill/flap rules
+// hit batches and solo queries alike. A wrapped client without batch
+// support is served member-by-member, keeping the wrapper usable over the
+// test stubs.
+func (c *NodeClient) GetThresholdBatch(ctx context.Context, p *sim.Proc, qs []query.Threshold) (*node.ThresholdBatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := c.apply(ctx, "threshold"); err != nil {
+		return nil, err
+	}
+	if bc, ok := c.NodeClient.(mediator.BatchNodeClient); ok {
+		return bc.GetThresholdBatch(ctx, p, qs)
+	}
+	return mediator.SequentialThresholdBatch(ctx, c.NodeClient, p, qs)
+}
+
 // GetPDF implements mediator.NodeClient.
 func (c *NodeClient) GetPDF(ctx context.Context, p *sim.Proc, q query.PDF) (*node.PDFResult, error) {
 	if ctx == nil {

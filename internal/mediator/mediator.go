@@ -249,6 +249,14 @@ func (m *Mediator) newExecutor(id int) *faulttol.Executor {
 // Nodes returns the mediator's node clients.
 func (m *Mediator) Nodes() []NodeClient { return m.nodes }
 
+// NodeCount returns the number of node clients in the fan-out.
+func (m *Mediator) NodeCount() int { return len(m.nodes) }
+
+// Simulated reports whether the mediator runs on a DES kernel (virtual
+// time). The concurrent scheduler refuses simulated mediators: its batching
+// window and admission queue are wall-clock constructs.
+func (m *Mediator) Simulated() bool { return m.kernel != nil }
+
 // Grid returns the dataset geometry (cached at assembly time).
 func (m *Mediator) Grid() grid.Grid { return m.descs[0].Grid }
 
@@ -315,6 +323,18 @@ type QueryStats struct {
 	// Reroutes counts Morton ranges re-routed to a replica after a
 	// failure during this query (replicated topologies only).
 	Reroutes int
+
+	// QueueWait is the time the query spent in the scheduler's admission
+	// queue before execution began; zero when the query ran unscheduled
+	// (internal/sched fills it in).
+	QueueWait time.Duration
+	// SharedScan reports that the query was answered as part of a
+	// shared-scan batch: its node-side pass also served other concurrent
+	// queries.
+	SharedScan bool
+	// ScansSaved counts the node-side atom scans this query avoided by
+	// sharing a batched pass, summed across nodes.
+	ScansSaved int
 
 	// Trace is the query's span tree when the caller attached one to the
 	// query context (obs.ContextWithTrace); nil otherwise. The mediator's

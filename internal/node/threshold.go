@@ -27,6 +27,14 @@ type ThresholdResult struct {
 	FromCache bool
 	// Breakdown gives the phase timings of this node's evaluation.
 	Breakdown Breakdown
+	// Shared is the number of queries that shared the node-side scan that
+	// produced this answer (0 or 1 for a solo evaluation, ≥ 2 inside a
+	// shared-scan batch).
+	Shared int
+	// ScansSaved counts the atom scans this query avoided because the pass
+	// was shared: the atoms a solo evaluation would have read minus this
+	// query's share of the union pass.
+	ScansSaved int
 }
 
 // cacheFieldKey builds the cache key component for a field: results depend

@@ -75,6 +75,10 @@ type Threshold struct {
 	// exactly the ranges it answers for. Empty means the node's primary
 	// range (the legacy one-shard-per-node fan-out).
 	Scan []morton.Range
+	// Tenant names the resource pool the query is admitted under
+	// (internal/sched); empty means the default pool. It does not affect
+	// the answer, only scheduling.
+	Tenant string
 }
 
 // Normalize fills defaults and resolves the zero Box to the domain.
@@ -159,6 +163,8 @@ type PDF struct {
 	// Scan restricts the node-side scan to these atom-code ranges (replica
 	// routing); empty means the node's primary range.
 	Scan []morton.Range
+	// Tenant names the admission resource pool; empty = default pool.
+	Tenant string
 }
 
 // Normalize fills defaults.
@@ -214,6 +220,8 @@ type TopK struct {
 	// Scan restricts the node-side scan to these atom-code ranges (replica
 	// routing); empty means the node's primary range.
 	Scan []morton.Range
+	// Tenant names the admission resource pool; empty = default pool.
+	Tenant string
 }
 
 // Normalize fills defaults.

@@ -1,0 +1,105 @@
+package sched
+
+// BenchmarkSchedulerWorkload is the BENCH_8 lane: a multi-tenant concurrent
+// threshold workload at 8/32/128 clients, scheduler off (bare mediator) vs
+// on (admission + shared-scan batching), reporting tail latency and
+// node-side scan work. scripts/bench.sh runs it with -benchtime=1x and
+// commits the parsed numbers as BENCH_8.json.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/cluster"
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/obs"
+	"github.com/turbdb/turbdb/internal/synth"
+	"github.com/turbdb/turbdb/internal/workload"
+)
+
+// benchStream builds the overlapping multi-tenant stream both lanes replay:
+// one (field, step) key, three tenants with overlapping hot regions, so
+// concurrent cold queries are mergeable into shared scans.
+func benchStream(b *testing.B, domain grid.Box, queries int) []workload.Query {
+	b.Helper()
+	half := grid.Box{Lo: domain.Lo, Hi: grid.Point{X: domain.Hi.X / 2, Y: domain.Hi.Y, Z: domain.Hi.Z}}
+	core := domain.Expand(-domain.Hi.X / 4)
+	stream, err := workload.GenerateMulti(workload.MultiParams{
+		Params: workload.Params{
+			Seed: 5, Queries: queries, Dataset: "isotropic",
+			Fields: []string{derived.Vorticity}, Steps: 1, Revisit: 0.6,
+			Thresholds: map[string][]float64{derived.Vorticity: {0.8, 1.2, 1.6, 2.0}},
+		},
+		Tenants: []workload.TenantProfile{
+			{Name: "viz", Hot: half, HotBias: 0.7, Weight: 2},
+			{Name: "ml", Hot: core, HotBias: 0.7, Weight: 2},
+			{Name: "batch", Weight: 1},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stream
+}
+
+func BenchmarkSchedulerWorkload(b *testing.B) {
+	for _, clients := range []int{8, 32, 128} {
+		for _, mode := range []string{"off", "on"} {
+			b.Run(fmt.Sprintf("clients=%d/sched=%s", clients, mode), func(b *testing.B) {
+				gen, err := synth.New(synth.Params{N: 32, Seed: 11, Kind: synth.Isotropic, Steps: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := cluster.Build(gen, cluster.Config{Nodes: 4, WithCache: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries := 2 * clients
+				if queries < 64 {
+					queries = 64
+				}
+				stream := benchStream(b, c.Mediator.Grid().Domain(), queries)
+				var qr workload.Querier = c.Mediator
+				var s *Scheduler
+				if mode == "on" {
+					s, err = New(c.Mediator, Config{
+						MaxConcurrent: 16, BatchWindow: 2 * time.Millisecond, MaxBatch: 64,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					qr = s
+				}
+
+				// Physical node-side scan work: the per-query stats of batch
+				// members share the union scan's breakdown, so summing them
+				// over-counts — the process-wide points-examined counter is
+				// the honest measure of work actually done.
+				examined := obs.Default().Counter("turbdb_node_points_examined_total")
+				var rep *workload.Report
+				before := examined.Value()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rep, err = workload.Concurrent(context.Background(), qr, stream, clients)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if s != nil {
+					s.Close()
+				}
+				if rep.Errors > 0 {
+					b.Fatalf("%d of %d queries failed", rep.Errors, rep.Queries)
+				}
+				b.ReportMetric(rep.P50().Seconds()*1000, "p50_ms")
+				b.ReportMetric(rep.P99().Seconds()*1000, "p99_ms")
+				b.ReportMetric(float64(examined.Value()-before)/float64(b.N), "points_examined")
+				b.ReportMetric(float64(rep.ScansSaved), "scans_saved")
+			})
+		}
+	}
+}

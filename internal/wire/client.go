@@ -16,6 +16,7 @@ import (
 	"github.com/turbdb/turbdb/internal/node"
 	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sched"
 	"github.com/turbdb/turbdb/internal/sim"
 )
 
@@ -154,8 +155,11 @@ func (c *Client) call(ctx context.Context, path string, req, resp interface{}) e
 		}
 		var e ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			if e.Kind == "threshold_too_low" {
+			switch e.Kind {
+			case "threshold_too_low":
 				return &query.ErrTooManyPoints{Limit: e.Limit, Seen: e.Seen}
+			case "over_quota":
+				return &sched.ErrOverQuota{Tenant: e.Tenant, Queued: e.Seen, Limit: e.Limit}
 			}
 			return &StatusError{Path: path, Status: httpResp.StatusCode, Msg: e.Error}
 		}
@@ -245,6 +249,50 @@ func (c *Client) GetThreshold(ctx context.Context, _ *sim.Proc, q query.Threshol
 		FromCache: resp.FromCache,
 		Breakdown: breakdownFromDTO(resp.Breakdown),
 	}, nil
+}
+
+// GetThresholdBatch implements mediator.BatchNodeClient over HTTP: the
+// whole shared-scan batch travels as one request and the node evaluates it
+// in one pass. Per-member rejections come back as typed errors in Errs,
+// indexed like qs.
+func (c *Client) GetThresholdBatch(ctx context.Context, _ *sim.Proc, qs []query.Threshold) (*node.ThresholdBatchResult, error) {
+	req := ThresholdBatchRequest{Queries: make([]ThresholdRequest, len(qs))}
+	for i, q := range qs {
+		req.Queries[i] = ThresholdRequestFor(q)
+	}
+	ctx, sp := startRPC(ctx, &req.TraceID, PathThresholdBatch)
+	defer sp.End()
+	var resp ThresholdBatchResponse
+	if err := c.call(ctx, PathThresholdBatch, req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Items) != len(qs) {
+		return nil, fmt.Errorf("wire: batch response has %d items, want %d", len(resp.Items), len(qs))
+	}
+	sp.Graft(SpansFromDTO(resp.Spans))
+	out := &node.ThresholdBatchResult{
+		Results:      make([]*node.ThresholdResult, len(qs)),
+		Errs:         make([]error, len(qs)),
+		AtomsScanned: resp.AtomsScanned,
+	}
+	for i, item := range resp.Items {
+		if item.Error != "" {
+			if item.Kind == "threshold_too_low" {
+				out.Errs[i] = &query.ErrTooManyPoints{Limit: item.Limit, Seen: item.Seen}
+			} else {
+				out.Errs[i] = fmt.Errorf("wire: batch member %d: %s", i, item.Error)
+			}
+			continue
+		}
+		out.Results[i] = &node.ThresholdResult{
+			Points:     fromDTO(item.Points),
+			FromCache:  item.FromCache,
+			Breakdown:  breakdownFromDTO(item.Breakdown),
+			Shared:     item.Shared,
+			ScansSaved: item.ScansSaved,
+		}
+	}
+	return out, nil
 }
 
 // GetPDF implements mediator.NodeClient over HTTP.

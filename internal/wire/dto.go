@@ -21,13 +21,14 @@ import (
 
 // Paths of the node and mediator services.
 const (
-	PathThreshold    = "/v1/threshold"
-	PathPDF          = "/v1/pdf"
-	PathTopK         = "/v1/topk"
-	PathAtoms        = "/v1/atoms"
-	PathDropCache    = "/v1/drop-cache"
-	PathSetProcesses = "/v1/set-processes"
-	PathInfo         = "/v1/info"
+	PathThreshold      = "/v1/threshold"
+	PathThresholdBatch = "/v1/threshold/batch"
+	PathPDF            = "/v1/pdf"
+	PathTopK           = "/v1/topk"
+	PathAtoms          = "/v1/atoms"
+	PathDropCache      = "/v1/drop-cache"
+	PathSetProcesses   = "/v1/set-processes"
+	PathInfo           = "/v1/info"
 )
 
 // PointDTO is one result point on the wire: [morton code, value].
@@ -166,9 +167,12 @@ type ThresholdRequest struct {
 	Limit     int     `json:"limit,omitempty"`
 	// Scan restricts the node-side scan to these atom-code ranges (replica
 	// failover re-routing). Absent means the node's primary range.
-	Scan    []RangeDTO `json:"scan,omitempty"`
-	TraceID string     `json:"traceId,omitempty"`
-	Trace   bool       `json:"trace,omitempty"`
+	Scan []RangeDTO `json:"scan,omitempty"`
+	// Tenant names the admission resource pool (internal/sched); absent
+	// means the default pool.
+	Tenant  string `json:"tenant,omitempty"`
+	TraceID string `json:"traceId,omitempty"`
+	Trace   bool   `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -176,7 +180,7 @@ func (r ThresholdRequest) ToQuery() query.Threshold {
 	q := query.Threshold{
 		Dataset: r.Dataset, Field: r.Field, Timestep: r.Timestep,
 		Threshold: r.Threshold, FDOrder: r.FDOrder, Limit: r.Limit,
-		Scan: rangesFromDTO(r.Scan),
+		Scan: rangesFromDTO(r.Scan), Tenant: r.Tenant,
 	}
 	if r.Box != nil {
 		q.Box = boxFromDTO(*r.Box)
@@ -189,7 +193,7 @@ func ThresholdRequestFor(q query.Threshold) ThresholdRequest {
 	r := ThresholdRequest{
 		Dataset: q.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Threshold: q.Threshold, FDOrder: q.FDOrder, Limit: q.Limit,
-		Scan: rangesToDTO(q.Scan),
+		Scan: rangesToDTO(q.Scan), Tenant: q.Tenant,
 	}
 	if q.Box != (grid.Box{}) {
 		b := boxToDTO(q.Box)
@@ -243,11 +247,52 @@ type ThresholdResponse struct {
 	Breakdown BreakdownDTO `json:"breakdown"`
 	Coverage  float64      `json:"coverage,omitempty"`
 	Failed    int          `json:"failedNodes,omitempty"`
+	// QueueWaitMS is the scheduler admission wait (mediators running the
+	// concurrent scheduler only; absent otherwise).
+	QueueWaitMS float64 `json:"queueWaitMs,omitempty"`
+	// SharedScan marks an answer served by a shared-scan batch; ScansSaved
+	// counts the node-side atom scans the sharing avoided.
+	SharedScan bool `json:"sharedScan,omitempty"`
+	ScansSaved int  `json:"scansSaved,omitempty"`
 	// Spans are the serving node's stage spans when the request carried a
 	// TraceID; the client grafts them under its RPC span.
 	Spans []SpanDTO `json:"spans,omitempty"`
 	// Trace is the fully assembled span tree when the request set Trace.
 	Trace *TraceDTO `json:"trace,omitempty"`
+}
+
+// ThresholdBatchRequest carries a shared-scan batch to a node: members
+// agree on (dataset, field, order, step, scan) and are evaluated in one
+// pass over the union of their boxes.
+type ThresholdBatchRequest struct {
+	Queries []ThresholdRequest `json:"queries"`
+	TraceID string             `json:"traceId,omitempty"`
+}
+
+// BatchItemDTO is one member's slot in a batch response: a result or a
+// typed per-member error, never both.
+type BatchItemDTO struct {
+	Points    []PointDTO   `json:"points,omitempty"`
+	FromCache bool         `json:"fromCache,omitempty"`
+	Breakdown BreakdownDTO `json:"breakdown"`
+	// Shared and ScansSaved mirror node.ThresholdResult's shared-scan
+	// accounting.
+	Shared     int `json:"shared,omitempty"`
+	ScansSaved int `json:"scansSaved,omitempty"`
+	// Error/Kind/Seen/Limit carry a per-member failure (same vocabulary as
+	// ErrorResponse).
+	Error string `json:"error,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+	Seen  int    `json:"seen,omitempty"`
+	Limit int    `json:"limit,omitempty"`
+}
+
+// ThresholdBatchResponse is the node's answer to a batch, indexed like the
+// request's Queries.
+type ThresholdBatchResponse struct {
+	Items        []BatchItemDTO `json:"items"`
+	AtomsScanned int            `json:"atomsScanned,omitempty"`
+	Spans        []SpanDTO      `json:"spans,omitempty"`
 }
 
 // PDFRequest is the wire form of query.PDF.
@@ -261,9 +306,11 @@ type PDFRequest struct {
 	Width    float64 `json:"width"`
 	FDOrder  int     `json:"fdOrder,omitempty"`
 	// Scan restricts the node-side scan (replica failover re-routing).
-	Scan    []RangeDTO `json:"scan,omitempty"`
-	TraceID string     `json:"traceId,omitempty"`
-	Trace   bool       `json:"trace,omitempty"`
+	Scan []RangeDTO `json:"scan,omitempty"`
+	// Tenant names the admission resource pool; absent = default pool.
+	Tenant  string `json:"tenant,omitempty"`
+	TraceID string `json:"traceId,omitempty"`
+	Trace   bool   `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -271,7 +318,7 @@ func (r PDFRequest) ToQuery() query.PDF {
 	q := query.PDF{
 		Dataset: r.Dataset, Field: r.Field, Timestep: r.Timestep,
 		Bins: r.Bins, Min: r.Min, Width: r.Width, FDOrder: r.FDOrder,
-		Scan: rangesFromDTO(r.Scan),
+		Scan: rangesFromDTO(r.Scan), Tenant: r.Tenant,
 	}
 	if r.Box != nil {
 		q.Box = boxFromDTO(*r.Box)
@@ -284,7 +331,7 @@ func PDFRequestFor(q query.PDF) PDFRequest {
 	r := PDFRequest{
 		Dataset: q.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Bins: q.Bins, Min: q.Min, Width: q.Width, FDOrder: q.FDOrder,
-		Scan: rangesToDTO(q.Scan),
+		Scan: rangesToDTO(q.Scan), Tenant: q.Tenant,
 	}
 	if q.Box != (grid.Box{}) {
 		b := boxToDTO(q.Box)
@@ -312,9 +359,11 @@ type TopKRequest struct {
 	K        int     `json:"k"`
 	FDOrder  int     `json:"fdOrder,omitempty"`
 	// Scan restricts the node-side scan (replica failover re-routing).
-	Scan    []RangeDTO `json:"scan,omitempty"`
-	TraceID string     `json:"traceId,omitempty"`
-	Trace   bool       `json:"trace,omitempty"`
+	Scan []RangeDTO `json:"scan,omitempty"`
+	// Tenant names the admission resource pool; absent = default pool.
+	Tenant  string `json:"tenant,omitempty"`
+	TraceID string `json:"traceId,omitempty"`
+	Trace   bool   `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -322,7 +371,7 @@ func (r TopKRequest) ToQuery() query.TopK {
 	q := query.TopK{
 		Dataset: r.Dataset, Field: r.Field, Timestep: r.Timestep,
 		K: r.K, FDOrder: r.FDOrder,
-		Scan: rangesFromDTO(r.Scan),
+		Scan: rangesFromDTO(r.Scan), Tenant: r.Tenant,
 	}
 	if r.Box != nil {
 		q.Box = boxFromDTO(*r.Box)
@@ -335,7 +384,7 @@ func TopKRequestFor(q query.TopK) TopKRequest {
 	r := TopKRequest{
 		Dataset: q.Dataset, Field: q.Field, Timestep: q.Timestep,
 		K: q.K, FDOrder: q.FDOrder,
-		Scan: rangesToDTO(q.Scan),
+		Scan: rangesToDTO(q.Scan), Tenant: q.Tenant,
 	}
 	if q.Box != (grid.Box{}) {
 		b := boxToDTO(q.Box)
@@ -400,8 +449,10 @@ type InfoResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Kind distinguishes typed errors the client must surface, e.g.
-	// "threshold_too_low".
+	// "threshold_too_low" or "over_quota".
 	Kind  string `json:"kind,omitempty"`
 	Seen  int    `json:"seen,omitempty"`
 	Limit int    `json:"limit,omitempty"`
+	// Tenant names the resource pool that shed the query (over_quota only).
+	Tenant string `json:"tenant,omitempty"`
 }

@@ -24,6 +24,11 @@ func mustJSON(f *testing.F, v any) []byte {
 func FuzzRequestDecode(f *testing.F) {
 	box := &BoxDTO{Lo: [3]int{0, 0, 0}, Hi: [3]int{64, 64, 64}}
 	f.Add(mustJSON(f, ThresholdRequest{Dataset: "mhd", Field: "vorticity", Timestep: 3, Threshold: 25.5, Box: box, FDOrder: 4, Limit: 1000}))
+	f.Add(mustJSON(f, ThresholdRequest{Dataset: "mhd", Field: "vorticity", Threshold: 25.5, Tenant: "viz"}))
+	f.Add(mustJSON(f, ThresholdBatchRequest{Queries: []ThresholdRequest{
+		{Dataset: "mhd", Field: "vorticity", Threshold: 25.5, Tenant: "viz"},
+		{Dataset: "mhd", Field: "vorticity", Threshold: 30, Box: box},
+	}, TraceID: "t1"}))
 	f.Add(mustJSON(f, PDFRequest{Dataset: "mhd", Field: "qcriterion", Timestep: 1, Bins: 64, Min: -1, Width: 0.125, Box: box}))
 	f.Add(mustJSON(f, TopKRequest{Dataset: "mhd", Field: "norm", Timestep: 0, K: 16, FDOrder: 6}))
 	f.Add(mustJSON(f, AtomsRequest{Field: "u", Timestep: 2, Codes: []uint64{0, 9, 511}}))
@@ -37,6 +42,12 @@ func FuzzRequestDecode(f *testing.F) {
 		if json.Unmarshal(data, &tr) == nil {
 			q := tr.ToQuery()
 			_ = ThresholdRequestFor(q)
+		}
+		var br ThresholdBatchRequest
+		if json.Unmarshal(data, &br) == nil {
+			for _, qr := range br.Queries {
+				_ = ThresholdRequestFor(qr.ToQuery())
+			}
 		}
 		var pr PDFRequest
 		if json.Unmarshal(data, &pr) == nil {
@@ -68,6 +79,12 @@ func FuzzResponseDecode(f *testing.F) {
 	f.Add(mustJSON(f, AtomsResponse{Atoms: map[uint64][]byte{5: []byte("blob")}}))
 	f.Add(mustJSON(f, InfoResponse{Dataset: "mhd", GridN: 1024, AtomSide: 8, Dx: 0.006, OwnedLo: 0, OwnedHi: 1 << 30}))
 	f.Add(mustJSON(f, ErrorResponse{Error: "threshold too low", Kind: "threshold_too_low", Seen: 5000, Limit: 1000}))
+	f.Add(mustJSON(f, ErrorResponse{Error: "over quota", Kind: "over_quota", Seen: 64, Limit: 64, Tenant: "batch"}))
+	f.Add(mustJSON(f, ThresholdResponse{Points: pts, Breakdown: bd, QueueWaitMS: 1.5, SharedScan: true, ScansSaved: 12}))
+	f.Add(mustJSON(f, ThresholdBatchResponse{Items: []BatchItemDTO{
+		{Points: pts, Breakdown: bd, Shared: 2, ScansSaved: 8},
+		{Error: "threshold too low", Kind: "threshold_too_low", Seen: 9, Limit: 5},
+	}, AtomsScanned: 64}))
 	f.Add([]byte(`{"points":[{"z":18446744073709551615,"v":1e39}]}`))
 	f.Add([]byte(`{"breakdown":{"totalMs":-1e308}}`))
 	f.Add([]byte(`[]`))
@@ -79,6 +96,15 @@ func FuzzResponseDecode(f *testing.F) {
 				t.Fatalf("fromDTO dropped points: %d != %d", len(pts), len(tr.Points))
 			}
 			_ = tr.Breakdown.Breakdown()
+		}
+		var br ThresholdBatchResponse
+		if json.Unmarshal(data, &br) == nil {
+			for _, item := range br.Items {
+				if len(fromDTO(item.Points)) != len(item.Points) {
+					t.Fatal("fromDTO dropped batch item points")
+				}
+				_ = breakdownFromDTO(item.Breakdown)
+			}
 		}
 		var pr PDFResponse
 		if json.Unmarshal(data, &pr) == nil {

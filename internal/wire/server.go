@@ -7,12 +7,16 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
+	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/mediator"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/node"
 	"github.com/turbdb/turbdb/internal/obs"
 	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sched"
+	"github.com/turbdb/turbdb/internal/sim"
 )
 
 // traceForRequest builds the per-request trace context: joining an
@@ -58,12 +62,19 @@ func writeError(w http.ResponseWriter, err error) {
 	resp := ErrorResponse{Error: err.Error()}
 	status := http.StatusBadRequest
 	var tooMany *query.ErrTooManyPoints
+	var overQuota *sched.ErrOverQuota
 	switch {
 	case errors.As(err, &tooMany):
 		resp.Kind = "threshold_too_low"
 		resp.Seen = tooMany.Seen
 		resp.Limit = tooMany.Limit
 		status = http.StatusRequestEntityTooLarge
+	case errors.As(err, &overQuota):
+		resp.Kind = "over_quota"
+		resp.Tenant = overQuota.Tenant
+		resp.Seen = overQuota.Queued
+		resp.Limit = overQuota.Limit
+		status = http.StatusTooManyRequests
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		resp.Kind = "unavailable"
 		status = http.StatusServiceUnavailable
@@ -112,6 +123,7 @@ func NewNodeServer(n *node.Node) *NodeServer { return &NodeServer{n: n} }
 func (s *NodeServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathThreshold, post(s.handleThreshold))
+	mux.HandleFunc(PathThresholdBatch, post(s.handleThresholdBatch))
 	mux.HandleFunc(PathPDF, post(s.handlePDF))
 	mux.HandleFunc(PathTopK, post(s.handleTopK))
 	mux.HandleFunc(PathAtoms, post(s.handleAtoms))
@@ -142,6 +154,57 @@ func (s *NodeServer) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		Spans:     SpansToDTO(tr.Spans()),
 		Trace:     traceDTOFor(tr, req.Trace),
 	})
+}
+
+// handleThresholdBatch serves a shared-scan batch: one evaluation pass over
+// the union of the members' boxes, one slot per member in the response. A
+// per-member rejection (over the point limit) travels typed in its item;
+// batch-wide failures (bad body, incompatible members, node trouble) fail
+// the whole call like a solo request would.
+func (s *NodeServer) handleThresholdBatch(w http.ResponseWriter, r *http.Request) {
+	var req ThresholdBatchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	qs := make([]query.Threshold, len(req.Queries))
+	for i, qr := range req.Queries {
+		qs[i] = qr.ToQuery()
+	}
+	ctx, tr := traceForRequest(r.Context(), req.TraceID, false)
+	ctx, sp := obs.StartSpan(ctx, "threshold_batch")
+	res, err := s.n.GetThresholdBatch(ctx, nil, qs)
+	sp.End()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	obs.Traces().Record(tr)
+	resp := ThresholdBatchResponse{
+		Items:        make([]BatchItemDTO, len(res.Results)),
+		AtomsScanned: res.AtomsScanned,
+		Spans:        SpansToDTO(tr.Spans()),
+	}
+	for i, rr := range res.Results {
+		if memberErr := res.Errs[i]; memberErr != nil {
+			item := BatchItemDTO{Error: memberErr.Error()}
+			var tooMany *query.ErrTooManyPoints
+			if errors.As(memberErr, &tooMany) {
+				item.Kind = "threshold_too_low"
+				item.Seen = tooMany.Seen
+				item.Limit = tooMany.Limit
+			}
+			resp.Items[i] = item
+			continue
+		}
+		resp.Items[i] = BatchItemDTO{
+			Points: toDTO(rr.Points), FromCache: rr.FromCache,
+			Breakdown:  breakdownToDTO(rr.Breakdown),
+			Shared:     rr.Shared,
+			ScansSaved: rr.ScansSaved,
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *NodeServer) handlePDF(w http.ResponseWriter, r *http.Request) {
@@ -252,15 +315,32 @@ func (s *NodeServer) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, info)
 }
 
+// Querier is the query surface the mediator HTTP endpoint serves: the bare
+// mediator or the concurrent scheduler (internal/sched) wrapped around it —
+// anything answering the three query shapes plus the metadata /info needs.
+type Querier interface {
+	Threshold(ctx context.Context, p *sim.Proc, q query.Threshold) ([]query.ResultPoint, *mediator.QueryStats, error)
+	PDF(ctx context.Context, p *sim.Proc, q query.PDF) ([]int64, *mediator.QueryStats, error)
+	TopK(ctx context.Context, p *sim.Proc, q query.TopK) ([]query.ResultPoint, *mediator.QueryStats, error)
+	Grid() grid.Grid
+	Dataset() string
+	NodeCount() int
+}
+
 // MediatorServer exposes the mediator (the user-facing Web-services) over
 // HTTP. Fan-outs inherit the request context, so user disconnects
 // propagate to every node.
 type MediatorServer struct {
-	m *mediator.Mediator
+	q Querier
 }
 
-// NewMediatorServer wraps a mediator.
-func NewMediatorServer(m *mediator.Mediator) *MediatorServer { return &MediatorServer{m: m} }
+// NewMediatorServer wraps a bare mediator.
+func NewMediatorServer(m *mediator.Mediator) *MediatorServer { return &MediatorServer{q: m} }
+
+// NewQuerierServer wraps any Querier — in particular a *sched.Scheduler, so
+// a daemon can put admission control and shared-scan batching in front of
+// the same HTTP surface.
+func NewQuerierServer(q Querier) *MediatorServer { return &MediatorServer{q: q} }
 
 // Handler returns the mediator's HTTP mux.
 func (s *MediatorServer) Handler() http.Handler {
@@ -279,20 +359,26 @@ func (s *MediatorServer) handleThreshold(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
-	pts, stats, err := s.m.Threshold(ctx, nil, req.ToQuery())
+	pts, stats, err := s.q.Threshold(ctx, nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	obs.Traces().Record(tr)
-	writeJSON(w, ThresholdResponse{
-		Points:    toDTO(pts),
-		FromCache: stats.CacheHits == len(s.m.Nodes()),
-		Breakdown: breakdownToDTO(stats.NodeCritical),
-		Coverage:  stats.Coverage,
-		Failed:    len(stats.Failures),
-		Trace:     traceDTOFor(tr, req.Trace),
-	})
+	resp := ThresholdResponse{
+		Points:     toDTO(pts),
+		FromCache:  stats.CacheHits == s.q.NodeCount(),
+		Breakdown:  breakdownToDTO(stats.NodeCritical),
+		Coverage:   stats.Coverage,
+		Failed:     len(stats.Failures),
+		SharedScan: stats.SharedScan,
+		ScansSaved: stats.ScansSaved,
+		Trace:      traceDTOFor(tr, req.Trace),
+	}
+	if stats.QueueWait > 0 {
+		resp.QueueWaitMS = float64(stats.QueueWait) / float64(time.Millisecond)
+	}
+	writeJSON(w, resp)
 }
 
 func (s *MediatorServer) handlePDF(w http.ResponseWriter, r *http.Request) {
@@ -302,7 +388,7 @@ func (s *MediatorServer) handlePDF(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
-	counts, stats, err := s.m.PDF(ctx, nil, req.ToQuery())
+	counts, stats, err := s.q.PDF(ctx, nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -322,7 +408,7 @@ func (s *MediatorServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
-	pts, stats, err := s.m.TopK(ctx, nil, req.ToQuery())
+	pts, stats, err := s.q.TopK(ctx, nil, req.ToQuery())
 	if err != nil {
 		writeError(w, err)
 		return
@@ -336,8 +422,8 @@ func (s *MediatorServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *MediatorServer) handleInfo(w http.ResponseWriter, r *http.Request) {
-	g := s.m.Grid()
+	g := s.q.Grid()
 	writeJSON(w, InfoResponse{
-		Dataset: s.m.Dataset(), GridN: g.N, AtomSide: g.AtomSide, Dx: g.Dx,
+		Dataset: s.q.Dataset(), GridN: g.N, AtomSide: g.AtomSide, Dx: g.Dx,
 	})
 }

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/turbdb/turbdb/internal/grid"
+	"github.com/turbdb/turbdb/internal/mediator"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sim"
+)
+
+func multiParams(queries int) MultiParams {
+	return MultiParams{
+		Params: Params{
+			Seed: 7, Queries: queries, Dataset: "mhd",
+			Fields: []string{"vorticity"}, Steps: 2, Revisit: 0.5,
+			Thresholds: map[string][]float64{"vorticity": {1, 2, 4}},
+		},
+		Tenants: []TenantProfile{
+			{Name: "viz", Hot: grid.Box{Lo: grid.Point{}, Hi: grid.Point{X: 8, Y: 8, Z: 8}}, HotBias: 1, Weight: 2},
+			{Name: "batch", Weight: 1},
+		},
+	}
+}
+
+func TestGenerateMulti(t *testing.T) {
+	p := multiParams(200)
+	qs, err := GenerateMulti(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := GenerateMulti(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(qs, again) {
+		t.Fatal("GenerateMulti is not deterministic in the seed")
+	}
+	counts := map[string]int{}
+	hot := 0
+	for _, q := range qs {
+		counts[q.Tenant]++
+		if q.Tenant == "viz" && q.Box == p.Tenants[0].Hot {
+			hot++
+		}
+	}
+	if counts["viz"] == 0 || counts["batch"] == 0 {
+		t.Fatalf("tenant split %v missing a tenant", counts)
+	}
+	if counts["viz"] <= counts["batch"] {
+		t.Errorf("weight 2 tenant got %d queries, weight 1 got %d", counts["viz"], counts["batch"])
+	}
+	// HotBias 1 pins every viz query to its hot box.
+	if hot != counts["viz"] {
+		t.Errorf("only %d of %d viz queries in the hot box despite bias 1", hot, counts["viz"])
+	}
+}
+
+func TestGenerateMultiRejectsBadTenants(t *testing.T) {
+	p := multiParams(10)
+	p.Tenants = nil
+	if _, err := GenerateMulti(p); err == nil {
+		t.Error("no tenants accepted")
+	}
+	p = multiParams(10)
+	p.Tenants[0].Name = ""
+	if _, err := GenerateMulti(p); err == nil {
+		t.Error("unnamed tenant accepted")
+	}
+	p = multiParams(10)
+	p.Tenants[0].Weight = -1
+	if _, err := GenerateMulti(p); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+// fakeQuerier answers instantly and sheds the "batch" tenant's queries.
+type fakeQuerier struct {
+	calls atomic.Int64
+}
+
+type fakeShed struct{ tenant string }
+
+func (e *fakeShed) Error() string   { return "over quota: " + e.tenant }
+func (e *fakeShed) OverQuota() bool { return true }
+func (e *fakeShed) Transient() bool { return true }
+func (f *fakeQuerier) Threshold(ctx context.Context, _ *sim.Proc, q query.Threshold) ([]query.ResultPoint, *mediator.QueryStats, error) {
+	f.calls.Add(1)
+	if q.Tenant == "batch" {
+		return nil, nil, &fakeShed{tenant: q.Tenant}
+	}
+	st := &mediator.QueryStats{SharedScan: true, ScansSaved: 3}
+	st.NodeCritical.AtomsRead = 2
+	return []query.ResultPoint{{Code: 1, Value: 2}}, st, nil
+}
+
+func TestConcurrentReport(t *testing.T) {
+	qs, err := GenerateMulti(multiParams(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := &fakeQuerier{}
+	rep, err := Concurrent(context.Background(), fq, qs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(fq.calls.Load()); got != len(qs) {
+		t.Fatalf("querier saw %d calls, want %d (drop or double-pull)", got, len(qs))
+	}
+	if rep.Queries != len(qs) {
+		t.Fatalf("report counts %d queries, want %d", rep.Queries, len(qs))
+	}
+	batch := rep.Tenants["batch"]
+	if batch == nil || batch.Shed != batch.Queries || batch.Errors != batch.Queries {
+		t.Fatalf("batch tenant sheds misreported: %+v", batch)
+	}
+	viz := rep.Tenants["viz"]
+	if viz == nil || viz.Errors != 0 || viz.P99() == 0 {
+		t.Fatalf("viz tenant misreported: %+v", viz)
+	}
+	if rep.Shed != batch.Shed || rep.Errors != batch.Errors {
+		t.Errorf("run-wide sums disagree with tenants: %+v", rep)
+	}
+	if rep.SharedScans != viz.Queries || rep.ScansSaved != 3*viz.Queries || rep.AtomsRead != 2*viz.Queries {
+		t.Errorf("scan accounting lost: %+v", rep)
+	}
+	if rep.Points != viz.Queries {
+		t.Errorf("points %d, want %d", rep.Points, viz.Queries)
+	}
+	if rep.P50() > rep.P99() {
+		t.Errorf("p50 %v > p99 %v", rep.P50(), rep.P99())
+	}
+}
+
+func TestConcurrentCancel(t *testing.T) {
+	qs, err := GenerateMulti(multiParams(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Concurrent(ctx, &fakeQuerier{}, qs, 4)
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	if rep == nil {
+		t.Fatal("cancelled run dropped its partial report")
+	}
+	if rep.Elapsed > time.Second {
+		t.Errorf("cancelled run took %v", rep.Elapsed)
+	}
+	if _, err := Concurrent(context.Background(), &fakeQuerier{}, qs, 0); err == nil {
+		t.Error("zero clients accepted")
+	}
+}

@@ -40,7 +40,7 @@ func (r *RemoteDB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
 	pts, resp, err := r.client.ThresholdStats(context.Background(), query.Threshold{
 		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Threshold: q.Threshold, Box: q.Region.internal(),
-		FDOrder: q.FDOrder, Limit: q.Limit,
+		FDOrder: q.FDOrder, Limit: q.Limit, Tenant: q.Tenant,
 	}, q.Trace)
 	if err != nil {
 		return nil, Stats{}, err
@@ -74,7 +74,7 @@ func (r *RemoteDB) PDF(q PDFQuery) ([]int64, error) {
 	res, err := r.client.GetPDF(context.Background(), nil, query.PDF{
 		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Box: q.Region.internal(), Bins: q.Bins, Min: q.Min, Width: q.Width,
-		FDOrder: q.FDOrder,
+		FDOrder: q.FDOrder, Tenant: q.Tenant,
 	})
 	if err != nil {
 		return nil, err
@@ -87,6 +87,7 @@ func (r *RemoteDB) TopK(q TopKQuery) ([]Point, error) {
 	res, err := r.client.GetTopK(context.Background(), nil, query.TopK{
 		Dataset: r.info.Dataset, Field: q.Field, Timestep: q.Timestep,
 		Box: q.Region.internal(), K: q.K, FDOrder: q.FDOrder,
+		Tenant: q.Tenant,
 	})
 	if err != nil {
 		return nil, err

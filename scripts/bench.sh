@@ -1,27 +1,105 @@
 #!/bin/sh
-# bench.sh runs the kernel microbenchmarks and records the results as a
-# small JSON document, so each PR that claims a speedup can commit the
-# numbers it was measured with (BENCH_<issue>.json at the repo root).
+# bench.sh runs a benchmark lane and records the results as a small JSON
+# document, so each PR that claims a speedup can commit the numbers it was
+# measured with (BENCH_<issue>.json at the repo root).
 #
 # Usage:
 #
-#	scripts/bench.sh                 # writes BENCH_3.json
-#	scripts/bench.sh out.json        # writes out.json
+#	scripts/bench.sh                 # kernel lane, writes BENCH_3.json
+#	scripts/bench.sh sched           # scheduler lane, writes BENCH_8.json
+#	scripts/bench.sh kernels out.json
 #	BENCHTIME=1s scripts/bench.sh    # slower, steadier numbers
 #
-# The document has two sections: "kernels" is every benchmark that reports
-# a ns/point metric (raw rows, per field per FD order per path), and
-# "speedups" pairs the perpoint/row variants of BenchmarkNorm so the bulk
-# engine's improvement factor per field per order is explicit. Only sh,
-# go and awk are required.
+# The kernel lane's document has two sections: "kernels" is every benchmark
+# that reports a ns/point metric (raw rows, per field per FD order per
+# path), and "speedups" pairs the perpoint/row variants of BenchmarkNorm so
+# the bulk engine's improvement factor per field per order is explicit.
+#
+# The scheduler lane replays the same multi-tenant concurrent threshold
+# workload at 8/32/128 clients with the scheduler off (bare mediator) and
+# on (admission control + shared-scan batching): "runs" is the raw tail
+# latency and physical node-side scan work per lane, and "improvements"
+# pairs the lanes per client count — p99 speedup and the percentage of
+# node scan work the shared scans eliminated. Only sh, go and awk are
+# required.
 set -eu
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_3.json}
-benchtime=${BENCHTIME:-100ms}
+lane=kernels # bare output-file argument keeps the kernel lane
+case "${1:-}" in
+sched)
+	lane=sched
+	shift
+	;;
+kernels) shift ;;
+esac
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
+
+if [ "$lane" = sched ]; then
+	out=${1:-BENCH_8.json}
+	# One full replay of the workload per lane: the stream is fixed, so
+	# -benchtime 1x is deterministic work and the p50/p99 are over the
+	# per-query latencies inside the replay, not over b.N.
+	echo ">> go test -bench BenchmarkSchedulerWorkload (benchtime 1x)" >&2
+	go test -run=NONE -bench='BenchmarkSchedulerWorkload' -benchtime=1x \
+		./internal/sched | tee "$tmp" >&2
+
+	awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		-v goversion="$(go version | sed 's/^go version //')" '
+	/^BenchmarkSchedulerWorkload/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		split(name, part, "/")               # [2]=clients=N [3]=sched=off|on
+		sub(/^clients=/, "", part[2]); clients = part[2]
+		sub(/^sched=/, "", part[3]); mode = part[3]
+		p50 = p99 = pts = saved = "0"
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "p50_ms") p50 = $i
+			if ($(i + 1) == "p99_ms") p99 = $i
+			if ($(i + 1) == "points_examined") pts = $i
+			if ($(i + 1) == "scans_saved") saved = $i
+		}
+		rn[++nr] = clients SUBSEP mode
+		rp50[nr] = p50; rp99[nr] = p99; rpts[nr] = pts; rsaved[nr] = saved
+		v[clients, mode, "p99"] = p99
+		v[clients, mode, "pts"] = pts
+		v[clients, mode, "saved"] = saved
+		if (!(clients in seen)) { seen[clients] = 1; cl[++ncl] = clients }
+	}
+	END {
+		printf "{\n"
+		printf "  \"issue\": 8,\n"
+		printf "  \"generated\": \"%s\",\n", generated
+		printf "  \"go\": \"%s\",\n", goversion
+		printf "  \"bench\": \"BenchmarkSchedulerWorkload\",\n"
+		printf "  \"runs\": [\n"
+		for (i = 1; i <= nr; i++) {
+			split(rn[i], part, SUBSEP)
+			printf "    {\"clients\": %s, \"sched\": \"%s\", \"p50_ms\": %s, \"p99_ms\": %s, \"points_examined\": %s, \"scans_saved\": %s}%s\n", \
+				part[1], part[2], rp50[i], rp99[i], rpts[i], rsaved[i], i < nr ? "," : ""
+		}
+		printf "  ],\n"
+		printf "  \"improvements\": [\n"
+		for (i = 1; i <= ncl; i++) {
+			c = cl[i]
+			off = v[c, "off", "pts"]; on = v[c, "on", "pts"]
+			red = off > 0 ? 100 * (off - on) / off : 0
+			printf "    {\"clients\": %s, \"p99_off_ms\": %s, \"p99_on_ms\": %s, \"p99_speedup\": %.2f, \"scan_reduction_pct\": %.1f, \"scans_saved\": %s}%s\n", \
+				c, v[c, "off", "p99"], v[c, "on", "p99"], v[c, "off", "p99"] / v[c, "on", "p99"], red, v[c, "on", "saved"], i < ncl ? "," : ""
+		}
+		printf "  ]\n"
+		printf "}\n"
+	}' "$tmp" > "$out"
+
+	echo ">> wrote $out" >&2
+	awk '/"clients"/ && /scan_reduction_pct/' "$out" >&2
+	exit 0
+fi
+
+out=${1:-BENCH_3.json}
+benchtime=${BENCHTIME:-100ms}
 
 echo ">> go test -bench (benchtime $benchtime)" >&2
 go test -run=NONE \

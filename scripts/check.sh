@@ -72,11 +72,23 @@ go test -race -run 'Failover|Elastic|Replicated|FaultPlan|Scan|Held|Table|Placem
 	./internal/membership/... ./internal/mediator/... ./internal/cluster/... ./internal/wire/...
 lane_done
 
-# Benchmark smoke lane: one iteration of every kernel microbenchmark, so a
-# change that breaks a benchmark (or its setup) fails the gate instead of
-# surfacing the next time someone runs scripts/bench.sh.
-lane 'benchmark smoke (kernel packages, 1 iteration)'
-go test -run=NONE -bench=. -benchtime=1x ./internal/stencil ./internal/field ./internal/derived ./internal/node
+# Scheduler stress lane: the concurrent-scheduler suites by name under the
+# race detector — admission edge cases (quota exhaustion, cancel-while-
+# queued, bounded priority inversion, batch-seal races), the differential
+# suites proving shared-scan batching is bit-for-bit identical to
+# sequential evaluation, the mid-run node-death stress run, and the
+# multi-tenant workload runner. Every suite ends in obs.VerifyNoLeaks, so a
+# goroutine leaked by the scheduler's executors or batch fan-out fails here.
+lane 'scheduler stress (-race)'
+go test -race -run 'Sched|Concurrent' ./internal/sched/... ./internal/workload/...
+lane_done
+
+# Benchmark smoke lane: one iteration of every kernel microbenchmark plus
+# the scheduler workload lane, so a change that breaks a benchmark (or its
+# setup) fails the gate instead of surfacing the next time someone runs
+# scripts/bench.sh.
+lane 'benchmark smoke (kernel + scheduler packages, 1 iteration)'
+go test -run=NONE -bench=. -benchtime=1x ./internal/stencil ./internal/field ./internal/derived ./internal/node ./internal/sched
 lane_done
 
 # Fuzz smoke lane: a short coverage-guided run of each fuzz target beyond its

@@ -199,7 +199,7 @@ func (db *DB) Threshold(q ThresholdQuery) ([]Point, Stats, error) {
 	iq := query.Threshold{
 		Dataset: db.Dataset(), Field: q.Field, Timestep: q.Timestep,
 		Threshold: q.Threshold, Box: q.Region.internal(),
-		FDOrder: q.FDOrder, Limit: q.Limit,
+		FDOrder: q.FDOrder, Limit: q.Limit, Tenant: q.Tenant,
 	}
 	var tr *obs.Trace
 	if q.Trace {
@@ -235,7 +235,7 @@ func (db *DB) PDF(q PDFQuery) ([]int64, Stats, error) {
 	iq := query.PDF{
 		Dataset: db.Dataset(), Field: q.Field, Timestep: q.Timestep,
 		Box: q.Region.internal(), Bins: q.Bins, Min: q.Min, Width: q.Width,
-		FDOrder: q.FDOrder,
+		FDOrder: q.FDOrder, Tenant: q.Tenant,
 	}
 	var counts []int64
 	var stats Stats
@@ -259,6 +259,7 @@ func (db *DB) TopK(q TopKQuery) ([]Point, Stats, error) {
 	iq := query.TopK{
 		Dataset: db.Dataset(), Field: q.Field, Timestep: q.Timestep,
 		Box: q.Region.internal(), K: q.K, FDOrder: q.FDOrder,
+		Tenant: q.Tenant,
 	}
 	var pts []Point
 	var stats Stats

@@ -5,6 +5,7 @@ import (
 
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sched"
 	"github.com/turbdb/turbdb/internal/synth"
 )
 
@@ -99,6 +100,10 @@ type ThresholdQuery struct {
 	// scan, halo fetches, merge); the rendered tree comes back in
 	// Stats.TraceTree. Off by default — untraced queries pay nothing.
 	Trace bool
+	// Tenant names the resource pool this query is billed to when the
+	// service runs the concurrent scheduler; "" uses the default pool.
+	// Over-quota queries fail with an error matching ErrOverQuota.
+	Tenant string
 }
 
 // PDFQuery asks for the histogram of the field's norm.
@@ -111,6 +116,7 @@ type PDFQuery struct {
 	Min     float64
 	Width   float64
 	FDOrder int
+	Tenant  string
 }
 
 // TopKQuery asks for the K locations with the largest field norms.
@@ -120,6 +126,7 @@ type TopKQuery struct {
 	Region   Box
 	K        int
 	FDOrder  int
+	Tenant   string
 }
 
 // Stats reports the timing of one query. In simulation mode the durations
@@ -171,3 +178,9 @@ func (s Stats) FullCacheHit() bool { return s.Nodes > 0 && s.CacheHits == s.Node
 // ErrThresholdTooLow is returned when a threshold query would exceed its
 // result-point limit; raise the threshold or examine the PDF instead.
 var ErrThresholdTooLow = query.ErrThresholdTooLow
+
+// ErrOverQuota is returned when the service's concurrent scheduler sheds a
+// query because its tenant's queue quota is full (HTTP 429 on the wire).
+// Match it with errors.As; backing off and retrying is the correct
+// response.
+type ErrOverQuota = sched.ErrOverQuota
