@@ -1,12 +1,13 @@
 // Command turbdb-vet runs the repository's custom static-analysis suite
 // (internal/lint): lockcheck, droppederr, floateq, magicatom, ctxpropagate,
-// rowkernel, poolcheck, and the concurrency-safety trio lockorder,
-// goroutinelife and atomichygiene. It is part of the standard check gate
+// rowkernel, poolcheck, the concurrency-safety trio lockorder, goroutinelife
+// and atomichygiene, and the protocol-readiness trio wirecompat, errclass
+// and metrichygiene. It is part of the standard check gate
 // (scripts/check.sh, CI) and exits non-zero when any finding is reported.
 //
 // Usage:
 //
-//	turbdb-vet [-checks lockcheck,droppederr] [-tests] [-json] [packages]
+//	turbdb-vet [-checks lockcheck,droppederr] [-tests] [-json] [-timings] [-budget 300s] [packages]
 //
 // Packages default to ./... relative to the enclosing module. Suppress a
 // deliberate finding with a `//lint:allow <check> <reason>` comment on the
@@ -15,9 +16,17 @@
 // report, so every suppression stays auditable.
 //
 // With -json the machine-readable report (active findings, suppressed
-// findings with their reasons, type errors) goes to stdout and the human-
-// readable findings to stderr, so `turbdb-vet -json ./... > report.json`
-// works as a CI artifact step without losing the readable log.
+// findings with their reasons, type errors, per-analyzer timings) goes to
+// stdout and the human-readable findings to stderr, so
+// `turbdb-vet -json ./... > report.json` works as a CI artifact step
+// without losing the readable log.
+//
+// -timings prints a per-analyzer wall-clock table (CPU time summed across
+// packages, slowest first) plus the end-to-end load and analysis times.
+// -budget fails the run (exit 3) when end-to-end wall clock exceeds the
+// given duration — the gate's latency is a contract, and a new analyzer
+// that blows it should fail loudly in CI rather than slow every developer
+// down quietly.
 //
 // Analysis note: type-checking is sequential (packages type-check in
 // dependency order through one shared loader), but the analyzers themselves
@@ -31,8 +40,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/turbdb/turbdb/internal/lint"
 )
@@ -54,6 +65,13 @@ type jsonReport struct {
 	Findings   []jsonFinding `json:"findings"`
 	Suppressed []jsonFinding `json:"suppressed"`
 	TypeErrors []string      `json:"type_errors"`
+	// TimingsMS is per-analyzer CPU time in milliseconds, summed across
+	// packages (parallel passes overlap, so the sum can exceed ElapsedMS).
+	TimingsMS map[string]float64 `json:"timings_ms,omitempty"`
+	// LoadMS and ElapsedMS are end-to-end wall-clock milliseconds for the
+	// load (parse + type-check) phase and the whole run.
+	LoadMS    float64 `json:"load_ms"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // pkgResult is the analysis outcome of one package.
@@ -62,6 +80,7 @@ type pkgResult struct {
 	typeErrors []error
 	active     []lint.Diagnostic
 	suppressed []lint.Diagnostic
+	timings    map[string]time.Duration
 }
 
 func main() {
@@ -69,7 +88,10 @@ func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	list := flag.Bool("list", false, "list available checks and exit")
 	jsonOut := flag.Bool("json", false, "write a machine-readable report to stdout (human log moves to stderr)")
+	timings := flag.Bool("timings", false, "print a per-analyzer timing table to stderr")
+	budget := flag.Duration("budget", 0, "fail (exit 3) when the whole run exceeds this wall-clock duration (0 = no budget)")
 	flag.Parse()
+	start := time.Now()
 
 	analyzers := lint.Analyzers()
 	if *list {
@@ -110,6 +132,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "turbdb-vet:", err)
 		os.Exit(2)
 	}
+	loadTime := time.Since(start)
 
 	results := analyzeParallel(pkgs, analyzers)
 
@@ -140,6 +163,36 @@ func main() {
 			report.Suppressed = append(report.Suppressed, toJSON(d))
 		}
 	}
+
+	elapsed := time.Since(start)
+	perCheck := make(map[string]time.Duration)
+	for _, res := range results {
+		for name, d := range res.timings {
+			perCheck[name] += d
+		}
+	}
+	report.TimingsMS = make(map[string]float64, len(perCheck))
+	for name, d := range perCheck {
+		report.TimingsMS[name] = float64(d) / float64(time.Millisecond)
+	}
+	report.LoadMS = float64(loadTime) / float64(time.Millisecond)
+	report.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	if *timings {
+		names := make([]string, 0, len(perCheck))
+		for name := range perCheck {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return perCheck[names[i]] > perCheck[names[j]] })
+		fmt.Fprintf(os.Stderr, "turbdb-vet: load %v, total %v (%d packages)\n", loadTime.Round(time.Millisecond), elapsed.Round(time.Millisecond), len(pkgs))
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "  %-14s %8v\n", name, perCheck[name].Round(time.Millisecond))
+		}
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "turbdb-vet: run took %v, over the %v budget\n", elapsed.Round(time.Millisecond), *budget)
+		exit = 3
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -165,12 +218,13 @@ func analyzeParallel(pkgs []*lint.Package, analyzers []*lint.Analyzer) []pkgResu
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			active, suppressed := lint.AnalyzeAll(pkg, analyzers)
+			active, suppressed, timings := lint.AnalyzeAllTimed(pkg, analyzers)
 			results[i] = pkgResult{
 				importPath: pkg.ImportPath,
 				typeErrors: pkg.TypeErrors,
 				active:     active,
 				suppressed: suppressed,
+				timings:    timings,
 			}
 		}(i, pkg)
 	}

@@ -1,0 +1,48 @@
+package faulttol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// classifiedError is an error that knows its own retry class. It is the
+// concrete type behind Permanent/Permanentf/Transientf, the constructors
+// every error born on the distributed path (wire, mediator, node, sched)
+// must use: the errclass analyzer rejects bare errors.New/fmt.Errorf
+// there, because an unclassified error silently falls through to the
+// Transient heuristics and may be retried (or not) by accident.
+type classifiedError struct {
+	err       error
+	transient bool
+}
+
+func (e *classifiedError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying error so errors.Is/As keep working
+// through the classification layer.
+func (e *classifiedError) Unwrap() error { return e.err }
+
+// Transient implements TransientMarker: the class is explicit, not
+// guessed from the error text or type.
+func (e *classifiedError) Transient() bool { return e.transient }
+
+// Permanent returns a permanent-class error: retrying cannot help
+// (malformed query, unknown field, topology invariant violated). The
+// mediator's breaker counts it as node-is-alive.
+func Permanent(text string) error {
+	return &classifiedError{err: errors.New(text)}
+}
+
+// Permanentf is Permanent with fmt.Errorf formatting. %w works and the
+// wrapped error stays reachable via errors.Is/As, but the classification
+// of the outer error is fixed to permanent regardless of what it wraps.
+func Permanentf(format string, args ...any) error {
+	return &classifiedError{err: fmt.Errorf(format, args...)}
+}
+
+// Transientf returns a transient-class error with fmt.Errorf formatting:
+// the failure is an availability problem a retry (or partial-mode
+// degradation) can route around.
+func Transientf(format string, args ...any) error {
+	return &classifiedError{err: fmt.Errorf(format, args...), transient: true}
+}

@@ -1,0 +1,59 @@
+package faulttol
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"testing"
+)
+
+// TestClassifiedConstructors pins the contract of the errclass
+// constructors: the class is explicit and survives %w wrapping, and the
+// underlying error stays reachable through the classification layer.
+func TestClassifiedConstructors(t *testing.T) {
+	perm := Permanent("node: unknown field")
+	if Transient(perm) {
+		t.Error("Permanent classified as transient")
+	}
+	permf := Permanentf("node: unknown field %q", "vort")
+	if Transient(permf) {
+		t.Error("Permanentf classified as transient")
+	}
+	trans := Transientf("mediator: node %d unreachable", 3)
+	if !Transient(trans) {
+		t.Error("Transientf classified as permanent")
+	}
+}
+
+func TestClassifiedWrapping(t *testing.T) {
+	inner := fs.ErrNotExist
+	err := Permanentf("node: atom store: %w", inner)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Error("errors.Is does not see through Permanentf")
+	}
+	// Class survives another %w layer on top.
+	outer := fmt.Errorf("mediator: node 3: %w", err)
+	if Transient(outer) {
+		t.Error("wrapped Permanentf became transient")
+	}
+	// The explicit class wins even when the wrapped error self-reports
+	// the opposite class: classification happens where the error is born.
+	masked := Permanentf("gave up: %w", Transientf("flaky"))
+	if Transient(masked) {
+		t.Error("outer Permanentf did not override inner transient class")
+	}
+}
+
+// TestClassifiedIdentity pins that sentinel comparison by identity keeps
+// working when a package hoists a classified error into a var (the
+// errAtomMissing pattern in internal/node).
+func TestClassifiedIdentity(t *testing.T) {
+	sentinel := Permanent("node: atom missing")
+	if !errors.Is(sentinel, sentinel) {
+		t.Error("classified sentinel is not errors.Is-identical to itself")
+	}
+	wrapped := fmt.Errorf("eval: %w", sentinel)
+	if !errors.Is(wrapped, sentinel) {
+		t.Error("errors.Is lost the sentinel through a %w wrap")
+	}
+}

@@ -117,6 +117,12 @@ func ctxParams(pass *Pass, ft *ast.FuncType) map[*types.Var]bool {
 // calleeFunc resolves a call to its static *types.Func, or nil for dynamic
 // calls and conversions.
 func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	return calleeFuncInfo(pass.Info, call)
+}
+
+// calleeFuncInfo is calleeFunc for callers that hold only a types.Info
+// (the loader's record passes, which run before any Pass exists).
+func calleeFuncInfo(info *types.Info, call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -126,7 +132,7 @@ func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
 	default:
 		return nil
 	}
-	fn, _ := pass.Info.Uses[id].(*types.Func)
+	fn, _ := info.Uses[id].(*types.Func)
 	return fn
 }
 

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrClass turns PR 2/8's error-classification contract into a compile
+// gate. Every error that crosses the distributed path — the wire layer,
+// the mediator's fan-out, the node services, the scheduler's admission
+// path, and faulttol itself — must know its own retry class, because the
+// retry loop, the circuit breaker, and partial-mode degradation all key
+// off faulttol.Transient(err): an unclassified error is silently
+// classified by heuristics that were never told about it.
+//
+// In those packages, ErrClass reports:
+//
+//   - errors.New(...): the error has no class. Construct it with a typed
+//     error implementing Transient() or OverQuota() (e.g. the
+//     faulttol.Permanent/Permanentf/Transientf constructors).
+//   - fmt.Errorf without %w and without an error argument: same problem,
+//     formatted.
+//   - fmt.Errorf without %w but WITH an error argument (%v/%s): worse —
+//     the callee's class existed and this call site just discarded it.
+//     Wrap with %w so errors.As finds the marker through the chain.
+//
+// A construction is exempt when it is nested inside a composite literal
+// of a type that implements Transient() bool or OverQuota() bool: that
+// is precisely how a classified constructor is built (the faulttol
+// constructors wrap fmt.Errorf inside their classified type), including
+// when the classified type lives in another package. Test files are
+// exempt — tests fabricate errors to provoke the classifier. Anything
+// else needs a reasoned //turbdb:ignore errclass.
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc:  "distributed-path errors must carry an explicit retry class (typed, %w-wrapped, or reasoned away)",
+	Run:  runErrClass,
+}
+
+// errClassPkgs are the distributed-path packages (import-path suffixes)
+// whose errors must be classified.
+var errClassPkgs = []string{
+	"internal/wire",
+	"internal/mediator",
+	"internal/node",
+	"internal/sched",
+	"internal/faulttol",
+}
+
+func pkgNeedsErrClass(importPath string) bool {
+	for _, suffix := range errClassPkgs {
+		if strings.HasSuffix(importPath, suffix) || strings.Contains(importPath, suffix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrClass(pass *Pass) {
+	if !pkgNeedsErrClass(pass.ImportPath) {
+		return
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		checkErrClassFile(pass, file)
+	}
+}
+
+// isTestFile reports whether the file is a _test.go file (present only
+// under -tests).
+func isTestFile(pass *Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// checkErrClassFile walks one file keeping an ancestor stack, so a
+// construction can be excused by the classified composite literal it is
+// nested in.
+func checkErrClassFile(pass *Pass, file *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		switch {
+		case isPkgFunc(fn, "errors", "New"):
+			if !insideClassifiedLit(pass, stack) {
+				pass.Reportf(call.Pos(), "errors.New creates an unclassified error on the distributed path; use a typed error implementing Transient()/OverQuota() (e.g. faulttol.Permanent)")
+			}
+		case isPkgFunc(fn, "fmt", "Errorf"):
+			format, known := constFormat(pass, call)
+			if !known || formatHasWrapVerb(format) {
+				return true
+			}
+			if insideClassifiedLit(pass, stack) {
+				return true
+			}
+			if errArgIdx := firstErrorArg(pass, call); errArgIdx >= 0 {
+				pass.Reportf(call.Pos(), "fmt.Errorf reformats an error without %%w, discarding its retry class; wrap it with %%w so errors.As finds the class through the chain")
+			} else {
+				pass.Reportf(call.Pos(), "fmt.Errorf creates an unclassified error on the distributed path; use a typed error implementing Transient()/OverQuota() (e.g. faulttol.Permanentf) or wrap a classified one with %%w")
+			}
+		}
+		return true
+	})
+}
+
+// constFormat returns the constant format string of a fmt.Errorf call.
+func constFormat(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatHasWrapVerb reports whether a format string contains a %w verb
+// (skipping literal %% escapes).
+func formatHasWrapVerb(format string) bool {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		// scan past flags/width to the verb
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.[]", rune(format[j])) {
+			j++
+		}
+		if j < len(format) {
+			if format[j] == 'w' {
+				return true
+			}
+			i = j
+		}
+	}
+	return false
+}
+
+// firstErrorArg returns the index of the first non-format argument whose
+// static type implements error, or -1.
+func firstErrorArg(pass *Pass, call *ast.CallExpr) int {
+	for i := 1; i < len(call.Args); i++ {
+		tv, ok := pass.Info.Types[call.Args[i]]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if types.Implements(tv.Type, errorIface()) || types.Implements(types.NewPointer(tv.Type), errorIface()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func errorIface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+// insideClassifiedLit reports whether the innermost node of the stack is
+// nested inside a composite literal of a classified type — the shape of
+// a typed-error constructor's body.
+func insideClassifiedLit(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Info.Types[lit]
+		if ok && tv.Type != nil && isClassifiedType(pass, tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isClassifiedType reports whether t (or *t) has a Transient() bool or
+// OverQuota() bool method — the error-classification marker interfaces.
+func isClassifiedType(pass *Pass, t types.Type) bool {
+	for _, name := range []string{"Transient", "OverQuota"} {
+		if hasBoolMethod(pass, t, name) || hasBoolMethod(pass, types.NewPointer(t), name) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasBoolMethod(pass *Pass, t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Types, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}

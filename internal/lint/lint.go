@@ -1,6 +1,6 @@
 // Package lint implements turbdb-vet, the repository's custom static-
 // analysis suite. It is built directly on the standard library's go/parser
-// and go/types (no golang.org/x/tools dependency) and ships ten
+// and go/types (no golang.org/x/tools dependency) and ships thirteen
 // repo-specific analyzers:
 //
 //	lockcheck    — fields annotated `// guarded by <mu>` may only be accessed
@@ -38,7 +38,21 @@
 //	atomichygiene — variables accessed via sync/atomic (or annotated
 //	               //turbdb:atomic) must never be read or written plainly,
 //	               and a field may not mix a `// guarded by` mutex regime
-//	               with atomic access.
+//	               with atomic access;
+//	wirecompat   — json-tagged DTOs in internal/wire declare their frozen v1
+//	               field set with `//turbdb:wire-baseline <keys>`; fields
+//	               added after the baseline must carry omitempty and a fuzz
+//	               seed, and DTO↔internal converters must cover every
+//	               exported field (or mark it `//turbdb:wire-local reason`);
+//	errclass     — errors created on the distributed path (wire, mediator,
+//	               node, sched, faulttol) must be classified: a typed error
+//	               implementing Transient()/OverQuota(), or a %w wrap of
+//	               one; bare errors.New/fmt.Errorf and %v/%s reformatting
+//	               that discards the class are findings;
+//	metrichygiene — metric names match turbdb_[a-z0-9_]+ and are unique
+//	               module-wide; registrations are hoisted to package-level
+//	               vars (never per-call in //turbdb:rowkernel or scan/merge
+//	               hot paths); counters are never decremented.
 //
 // Findings are suppressed with a `//lint:allow <check>[,<check>] reason`
 // comment on the flagged line or on the line directly above it, or with the
@@ -55,6 +69,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -78,6 +93,12 @@ type Package struct {
 	// Like RowKernels it is shared across every package one Loader loads and
 	// populated sequentially at load time, so parallel analysis only reads it.
 	Locks *LockGraph
+	// Metrics is the module-wide index of constant-name metric
+	// registrations (obs registry Counter/Gauge/Histogram calls), shared
+	// and populated at load time like RowKernels and Locks, so
+	// metrichygiene can report a name collision with the other package
+	// named even though packages analyze in parallel.
+	Metrics *MetricRegistry
 }
 
 // Diagnostic is one finding of one analyzer.
@@ -124,7 +145,7 @@ type Analyzer struct {
 
 // Analyzers returns the full turbdb-vet suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, DroppedErr, FloatEq, MagicAtom, CtxPropagate, RowKernel, PoolCheck, LockOrder, GoroutineLife, AtomicHygiene}
+	return []*Analyzer{LockCheck, DroppedErr, FloatEq, MagicAtom, CtxPropagate, RowKernel, PoolCheck, LockOrder, GoroutineLife, AtomicHygiene, WireCompat, ErrClass, MetricHygiene}
 }
 
 // allowRe matches suppression directives: //lint:allow check1[,check2] reason
@@ -221,8 +242,18 @@ func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 // by a directive, carried into machine-readable reports with their reasons).
 // Both slices are sorted by position.
 func AnalyzeAll(pkg *Package, analyzers []*Analyzer) (active, suppressed []Diagnostic) {
+	active, suppressed, _ = AnalyzeAllTimed(pkg, analyzers)
+	return active, suppressed
+}
+
+// AnalyzeAllTimed is AnalyzeAll plus per-analyzer wall-clock timing for this
+// package, keyed by check name. The driver sums timings across packages to
+// attribute gate latency to individual analyzers (-timings) and to enforce
+// the suite's wall-clock budget (-budget).
+func AnalyzeAllTimed(pkg *Package, analyzers []*Analyzer) (active, suppressed []Diagnostic, timings map[string]time.Duration) {
 	sup := collectSuppressions(pkg.Fset, pkg.Files)
 	active = append(active, sup.malformed...)
+	timings = make(map[string]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Package: pkg,
@@ -237,11 +268,13 @@ func AnalyzeAll(pkg *Package, analyzers []*Analyzer) (active, suppressed []Diagn
 				active = append(active, d)
 			},
 		}
+		start := time.Now()
 		a.Run(pass)
+		timings[a.Name] += time.Since(start)
 	}
 	sortDiags(active)
 	sortDiags(suppressed)
-	return active, suppressed
+	return active, suppressed, timings
 }
 
 func sortDiags(diags []Diagnostic) {

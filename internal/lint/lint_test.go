@@ -111,6 +111,10 @@ func TestAnalyzers(t *testing.T) {
 		{"lockorder", "lockorder"},
 		{"goroutinelife", "goroutinelife"},
 		{"atomichygiene", "atomichygiene"},
+		{"wirecompat", filepath.Join("internal", "wire", "compat")},
+		{"errclass", filepath.Join("internal", "mediator")},
+		{"errclass", filepath.Join("internal", "faulttol")},
+		{"metrichygiene", "metrichygiene"},
 	}
 	for _, tc := range cases {
 		name := tc.name
@@ -206,5 +210,29 @@ func TestAllowDirectiveScope(t *testing.T) {
 	}
 	if allowed["lockcheck"] != nil {
 		t.Error("droppederr directives leaked into lockcheck's allow set")
+	}
+}
+
+// TestAnalyzeAllTimed pins the timing contract the driver's -timings table
+// and -budget gate build on: every analyzer that ran gets a timing entry
+// (even a zero-cost one), and the findings are identical to AnalyzeAll's.
+func TestAnalyzeAllTimed(t *testing.T) {
+	pkg := loadFixture(t, "ignorefix")
+	analyzers := Analyzers()
+	active, suppressed, timings := AnalyzeAllTimed(pkg, analyzers)
+	if len(timings) != len(analyzers) {
+		t.Fatalf("timings has %d entries, want one per analyzer (%d)", len(timings), len(analyzers))
+	}
+	for _, a := range analyzers {
+		if d, ok := timings[a.Name]; !ok {
+			t.Errorf("no timing recorded for %s", a.Name)
+		} else if d < 0 {
+			t.Errorf("negative timing for %s: %v", a.Name, d)
+		}
+	}
+	active2, suppressed2 := AnalyzeAll(pkg, analyzers)
+	if len(active) != len(active2) || len(suppressed) != len(suppressed2) {
+		t.Errorf("timed run found %d/%d findings, untimed %d/%d — they must agree",
+			len(active), len(suppressed), len(active2), len(suppressed2))
 	}
 }

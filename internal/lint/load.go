@@ -32,6 +32,7 @@ type Loader struct {
 	pkgs       map[string]*Package
 	rowKernels map[types.Object]bool // //turbdb:rowkernel functions, module-wide
 	locks      *LockGraph            // //turbdb:lockrank hierarchy + acquisition graph, module-wide
+	metrics    *MetricRegistry       // constant-name metric registrations, module-wide
 }
 
 // NewLoader locates the module enclosing dir (by walking up to go.mod).
@@ -64,6 +65,7 @@ func NewLoader(dir string) (*Loader, error) {
 		pkgs:       make(map[string]*Package),
 		rowKernels: make(map[types.Object]bool),
 		locks:      NewLockGraph(),
+		metrics:    NewMetricRegistry(),
 	}, nil
 }
 
@@ -92,6 +94,34 @@ func modulePath(gomod string) (string, error) {
 // "./..." (every package under the module root), a directory path, or a
 // directory path ending in "/...".
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.resolveDirs(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+		}
+		ip := l.ModulePath
+		if rel != "." {
+			ip = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// resolveDirs expands package patterns into package directories without
+// loading anything. A recursive pattern walks every non-hidden,
+// non-testdata, non-vendor directory under its root — cmd/ and internal/
+// alike — so `turbdb-vet ./...` can never silently drop a package tree.
+func (l *Loader) resolveDirs(patterns ...string) ([]string, error) {
 	var dirs []string
 	seen := make(map[string]bool)
 	add := func(dir string) {
@@ -140,23 +170,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 	}
-	var out []*Package
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(l.ModuleRoot, dir)
-		if err != nil || strings.HasPrefix(rel, "..") {
-			return nil, fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
-		}
-		ip := l.ModulePath
-		if rel != "." {
-			ip = l.ModulePath + "/" + filepath.ToSlash(rel)
-		}
-		pkg, err := l.load(ip)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pkg)
-	}
-	return out, nil
+	return dirs, nil
 }
 
 func hasGoFiles(dir string, includeTests bool) bool {
@@ -290,6 +304,8 @@ func (l *Loader) load(importPath string) (*Package, error) {
 	l.recordRowKernels(pkg)
 	pkg.Locks = l.locks
 	recordLockGraph(pkg, l.locks)
+	pkg.Metrics = l.metrics
+	recordMetricSites(pkg, l.metrics)
 	l.pkgs[importPath] = pkg
 	return pkg, nil
 }

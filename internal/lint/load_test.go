@@ -104,3 +104,62 @@ func TestLoadTypeErrorPackage(t *testing.T) {
 	}
 	_ = active // findings on a broken package are best-effort; only no-panic is contractual
 }
+
+// TestLoadTestMetricsExempt pins the metrichygiene exemption for metrics
+// declared in _test.go files: loading the fixture WITH tests included
+// (its metrics_test.go registers a scratch counter whose name breaks
+// every rule) must add no findings over the testless run.
+func TestLoadTestMetricsExempt(t *testing.T) {
+	pkg := loadFixtureWith(t, true, "metrichygiene")
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture does not type-check with tests: %v", terr)
+	}
+	diags := Analyze(pkg, []*Analyzer{MetricHygiene})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no metrichygiene findings at all; detection is broken")
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "bad_test_only_name") {
+			t.Errorf("scratch metric from metrics_test.go was not exempt: %s", d)
+		}
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			t.Errorf("finding in a test file: %s", d)
+		}
+	}
+}
+
+// TestResolveDirsCoversCmd pins the analyzer run set: resolving ./...
+// from the real module root must include every cmd/ package alongside
+// internal/, and never a testdata directory — so the check.sh/CI
+// invocation `turbdb-vet ./...` sweeps the command-line tools too.
+func TestResolveDirsCoversCmd(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.resolveDirs("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(loader.ModuleRoot, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.Contains(rel, "testdata") {
+			t.Errorf("resolveDirs included a testdata directory: %s", rel)
+		}
+		got[rel] = true
+	}
+	for _, want := range []string{
+		"cmd/turbdb-server", "cmd/turbdb-mediator", "cmd/turbdb-query",
+		"cmd/turbdb-bench", "cmd/turbdb-gen", "cmd/turbdb-vet",
+		"internal/wire", "internal/lint",
+	} {
+		if !got[want] {
+			t.Errorf("resolveDirs(./...) is missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"path"
+	"regexp"
+	"strings"
+)
+
+// MetricHygiene turns PR 5's zero-alloc metrics convention into a
+// compile gate. Metrics are registered through the obs registry's
+// Counter/Gauge/Histogram methods; the exposition format and the
+// dashboards both assume the names form one flat, stable namespace.
+// MetricHygiene reports:
+//
+//   - a metric family that does not match turbdb_[a-z0-9_]+ (an optional
+//     {label="value"} block may follow the family);
+//   - a name registered more than once module-wide (the registry would
+//     silently hand both callers the same instance — or panic on a kind
+//     clash — so each name must have exactly one owning declaration);
+//     duplicates are detected against a loader-wide registry populated at
+//     load time, so the colliding package is named even when it is not
+//     the one being analyzed;
+//   - a constant-name registration inside a function body: hot paths
+//     must observe through package-level vars, not re-look-up the
+//     registry per call (names built with fmt.Sprintf from a constant
+//     format — per-tenant/per-node gauges — are the sanctioned dynamic
+//     exception, and only their family prefix is validated);
+//   - a metric name that is neither a constant nor a constant-format
+//     fmt.Sprintf (nothing to check statically);
+//   - any registry lookup inside a //turbdb:rowkernel function or a
+//     scan/merge function — the row-kernel hot path must not touch
+//     registry maps at all;
+//   - a Counter.Add with a constant negative argument: counters are
+//     monotonic, use a Gauge.
+//
+// Test files are exempt: tests register scratch metrics against private
+// registries and must not pollute the module-wide namespace check.
+var MetricHygiene = &Analyzer{
+	Name: "metrichygiene",
+	Doc:  "turbdb_* metric names: valid, unique module-wide, package-level registration, no registry lookups on hot paths, monotonic counters",
+	Run:  runMetricHygiene,
+}
+
+// MetricSite is one constant-name metric registration recorded at load
+// time. The loader records sites module-wide (dependencies first), so an
+// analyzer pass can name the other end of a name collision even when it
+// lives in a package analyzed by a different goroutine.
+type MetricSite struct {
+	Name string
+	Pkg  string
+	Pos  token.Position
+}
+
+// MetricRegistry is the loader-wide registration index, populated
+// sequentially at load time and only read during (parallel) analysis.
+type MetricRegistry struct {
+	byName map[string][]MetricSite
+}
+
+func NewMetricRegistry() *MetricRegistry {
+	return &MetricRegistry{byName: make(map[string][]MetricSite)}
+}
+
+func (r *MetricRegistry) record(s MetricSite) {
+	r.byName[s.Name] = append(r.byName[s.Name], s)
+}
+
+func (r *MetricRegistry) sites(name string) []MetricSite { return r.byName[name] }
+
+// recordMetricSites indexes the package's constant-name registrations
+// into the loader-wide registry. Test files are skipped: scratch metrics
+// in tests are exempt from the namespace rules.
+func recordMetricSites(pkg *Package, reg *MetricRegistry) {
+	for _, file := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isMetricRegCall(pkg, call) {
+				return true
+			}
+			if name, ok := constMetricName(pkg, call); ok {
+				reg.record(MetricSite{Name: name, Pkg: pkg.ImportPath, Pos: pkg.Fset.Position(call.Pos())})
+			}
+			return true
+		})
+	}
+}
+
+// isMetricRegCall reports whether call registers a metric: a
+// Counter/Gauge/Histogram method on an obs package's Registry type.
+func isMetricRegCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFuncInfo(pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	recv := recvNamed(fn)
+	if recv == nil || recv.Obj().Name() != "Registry" {
+		return false
+	}
+	p := recv.Obj().Pkg()
+	return p != nil && path.Base(p.Path()) == "obs"
+}
+
+// constMetricName returns the constant string value of the call's name
+// argument.
+func constMetricName(pkg *Package, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+var metricFamilyRe = regexp.MustCompile(`^turbdb_[a-z0-9_]+$`)
+var metricLabelRe = regexp.MustCompile(`^\{[^{}]+\}$`)
+var hotFuncNameRe = regexp.MustCompile(`(?i)scan|merge`)
+
+func runMetricHygiene(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkMetricGenDecl(pass, d)
+			case *ast.FuncDecl:
+				checkMetricFuncDecl(pass, d)
+			}
+		}
+		checkCounterDecrements(pass, file)
+	}
+}
+
+// checkMetricGenDecl checks registrations in package-level declarations
+// — the sanctioned home for constant-name metrics.
+func checkMetricGenDecl(pass *Pass, gd *ast.GenDecl) {
+	ast.Inspect(gd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isMetricRegCall(pass.Package, call) {
+			return true
+		}
+		checkMetricName(pass, call)
+		return true
+	})
+}
+
+// checkMetricFuncDecl checks registrations inside function bodies: on a
+// hot path they are banned outright; elsewhere constant names must be
+// hoisted to package level and only Sprintf-from-constant-format names
+// (per-tenant/per-node series) may stay.
+func checkMetricFuncDecl(pass *Pass, fd *ast.FuncDecl) {
+	hot := hasRowKernelDirective(fd.Doc) || hotFuncNameRe.MatchString(fd.Name.Name)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isMetricRegCall(pass.Package, call) {
+			return true
+		}
+		if hot {
+			pass.Reportf(call.Pos(), "per-call registry lookup in hot-path function %s; preregister the metric in a package-level var", fd.Name.Name)
+			return true
+		}
+		if name, ok := constMetricName(pass.Package, call); ok {
+			pass.Reportf(call.Pos(), "metric %q is registered inside a function; hoist the registration to a package-level var so call sites share one instance", name)
+			return true
+		}
+		if format, ok := sprintfConstFormat(pass, call.Args); ok {
+			checkMetricFamilyPrefix(pass, call.Pos(), format)
+			return true
+		}
+		pass.Reportf(call.Pos(), "metric name is neither a constant nor a constant-format fmt.Sprintf; names must be statically checkable")
+		return true
+	})
+}
+
+// checkMetricName validates a registration with a constant name and
+// reports module-wide duplicates against the loader's registry.
+func checkMetricName(pass *Pass, call *ast.CallExpr) {
+	name, ok := constMetricName(pass.Package, call)
+	if !ok {
+		if format, ok := sprintfConstFormat(pass, call.Args); ok {
+			checkMetricFamilyPrefix(pass, call.Pos(), format)
+			return
+		}
+		pass.Reportf(call.Pos(), "metric name is neither a constant nor a constant-format fmt.Sprintf; names must be statically checkable")
+		return
+	}
+	family, label := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		family, label = name[:i], name[i:]
+	}
+	if !metricFamilyRe.MatchString(family) {
+		pass.Reportf(call.Pos(), "metric name %q must match turbdb_[a-z0-9_]+ (optionally followed by one {label=\"value\"} block)", name)
+		return
+	}
+	if label != "" && !metricLabelRe.MatchString(label) {
+		pass.Reportf(call.Pos(), "metric name %q has a malformed label block; expected {label=\"value\"}", name)
+		return
+	}
+	if pass.Metrics == nil {
+		return
+	}
+	sites := pass.Metrics.sites(name)
+	if len(sites) < 2 {
+		return
+	}
+	first := sites[0]
+	if here := pass.Fset.Position(call.Pos()); here != first.Pos {
+		pass.Reportf(call.Pos(), "metric %q is already registered at %s (package %s); metric names must be unique module-wide", name, first.Pos, first.Pkg)
+	}
+}
+
+// checkMetricFamilyPrefix validates the static prefix of a
+// Sprintf-built name: everything before the first verb or label block
+// must already be a well-formed turbdb_ family.
+func checkMetricFamilyPrefix(pass *Pass, pos token.Pos, format string) {
+	prefix := format
+	if i := strings.IndexAny(format, "%{"); i >= 0 {
+		prefix = format[:i]
+	}
+	if !metricFamilyRe.MatchString(prefix) {
+		pass.Reportf(pos, "dynamic metric name format %q must start with a turbdb_[a-z0-9_]+ family prefix", format)
+	}
+}
+
+// sprintfConstFormat matches args of the shape fmt.Sprintf(<const
+// format>, ...) and returns the format.
+func sprintfConstFormat(pass *Pass, args []ast.Expr) (string, bool) {
+	if len(args) == 0 {
+		return "", false
+	}
+	call, ok := ast.Unparen(args[0]).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(pass, call)
+	if !isPkgFunc(fn, "fmt", "Sprintf") || len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkCounterDecrements flags Counter.Add calls with a constant
+// negative argument anywhere in the file.
+func checkCounterDecrements(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Name() != "Add" {
+			return true
+		}
+		recv := recvNamed(fn)
+		if recv == nil || recv.Obj().Name() != "Counter" {
+			return true
+		}
+		p := recv.Obj().Pkg()
+		if p == nil || path.Base(p.Path()) != "obs" {
+			return true
+		}
+		tv, ok := pass.Info.Types[call.Args[0]]
+		if !ok || tv.Value == nil {
+			return true
+		}
+		if k := tv.Value.Kind(); (k == constant.Int || k == constant.Float) && constant.Sign(tv.Value) < 0 {
+			pass.Reportf(call.Pos(), "counter decremented by a constant negative amount; counters are monotonic — use a Gauge for values that go down")
+		}
+		return true
+	})
+}

@@ -1,0 +1,37 @@
+// Package faulttol is the errclass fixture's classified-error home: a
+// typed error built in THIS package and used to classify errors born in
+// the mediator fixture (cross-package classification must stay exempt).
+package faulttol
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classified is a typed error carrying an explicit retry class.
+type Classified struct {
+	Err   error
+	Retry bool
+}
+
+func (e *Classified) Error() string   { return e.Err.Error() }
+func (e *Classified) Unwrap() error   { return e.Err }
+func (e *Classified) Transient() bool { return e.Retry }
+
+// Permanentf builds a classified error around fmt.Errorf. The nested
+// fmt.Errorf/errors.New calls sit inside a classified composite literal,
+// which is exactly how a constructor is supposed to look — negative case.
+func Permanentf(format string, args ...any) error {
+	return &Classified{Err: fmt.Errorf(format, args...)}
+}
+
+// Permanent is the errors.New flavor of the same shape — negative case.
+func Permanent(text string) error {
+	return &Classified{Err: errors.New(text)}
+}
+
+// Opaque returns an error nobody classified — positive case even inside
+// the classification package itself.
+func Opaque() error {
+	return fmt.Errorf("faulttol: opaque failure") // want `unclassified error on the distributed path`
+}

@@ -1,0 +1,69 @@
+// Package mediator is the errclass fixture: errors crossing the
+// distributed path must carry an explicit retry class.
+package mediator
+
+import (
+	"errors"
+	"fmt"
+
+	"fixtures/internal/faulttol"
+)
+
+// bareNew fabricates a class-less error — positive case.
+func bareNew() error {
+	return errors.New("mediator: fan-out failed") // want `errors.New creates an unclassified error`
+}
+
+// bareErrorf formats a class-less error — positive case.
+func bareErrorf(failed, total int) error {
+	return fmt.Errorf("mediator: %d of %d nodes failed", failed, total) // want `fmt.Errorf creates an unclassified error`
+}
+
+// reformat had a classified error in hand and printed it into a string,
+// discarding the class — positive case.
+func reformat(err error) error {
+	return fmt.Errorf("mediator: node 3: %v", err) // want `discarding its retry class`
+}
+
+// reformatString does the same with %s — positive case.
+func reformatString(err error) error {
+	return fmt.Errorf("mediator: node 3 said %s", err) // want `discarding its retry class`
+}
+
+// wrapped preserves the class through the chain — negative case.
+func wrapped(err error) error {
+	return fmt.Errorf("mediator: node 3: %w", err)
+}
+
+// typed delegates construction to a classified constructor in another
+// package — negative case.
+func typed(owners int) error {
+	return faulttol.Permanentf("mediator: bad topology (%d owners)", owners)
+}
+
+// crossPkg builds the error here but classifies it with a composite
+// literal of another package's classified type — negative case (the
+// satellite "errors built in one package and classified in another").
+func crossPkg() error {
+	return &faulttol.Classified{Err: fmt.Errorf("mediator: cold replica"), Retry: true}
+}
+
+// overQuota is a locally declared classified type — negative case.
+type overQuota struct{ tenant string }
+
+func (e overQuota) Error() string   { return "mediator: over quota: " + e.tenant }
+func (e overQuota) OverQuota() bool { return true }
+
+func shed(tenant string) error {
+	return overQuota{tenant: tenant}
+}
+
+// errUsage is deliberately class-less: it never crosses the wire, the
+// CLI prints it and exits. A reasoned ignore keeps it out of the active
+// findings — negative (suppression) case.
+//
+//turbdb:ignore errclass printed by the CLI and never retried; no retry path sees it
+var errUsage = errors.New("mediator: usage: mediator -nodes <addrs>")
+
+// Usage exposes errUsage so it is not dead code.
+func Usage() error { return errUsage }

@@ -63,3 +63,56 @@ func (h *Histogram) Value() []int64 {
 	}
 	return out
 }
+
+// Registry mirrors the real obs registry's register-or-get surface so
+// the metrichygiene fixtures can exercise registration rules; its
+// methods are exposition-side and deliberately unannotated.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+var defaultRegistry = &Registry{}
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter registers (or returns) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge registers (or returns) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram registers (or returns) the named histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h := &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	r.histograms[name] = h
+	return h
+}

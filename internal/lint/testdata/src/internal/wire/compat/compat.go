@@ -1,0 +1,126 @@
+// Package compat is the wirecompat fixture: DTO structs evolve against
+// an explicit //turbdb:wire-baseline, new fields carry omitempty and a
+// fuzz seed, and converters must cover every exported field.
+package compat
+
+// Query is the internal form — no json tags, so it is not a DTO and
+// needs no baseline (negative case); its exported fields still count in
+// converter coverage.
+type Query struct {
+	Name   string
+	Limit  int
+	Tenant string
+}
+
+// RequestDTO is the well-evolved DTO: frozen fields always encode,
+// post-baseline Tenant carries omitempty and is seeded in the fuzz
+// corpus, and the transport-only TraceID opts out of converter coverage
+// — negative case.
+//
+//turbdb:wire-baseline name,limit
+type RequestDTO struct {
+	Name  string `json:"name"`
+	Limit int    `json:"limit"`
+	// Tenant postdates the baseline: omitempty + fuzz seed.
+	Tenant string `json:"tenant,omitempty"`
+	//turbdb:wire-local joins the rpc trace; no internal counterpart
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// ToQuery covers every exported field of both sides — negative case.
+func (r RequestDTO) ToQuery() Query {
+	return Query{Name: r.Name, Limit: r.Limit, Tenant: r.Tenant}
+}
+
+// RequestDTOFor is the reverse converter, same coverage — negative case.
+func RequestDTOFor(q Query) RequestDTO {
+	return RequestDTO{Name: q.Name, Limit: q.Limit, Tenant: q.Tenant}
+}
+
+// Alias delegates, so its (absent) field coverage is checked at the
+// delegate — negative case.
+func Alias(q Query) RequestDTO {
+	return RequestDTOFor(q)
+}
+
+// LeakyDTO grew a field that never carried omitempty and never got a
+// fuzz seed — positive cases.
+//
+//turbdb:wire-baseline id
+type LeakyDTO struct {
+	ID    int `json:"id"`
+	Added int `json:"added"` // want `added after the wire baseline and must carry omitempty` want `has no fuzz seed`
+}
+
+// ShrunkDTO renamed a frozen field: the baseline still names "gone" but
+// no field encodes it — positive case.
+//
+//turbdb:wire-baseline id,gone
+type ShrunkDTO struct { // want `baseline field "gone" of ShrunkDTO is gone from the struct`
+	ID      int `json:"id"`
+	Renamed int `json:"renamed,omitempty"` // seeded: Renamed
+}
+
+// ThawedDTO let a frozen field go optional — positive case.
+//
+//turbdb:wire-baseline id,total
+type ThawedDTO struct {
+	ID    int `json:"id"`
+	Total int `json:"total,omitempty"` // want `in the wire baseline but carries omitempty`
+}
+
+// UnregisteredDTO has json-tagged fields but never declared its frozen
+// set — positive case.
+type UnregisteredDTO struct { // want `has no //turbdb:wire-baseline directive`
+	ID int `json:"id"`
+}
+
+// Header is promoted wholesale into EmbedDTO's wire shape.
+//
+//turbdb:wire-baseline version
+type Header struct {
+	Version int `json:"version"`
+}
+
+// EmbedDTO embeds a struct without a json tag, silently widening the
+// encoding — positive case (embedded-field loader edge case).
+//
+//turbdb:wire-baseline y
+type EmbedDTO struct {
+	Header     // want `embedded field Header in wire DTO EmbedDTO promotes its fields`
+	Y      int `json:"y"`
+}
+
+// BareDTO mixes tagged and untagged exported fields: the untagged one
+// still encodes, under an implicit key — positive case.
+//
+//turbdb:wire-baseline id
+type BareDTO struct {
+	ID       int `json:"id"`
+	Implicit int // want `exported field BareDTO.Implicit has no json tag`
+}
+
+// DriftQuery/DriftDTO: the DTO grew Extra but the converter was never
+// taught about it — positive case (the field-set diff).
+type DriftQuery struct {
+	Name  string
+	Extra int
+}
+
+//turbdb:wire-baseline name,extra
+type DriftDTO struct {
+	Name  string `json:"name"`
+	Extra int    `json:"extra"`
+}
+
+func (d DriftDTO) ToQuery() DriftQuery { // want `converter ToQuery never touches DriftDTO.Extra` want `converter ToQuery never touches DriftQuery.Extra`
+	return DriftQuery{Name: d.Name}
+}
+
+// DupDTO encodes two fields under the same key — positive case.
+//
+//turbdb:wire-baseline id
+type DupDTO struct {
+	ID    int `json:"id"`
+	Older int `json:"id,omitempty"` // want `duplicate json key "id" in wire DTO DupDTO` want `in the wire baseline but carries omitempty`
+}

@@ -1,0 +1,21 @@
+package compat
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRequestDecode seeds the post-baseline fields wirecompat tracks:
+// Tenant, TraceID and Renamed appear here, so their fuzz-seed checks
+// stay negative; LeakyDTO's new field is deliberately left unseeded.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add(`{"name":"q","limit":3,"tenant":"astro"}`)
+	f.Add(`{"name":"q","limit":3,"traceId":"t1"}`)
+	f.Add(`{"id":7,"renamed":2}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		var r RequestDTO
+		if err := json.Unmarshal([]byte(data), &r); err != nil {
+			t.Skip()
+		}
+	})
+}

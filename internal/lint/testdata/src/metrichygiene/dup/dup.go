@@ -1,0 +1,12 @@
+// Package dup owns the canonical registration of turbdb_fix_dup_total.
+// The metrichygiene fixture package imports it (so it loads first) and
+// registers the same name again — the collision must be reported there,
+// naming this package.
+package dup
+
+import "fixtures/internal/obs"
+
+var mDup = obs.Default().Counter("turbdb_fix_dup_total")
+
+// Touch keeps the metric observably used.
+func Touch() { mDup.Inc() }

@@ -1,0 +1,70 @@
+// Package metrichygiene is the metrichygiene fixture: turbdb_* naming,
+// module-wide uniqueness, package-level registration, hot-path bans and
+// counter monotonicity.
+package metrichygiene
+
+import (
+	"fmt"
+
+	"fixtures/internal/obs"
+	_ "fixtures/metrichygiene/dup" // loads first: owns turbdb_fix_dup_total
+)
+
+// mRequests is the well-formed registration — negative case.
+var mRequests = obs.Default().Counter("turbdb_fix_requests_total")
+
+// mOpen carries a label block on a valid family — negative case.
+var mOpen = obs.Default().Counter(`turbdb_fix_transitions_total{to="open"}`)
+
+// mLatency registers a histogram at package level — negative case.
+var mLatency = obs.Default().Histogram("turbdb_fix_latency_ms", []float64{1, 10, 100})
+
+// mBad breaks the naming contract — positive case.
+var mBad = obs.Default().Counter("requests_total") // want `must match turbdb_`
+
+// mDupAgain collides with the registration the dup package owns —
+// positive case (module-wide uniqueness).
+var mDupAgain = obs.Default().Counter("turbdb_fix_dup_total") // want `already registered .*dup`
+
+// lazyRegister re-looks the gauge up per call instead of hoisting it —
+// positive case.
+func lazyRegister() {
+	obs.Default().Gauge("turbdb_fix_lazy").Set(1) // want `registered inside a function`
+}
+
+// scanAtoms is a hot-path function by name: no registry lookups at all —
+// positive case.
+func scanAtoms() {
+	obs.Default().Counter("turbdb_fix_scan_total").Inc() // want `registry lookup in hot-path function scanAtoms`
+}
+
+// observeRow is hot by annotation, same rule — positive case.
+//
+//turbdb:rowkernel
+func observeRow() {
+	obs.Default().Counter("turbdb_fix_row_total").Inc() // want `registry lookup in hot-path function observeRow`
+}
+
+// perTenant builds a per-series name from a constant format — the
+// sanctioned dynamic registration; negative case.
+func perTenant(tenant string) {
+	obs.Default().Gauge(fmt.Sprintf("turbdb_fix_tenant_running{tenant=%q}", tenant)).Set(0)
+}
+
+// badDynamic has a dynamic name with a family prefix outside the
+// namespace — positive case.
+func badDynamic(node int) {
+	obs.Default().Gauge(fmt.Sprintf("breaker_state_%d", node)).Set(0) // want `must start with a turbdb_.* family prefix`
+}
+
+// opaque gives the analyzer nothing to check — positive case.
+func opaque(name string) {
+	obs.Default().Counter(name).Inc() // want `neither a constant nor a constant-format`
+}
+
+// drain decrements a counter — positive case; the gauge below goes down
+// legitimately — negative case.
+func drain() {
+	mRequests.Add(-1) // want `counter decremented .* counters are monotonic`
+	obs.Default().Gauge(fmt.Sprintf("turbdb_fix_depth_%d", 0)).Add(-1)
+}

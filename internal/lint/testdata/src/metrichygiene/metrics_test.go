@@ -1,0 +1,12 @@
+package metrichygiene
+
+import "fixtures/internal/obs"
+
+// tScratch breaks every naming rule on purpose: metrics declared in
+// _test.go files are exempt from metrichygiene (tests register scratch
+// series against throwaway registries), so loading this package with
+// tests included must add no findings. TestLoadTestMetricsExempt pins
+// that.
+var tScratch = obs.Default().Counter("bad_test_only_name")
+
+func touchScratch() { tScratch.Inc() }

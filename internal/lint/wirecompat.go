@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// WireCompat turns PR 5/7/8's wire-evolution convention into a compile
+// gate, clearing the runway for the binary protocol rewrite: once the
+// codec changes underneath, nothing but this analyzer pins the JSON
+// semantics the old peers rely on.
+//
+// A wire DTO is any struct with json-tagged fields declared in an
+// internal/wire package. Each one must carry a //turbdb:wire-baseline
+// directive naming its frozen v1 field set — the json keys that are
+// always encoded. Against that registry, WireCompat reports:
+//
+//   - a DTO struct with no baseline directive (the frozen set must be
+//     explicit, not inferred from today's tags);
+//   - a baseline key with no matching field (removing or renaming a
+//     frozen wire field breaks old decoders);
+//   - a baseline field carrying omitempty (a frozen field must always
+//     encode — old strict decoders expect it);
+//   - a post-baseline field missing omitempty (new fields must vanish
+//     from the encoding when unset, so old peers see byte-identical
+//     messages);
+//   - a post-baseline field with no fuzz seed: its Go name or quoted
+//     json key must appear in one of the package's Fuzz* test files, so
+//     the strict-decode fuzzers actually exercise it;
+//   - duplicate json keys, exported fields with no json tag, and
+//     embedded fields without a tag (which promote their fields into the
+//     wire shape implicitly).
+//
+// DTO↔internal converters — a function or method with exactly one input
+// struct and one result struct where at least one side is a DTO — must
+// touch every exported field of both sides, so adding a field to a
+// struct but not its converter fails the gate with the drifted field
+// named. Fields that exist only on the wire (trace plumbing) opt out
+// per-field with `//turbdb:wire-local <reason>`; pure delegation bodies
+// (a single `return f(x)`) are exempt. Test files are exempt throughout.
+var WireCompat = &Analyzer{
+	Name: "wirecompat",
+	Doc:  "wire DTOs evolve against an explicit //turbdb:wire-baseline: omitempty + fuzz seeds for new fields, converters cover every field",
+	Run:  runWireCompat,
+}
+
+func pkgIsWireScoped(importPath string) bool {
+	return strings.HasSuffix(importPath, "internal/wire") || strings.Contains(importPath, "internal/wire/")
+}
+
+// wireField is one json-encoded field of a DTO struct.
+type wireField struct {
+	obj       *types.Var
+	jsonName  string
+	omitEmpty bool
+	pos       token.Pos
+}
+
+// wireDTOInfo is one DTO struct with its baseline registry.
+type wireDTOInfo struct {
+	name        string
+	hasBaseline bool
+	baseline    map[string]bool
+	fields      []wireField
+}
+
+var wireBaselineRe = regexp.MustCompile(`^turbdb:wire-baseline\s+(\S+)\s*$`)
+var wireLocalRe = regexp.MustCompile(`^turbdb:wire-local(?:\s+(\S.*))?$`)
+
+func runWireCompat(pass *Pass) {
+	if !pkgIsWireScoped(pass.ImportPath) {
+		return
+	}
+	corpus := fuzzCorpus(pass.Dir)
+	dtos := make(map[types.Object]*wireDTOInfo)
+	wireLocal := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkWireStruct(pass, gd, ts, st, corpus, dtos, wireLocal)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkWireConverter(pass, fd, dtos, wireLocal)
+		}
+	}
+}
+
+// checkWireStruct applies the per-struct rules and records DTO structs
+// for the converter pass.
+func checkWireStruct(pass *Pass, gd *ast.GenDecl, ts *ast.TypeSpec, st *ast.StructType, corpus []byte, dtos map[types.Object]*wireDTOInfo, wireLocal map[*types.Var]bool) {
+	tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	tstruct, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok || tstruct.NumFields() != fieldCount(st) {
+		return
+	}
+	tagged := 0
+	for i := 0; i < tstruct.NumFields(); i++ {
+		tag, has := reflect.StructTag(tstruct.Tag(i)).Lookup("json")
+		if has && tag != "-" {
+			tagged++
+		}
+	}
+	if tagged == 0 {
+		return // not a wire DTO; internal structs carry no json shape
+	}
+
+	info := &wireDTOInfo{name: ts.Name.Name}
+	seenKeys := make(map[string]token.Pos)
+	idx := 0
+	for _, af := range st.Fields.List {
+		n := len(af.Names)
+		if n == 0 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			fobj := tstruct.Field(idx)
+			tag := reflect.StructTag(tstruct.Tag(idx))
+			idx++
+			jsonTag, hasTag := tag.Lookup("json")
+			local, localOK := wireLocalDirective(af)
+			if localOK && !local {
+				pass.Reportf(af.Pos(), "//turbdb:wire-local on %s.%s is missing its mandatory reason", ts.Name.Name, fobj.Name())
+			}
+			pos := af.Pos()
+			if len(af.Names) > k {
+				pos = af.Names[k].Pos()
+			}
+			if fobj.Embedded() && !hasTag {
+				pass.Reportf(pos, "embedded field %s in wire DTO %s promotes its fields into the wire shape implicitly; give it an explicit json tag or flatten the fields", fobj.Name(), ts.Name.Name)
+				continue
+			}
+			if !hasTag {
+				if fobj.Exported() {
+					pass.Reportf(pos, "exported field %s.%s has no json tag; wire fields must name their key explicitly", ts.Name.Name, fobj.Name())
+				}
+				continue
+			}
+			if jsonTag == "-" || !fobj.Exported() {
+				continue
+			}
+			name, opts, _ := strings.Cut(jsonTag, ",")
+			if name == "" {
+				name = fobj.Name()
+			}
+			if prev, dup := seenKeys[name]; dup {
+				pass.Reportf(pos, "duplicate json key %q in wire DTO %s (also at %s)", name, ts.Name.Name, pass.Fset.Position(prev))
+			}
+			seenKeys[name] = pos
+			f := wireField{
+				obj:       fobj,
+				jsonName:  name,
+				omitEmpty: jsonOptHas(opts, "omitempty"),
+				pos:       pos,
+			}
+			if local {
+				wireLocal[fobj] = true
+			}
+			info.fields = append(info.fields, f)
+		}
+	}
+	dtos[tn] = info
+
+	info.hasBaseline, info.baseline = wireBaseline(pass, ts.Name.Name, gd, ts)
+	if !info.hasBaseline {
+		pass.Reportf(ts.Name.Pos(), "wire DTO %s has no //turbdb:wire-baseline directive; declare its frozen always-encoded field set", ts.Name.Name)
+		return // membership checks would be noise without the registry
+	}
+	present := make(map[string]bool, len(info.fields))
+	for _, f := range info.fields {
+		present[f.jsonName] = true
+		if info.baseline[f.jsonName] {
+			if f.omitEmpty {
+				pass.Reportf(f.pos, "%s.%s (json %q) is in the wire baseline but carries omitempty; frozen v1 fields are always encoded", ts.Name.Name, f.obj.Name(), f.jsonName)
+			}
+			continue
+		}
+		if !f.omitEmpty {
+			pass.Reportf(f.pos, "%s.%s (json %q) was added after the wire baseline and must carry omitempty so old peers see byte-identical messages", ts.Name.Name, f.obj.Name(), f.jsonName)
+		}
+		if !seedMentions(corpus, f.obj.Name(), f.jsonName) {
+			pass.Reportf(f.pos, "%s.%s (json %q) has no fuzz seed; add a seed mentioning it to the package's Fuzz* corpus so strict decoding is exercised", ts.Name.Name, f.obj.Name(), f.jsonName)
+		}
+	}
+	for key := range info.baseline {
+		if !present[key] {
+			pass.Reportf(ts.Name.Pos(), "baseline field %q of %s is gone from the struct; removing or renaming a frozen wire field breaks decode compatibility", key, ts.Name.Name)
+		}
+	}
+}
+
+func fieldCount(st *ast.StructType) int {
+	n := 0
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+func jsonOptHas(opts, want string) bool {
+	for opts != "" {
+		var o string
+		o, opts, _ = strings.Cut(opts, ",")
+		if o == want {
+			return true
+		}
+	}
+	return false
+}
+
+// wireBaseline parses the //turbdb:wire-baseline directive off a type
+// declaration's doc comments. The operand is a comma-separated list of
+// json keys; "-" declares an explicitly empty baseline (a struct whose
+// every field postdates v1).
+func wireBaseline(pass *Pass, structName string, gd *ast.GenDecl, ts *ast.TypeSpec) (bool, map[string]bool) {
+	for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, "turbdb:wire-baseline") {
+				continue
+			}
+			m := wireBaselineRe.FindStringSubmatch(text)
+			if m == nil {
+				pass.Reportf(c.Pos(), "malformed //turbdb:wire-baseline on %s; expected a comma-separated list of json keys (or - for an empty set)", structName)
+				return false, nil
+			}
+			set := make(map[string]bool)
+			if m[1] != "-" {
+				for _, key := range strings.Split(m[1], ",") {
+					set[key] = true
+				}
+			}
+			return true, set
+		}
+	}
+	return false, nil
+}
+
+// wireLocalDirective parses //turbdb:wire-local off a field's doc or
+// trailing comment. ok reports the directive is present; present-but-
+// reasonless returns ok=true, local=false so the caller can flag it.
+func wireLocalDirective(af *ast.Field) (local, ok bool) {
+	for _, doc := range []*ast.CommentGroup{af.Doc, af.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			m := wireLocalRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			return m[1] != "", true
+		}
+	}
+	return false, false
+}
+
+// fuzzCorpus concatenates the package's fuzz test sources (read raw, so
+// the check works without -tests).
+func fuzzCorpus(dir string) []byte {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var buf []byte
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil || !bytes.Contains(data, []byte("func Fuzz")) {
+			continue
+		}
+		buf = append(buf, data...)
+		buf = append(buf, '\n')
+	}
+	return buf
+}
+
+// seedMentions reports whether the fuzz corpus mentions a field, by Go
+// name (word match) or by quoted json key.
+func seedMentions(corpus []byte, goName, jsonName string) bool {
+	if len(corpus) == 0 {
+		return false
+	}
+	if bytes.Contains(corpus, []byte(fmt.Sprintf("%q", jsonName))) {
+		return true
+	}
+	re := regexp.MustCompile(`\b` + regexp.QuoteMeta(goName) + `\b`)
+	return re.Match(corpus)
+}
+
+// checkWireConverter applies the field-coverage rule to DTO↔internal
+// converters: one input struct, one result struct, at least one side a
+// DTO of this package, every exported field of both sides touched.
+func checkWireConverter(pass *Pass, fd *ast.FuncDecl, dtos map[types.Object]*wireDTOInfo, wireLocal map[*types.Var]bool) {
+	var src, dst types.Type
+	sig, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	fsig := sig.Type().(*types.Signature)
+	if fsig.Results().Len() != 1 {
+		return
+	}
+	dst = fsig.Results().At(0).Type()
+	switch {
+	case fsig.Recv() != nil && fsig.Params().Len() == 0:
+		src = fsig.Recv().Type()
+	case fsig.Recv() == nil && fsig.Params().Len() == 1:
+		src = fsig.Params().At(0).Type()
+	default:
+		return
+	}
+	srcStruct, srcNamed := structSide(src)
+	dstStruct, dstNamed := structSide(dst)
+	if srcStruct == nil || dstStruct == nil {
+		return
+	}
+	_, srcDTO := dtos[srcNamed.Obj()]
+	_, dstDTO := dtos[dstNamed.Obj()]
+	if !srcDTO && !dstDTO {
+		return
+	}
+	if isDelegationBody(fd.Body) {
+		return
+	}
+	used := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.Info.Uses[id].(*types.Var); ok && v.IsField() {
+			used[v] = true
+		}
+		return true
+	})
+	for _, side := range []struct {
+		st    *types.Struct
+		named *types.Named
+	}{{srcStruct, srcNamed}, {dstStruct, dstNamed}} {
+		for i := 0; i < side.st.NumFields(); i++ {
+			f := side.st.Field(i)
+			if !f.Exported() || used[f] || wireLocal[f] {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(), "converter %s never touches %s.%s; the DTO and internal field sets have drifted — convert the field or mark it //turbdb:wire-local", fd.Name.Name, side.named.Obj().Name(), f.Name())
+		}
+	}
+}
+
+// structSide unwraps pointers and slices down to a named struct type.
+func structSide(t types.Type) (*types.Struct, *types.Named) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		default:
+			named, ok := t.(*types.Named)
+			if !ok {
+				return nil, nil
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return nil, nil
+			}
+			return st, named
+		}
+	}
+}
+
+// isDelegationBody reports whether a body is a single `return f(...)`
+// — a pure delegation whose coverage is checked at the delegate.
+func isDelegationBody(body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	_, ok = ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+	return ok
+}

@@ -113,7 +113,7 @@ func batchPoints(r *node.ThresholdBatchResult) int {
 // range down in strict mode) is the call's error instead.
 func (m *Mediator) ThresholdBatch(ctx context.Context, p *sim.Proc, qs []query.Threshold) ([]BatchAnswer, error) {
 	if len(qs) == 0 {
-		return nil, fmt.Errorf("mediator: empty threshold batch")
+		return nil, faulttol.Permanent("mediator: empty threshold batch")
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -133,7 +133,7 @@ func (m *Mediator) ThresholdBatch(ctx context.Context, p *sim.Proc, qs []query.T
 		if i > 0 && !batchCompatible(nqs[0], nqs[i]) {
 			psp.End()
 			mQueryErrs.Add(int64(len(qs)))
-			return nil, fmt.Errorf("mediator: batch member %d disagrees with member 0 on (field, order, step, scan)", i)
+			return nil, faulttol.Permanentf("mediator: batch member %d disagrees with member 0 on (field, order, step, scan)", i)
 		}
 	}
 	psp.End()
@@ -226,7 +226,7 @@ func (m *Mediator) mergeBatch(ctx context.Context, nqs []query.Threshold, result
 		var memberErr error
 		for _, r := range results {
 			if j >= len(r.Results) {
-				memberErr = fmt.Errorf("mediator: node batch answer has %d members, want %d", len(r.Results), len(nqs))
+				memberErr = faulttol.Permanentf("mediator: node batch answer has %d members, want %d", len(r.Results), len(nqs))
 				break
 			}
 			if r.Errs[j] != nil {

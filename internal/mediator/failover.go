@@ -104,20 +104,20 @@ func (m *Mediator) snapshotTopo() topoSnapshot {
 func (m *Mediator) UpdateTopology(t Topology) error {
 	nt := t.clone()
 	if len(nt.Ranges) != len(nt.Owners) {
-		return fmt.Errorf("mediator: topology has %d ranges but %d owner lists", len(nt.Ranges), len(nt.Owners))
+		return faulttol.Permanentf("mediator: topology has %d ranges but %d owner lists", len(nt.Ranges), len(nt.Owners))
 	}
 	m.topoMu.Lock()
 	defer m.topoMu.Unlock()
 	if m.clients == nil {
-		return fmt.Errorf("mediator: not assembled with a topology")
+		return faulttol.Permanent("mediator: not assembled with a topology")
 	}
 	for ri, owners := range nt.Owners {
 		if len(owners) == 0 && !nt.Ranges[ri].Empty() {
-			return fmt.Errorf("mediator: range %d has no owners", ri)
+			return faulttol.Permanentf("mediator: range %d has no owners", ri)
 		}
 		for _, id := range owners {
 			if _, ok := m.clients[id]; !ok {
-				return fmt.Errorf("mediator: topology owner %d of range %d is not registered", id, ri)
+				return faulttol.Permanentf("mediator: topology owner %d of range %d is not registered", id, ri)
 			}
 		}
 	}
@@ -133,14 +133,14 @@ func (m *Mediator) UpdateTopology(t Topology) error {
 // ctx bounds the validation round-trip to the node.
 func (m *Mediator) RegisterNode(ctx context.Context, id int, c NodeClient, link *netmodel.Link) error {
 	if !m.replicated() {
-		return fmt.Errorf("mediator: not assembled with a topology")
+		return faulttol.Permanent("mediator: not assembled with a topology")
 	}
 	d, err := c.Describe(ctx)
 	if err != nil {
 		return fmt.Errorf("mediator: node %d unreachable: %w", id, err)
 	}
 	if d.Dataset != m.Dataset() {
-		return fmt.Errorf("mediator: node %d serves dataset %q, not %q", id, d.Dataset, m.Dataset())
+		return faulttol.Permanentf("mediator: node %d serves dataset %q, not %q", id, d.Dataset, m.Dataset())
 	}
 	var ft *faulttol.Executor
 	if m.kernel == nil {

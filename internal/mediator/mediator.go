@@ -142,7 +142,7 @@ type Mediator struct {
 //turbdb:ignore ctxpropagate the Describe round-trips are bounded by cfg.DescribeCtx; a ctx parameter would duplicate the config field
 func New(cfg Config) (*Mediator, error) {
 	if len(cfg.Nodes) == 0 {
-		return nil, fmt.Errorf("mediator: at least one node required")
+		return nil, faulttol.Permanent("mediator: at least one node required")
 	}
 	ctx := cfg.DescribeCtx
 	if ctx == nil {
@@ -159,15 +159,15 @@ func New(cfg Config) (*Mediator, error) {
 	ds := descs[0].Dataset
 	for _, d := range descs[1:] {
 		if d.Dataset != ds {
-			return nil, fmt.Errorf("mediator: nodes serve different datasets (%q vs %q)", ds, d.Dataset)
+			return nil, faulttol.Permanentf("mediator: nodes serve different datasets (%q vs %q)", ds, d.Dataset)
 		}
 	}
 	if cfg.Kernel != nil {
 		if len(cfg.NodeLinks) != len(cfg.Nodes) {
-			return nil, fmt.Errorf("mediator: %d node links for %d nodes", len(cfg.NodeLinks), len(cfg.Nodes))
+			return nil, faulttol.Permanentf("mediator: %d node links for %d nodes", len(cfg.NodeLinks), len(cfg.Nodes))
 		}
 		if cfg.UserLink == nil {
-			return nil, fmt.Errorf("mediator: user link required in simulation mode")
+			return nil, faulttol.Permanent("mediator: user link required in simulation mode")
 		}
 	}
 	m := &Mediator{
@@ -198,7 +198,7 @@ func New(cfg Config) (*Mediator, error) {
 	}
 	if cfg.Topology != nil {
 		if cfg.Members == nil {
-			return nil, fmt.Errorf("mediator: a topology requires a membership table")
+			return nil, faulttol.Permanent("mediator: a topology requires a membership table")
 		}
 		m.topoMu.Lock()
 		m.clients = make(map[int]NodeClient, len(cfg.Nodes))

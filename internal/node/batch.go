@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/turbdb/turbdb/internal/cache"
+	"github.com/turbdb/turbdb/internal/faulttol"
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/obs"
@@ -73,7 +74,7 @@ func sameScan(a, b []morton.Range) bool {
 // equivalent solo queries would have.
 func (n *Node) GetThresholdBatch(ctx context.Context, p *sim.Proc, qs []query.Threshold) (*ThresholdBatchResult, error) {
 	if len(qs) == 0 {
-		return nil, fmt.Errorf("node: empty threshold batch")
+		return nil, faulttol.Permanent("node: empty threshold batch")
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -87,11 +88,11 @@ func (n *Node) GetThresholdBatch(ctx context.Context, p *sim.Proc, qs []query.Th
 			return nil, err
 		}
 		if nqs[i].Dataset != n.dataset {
-			return nil, fmt.Errorf("node: serves dataset %q, not %q", n.dataset, nqs[i].Dataset)
+			return nil, faulttol.Permanentf("node: serves dataset %q, not %q", n.dataset, nqs[i].Dataset)
 		}
 		if i > 0 && (nqs[i].Field != nqs[0].Field || nqs[i].FDOrder != nqs[0].FDOrder ||
 			nqs[i].Timestep != nqs[0].Timestep || !sameScan(nqs[i].Scan, nqs[0].Scan)) {
-			return nil, fmt.Errorf("node: batch member %d disagrees with member 0 on (field, order, step, scan)", i)
+			return nil, faulttol.Permanentf("node: batch member %d disagrees with member 0 on (field, order, step, scan)", i)
 		}
 	}
 	f, err := n.resolveField(nqs[0].Field)

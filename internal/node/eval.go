@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/faulttol"
 	"github.com/turbdb/turbdb/internal/field"
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/morton"
@@ -80,7 +81,7 @@ func (b *Breakdown) Max(o Breakdown) {
 // errAtomMissing marks an atom block absent at assembly time — after a
 // degraded halo fetch this is expected, and partial-halo mode skips just
 // the affected shard atom instead of failing the query.
-var errAtomMissing = errors.New("node: atom missing")
+var errAtomMissing = faulttol.Permanent("node: atom missing")
 
 // workerData is the outcome of one worker's I/O phase: per raw field, the
 // atom blocks the shard's kernel computations need.
@@ -196,7 +197,7 @@ func (n *Node) gatherField(ctx context.Context, wp *sim.Proc, rawField string, s
 	sortCodes(remote)
 
 	if len(remote) > 0 && n.peers == nil {
-		return workerData{err: fmt.Errorf("node %d: %d halo atoms not owned and no peer fetcher configured", n.id, len(remote))}
+		return workerData{err: faulttol.Permanentf("node %d: %d halo atoms not owned and no peer fetcher configured", n.id, len(remote))}
 	}
 	// Atoms another worker already pulled in this query come from the
 	// buffer pool: local ones skip the disk charge, remote ones skip the
@@ -424,7 +425,7 @@ scan:
 			if hw == 0 {
 				exts[i] = fieldBlocks[c]
 				if exts[i] == nil {
-					return pointsExamined, atomsSkipped, fmt.Errorf("node: atom %v of %q missing", c, rf.Name)
+					return pointsExamined, atomsSkipped, faulttol.Permanentf("node: atom %v of %q missing", c, rf.Name)
 				}
 			} else {
 				exts[i], err = n.assembleExtended(g, fieldBlocks, abox.Expand(hw), rf.NComp)

@@ -16,11 +16,11 @@ package node
 
 import (
 	"context"
-	"fmt"
 	"sync"
 
 	"github.com/turbdb/turbdb/internal/cache"
 	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/faulttol"
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/sim"
@@ -102,16 +102,16 @@ type Node struct {
 // New validates the config and builds a Node.
 func New(cfg Config) (*Node, error) {
 	if cfg.Store == nil {
-		return nil, fmt.Errorf("node: store is required")
+		return nil, faulttol.Permanent("node: store is required")
 	}
 	if cfg.Dataset == "" {
-		return nil, fmt.Errorf("node: dataset name is required")
+		return nil, faulttol.Permanent("node: dataset name is required")
 	}
 	if cfg.Processes == 0 {
 		cfg.Processes = 1
 	}
 	if cfg.Processes < 1 {
-		return nil, fmt.Errorf("node: processes must be ≥ 1, got %d", cfg.Processes)
+		return nil, faulttol.Permanentf("node: processes must be ≥ 1, got %d", cfg.Processes)
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = derived.Standard()
@@ -174,7 +174,7 @@ func (n *Node) SetProcesses(ctx context.Context, p int) error {
 		return err
 	}
 	if p < 1 {
-		return fmt.Errorf("node: processes must be ≥ 1, got %d", p)
+		return faulttol.Permanentf("node: processes must be ≥ 1, got %d", p)
 	}
 	n.mu.Lock()
 	n.processes = p
@@ -213,7 +213,7 @@ func (n *Node) scanAtomsCovering(b grid.Box, scan []morton.Range) ([]morton.Code
 		for _, r := range scan {
 			if r.Contains(c) {
 				if !n.store.Owns(c) {
-					return nil, fmt.Errorf("node %d: routed atom %v outside held ranges", n.id, c)
+					return nil, faulttol.Permanentf("node %d: routed atom %v outside held ranges", n.id, c)
 				}
 				out = append(out, c)
 				break

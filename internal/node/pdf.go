@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/turbdb/turbdb/internal/faulttol"
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/query"
 	"github.com/turbdb/turbdb/internal/sim"
@@ -46,7 +47,7 @@ func (n *Node) GetPDF(ctx context.Context, p *sim.Proc, q query.PDF) (*PDFResult
 		return nil, err
 	}
 	if q.Dataset != n.dataset {
-		return nil, fmt.Errorf("node: serves dataset %q, not %q", n.dataset, q.Dataset)
+		return nil, faulttol.Permanentf("node: serves dataset %q, not %q", n.dataset, q.Dataset)
 	}
 	f, err := n.resolveField(q.Field)
 	if err != nil {
@@ -143,7 +144,7 @@ func (n *Node) GetTopK(ctx context.Context, p *sim.Proc, q query.TopK) (*TopKRes
 		return nil, err
 	}
 	if q.Dataset != n.dataset {
-		return nil, fmt.Errorf("node: serves dataset %q, not %q", n.dataset, q.Dataset)
+		return nil, faulttol.Permanentf("node: serves dataset %q, not %q", n.dataset, q.Dataset)
 	}
 	f, err := n.resolveField(q.Field)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"github.com/turbdb/turbdb/internal/cache"
 	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/faulttol"
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/morton"
 	"github.com/turbdb/turbdb/internal/obs"
@@ -67,7 +68,7 @@ func (n *Node) resolveField(fieldName string) (*derived.Field, error) {
 	}
 	for _, rf := range f.Raws {
 		if _, err := n.store.FieldMeta(rf.Name); err != nil {
-			return nil, fmt.Errorf("node: dataset %q does not store %q (needed for %q)",
+			return nil, faulttol.Permanentf("node: dataset %q does not store %q (needed for %q)",
 				n.dataset, rf.Name, fieldName)
 		}
 	}
@@ -100,7 +101,7 @@ func (n *Node) GetThreshold(ctx context.Context, p *sim.Proc, q query.Threshold)
 		return nil, err
 	}
 	if q.Dataset != n.dataset {
-		return nil, fmt.Errorf("node: serves dataset %q, not %q", n.dataset, q.Dataset)
+		return nil, faulttol.Permanentf("node: serves dataset %q, not %q", n.dataset, q.Dataset)
 	}
 	f, err := n.resolveField(q.Field)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/turbdb/turbdb/internal/faulttol"
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/mediator"
 	"github.com/turbdb/turbdb/internal/obs"
@@ -46,7 +47,7 @@ var (
 )
 
 // ErrClosed rejects queries submitted after Close.
-var ErrClosed = fmt.Errorf("sched: scheduler closed")
+var ErrClosed = faulttol.Permanent("sched: scheduler closed")
 
 // ErrOverQuota is the typed shed error: the tenant's queue quota is full
 // and the query was rejected instead of parked. It is availability-class
@@ -182,10 +183,10 @@ type Scheduler struct {
 // constructs with no meaning in virtual time.
 func New(b Backend, cfg Config) (*Scheduler, error) {
 	if b == nil {
-		return nil, fmt.Errorf("sched: nil backend")
+		return nil, faulttol.Permanent("sched: nil backend")
 	}
 	if sm, ok := b.(interface{ Simulated() bool }); ok && sm.Simulated() {
-		return nil, fmt.Errorf("sched: simulated mediators cannot be scheduled (wall-clock batching window)")
+		return nil, faulttol.Permanent("sched: simulated mediators cannot be scheduled (wall-clock batching window)")
 	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)

@@ -267,7 +267,7 @@ func (c *Client) GetThresholdBatch(ctx context.Context, _ *sim.Proc, qs []query.
 		return nil, err
 	}
 	if len(resp.Items) != len(qs) {
-		return nil, fmt.Errorf("wire: batch response has %d items, want %d", len(resp.Items), len(qs))
+		return nil, faulttol.Permanentf("wire: batch response has %d items, want %d", len(resp.Items), len(qs))
 	}
 	sp.Graft(SpansFromDTO(resp.Spans))
 	out := &node.ThresholdBatchResult{
@@ -280,7 +280,7 @@ func (c *Client) GetThresholdBatch(ctx context.Context, _ *sim.Proc, qs []query.
 			if item.Kind == "threshold_too_low" {
 				out.Errs[i] = &query.ErrTooManyPoints{Limit: item.Limit, Seen: item.Seen}
 			} else {
-				out.Errs[i] = fmt.Errorf("wire: batch member %d: %s", i, item.Error)
+				out.Errs[i] = faulttol.Permanentf("wire: batch member %d: %s", i, item.Error)
 			}
 			continue
 		}
@@ -472,7 +472,7 @@ func (ps *PeerSet) FetchAtoms(ctx context.Context, p *sim.Proc, rawField string,
 		pending = append(pending, &asg{code: code, holders: hs})
 	}
 	if unheld > 0 {
-		return nil, fmt.Errorf("wire: %d halo atoms owned by no peer", unheld)
+		return nil, faulttol.Permanentf("wire: %d halo atoms owned by no peer", unheld)
 	}
 
 	out := make(map[morton.Code][]byte, len(codes))
@@ -510,7 +510,7 @@ func (ps *PeerSet) FetchAtoms(ctx context.Context, p *sim.Proc, rawField string,
 			for _, a := range asgs {
 				blob, ok := blobs[a.code]
 				if !ok {
-					return nil, fmt.Errorf("wire: peer %d omitted atom %v", peer, a.code)
+					return nil, faulttol.Permanentf("wire: peer %d omitted atom %v", peer, a.code)
 				}
 				out[a.code] = blob
 			}

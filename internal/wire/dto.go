@@ -32,6 +32,8 @@ const (
 )
 
 // PointDTO is one result point on the wire: [morton code, value].
+//
+//turbdb:wire-baseline z,v
 type PointDTO struct {
 	Code  uint64  `json:"z"`
 	Value float32 `json:"v"`
@@ -56,6 +58,8 @@ func fromDTO(pts []PointDTO) []query.ResultPoint {
 }
 
 // BoxDTO is a grid box on the wire.
+//
+//turbdb:wire-baseline lo,hi
 type BoxDTO struct {
 	Lo [3]int `json:"lo"`
 	Hi [3]int `json:"hi"`
@@ -73,6 +77,8 @@ func boxFromDTO(d BoxDTO) grid.Box {
 }
 
 // RangeDTO is a half-open atom-code range [Lo, Hi) on the wire.
+//
+//turbdb:wire-baseline lo,hi
 type RangeDTO struct {
 	Lo uint64 `json:"lo"`
 	Hi uint64 `json:"hi"`
@@ -106,6 +112,8 @@ func rangesFromDTO(ds []RangeDTO) []morton.Range {
 // SpanDTO is one trace span on the wire. Offsets are microseconds from the
 // recording service's trace epoch; the receiver re-aligns them when
 // grafting (obs.Trace.Graft).
+//
+//turbdb:wire-baseline id,name,startUs,durUs
 type SpanDTO struct {
 	ID      uint64 `json:"id"`
 	Parent  uint64 `json:"parent,omitempty"`
@@ -115,6 +123,8 @@ type SpanDTO struct {
 }
 
 // TraceDTO is a whole query trace on the wire (mediator → user).
+//
+//turbdb:wire-baseline id,spans
 type TraceDTO struct {
 	ID    string    `json:"id"`
 	Spans []SpanDTO `json:"spans"`
@@ -130,7 +140,7 @@ func SpansToDTO(spans []obs.Span) []SpanDTO {
 		out[i] = SpanDTO{
 			ID: s.ID, Parent: s.Parent, Name: s.Name,
 			StartUS: s.Start.Microseconds(),
-			DurUS:   s.Duration().Microseconds(),
+			DurUS:   (s.End - s.Start).Microseconds(),
 		}
 	}
 	return out
@@ -157,6 +167,8 @@ func SpansFromDTO(d []SpanDTO) []obs.Span {
 // request to an existing distributed trace (mediator → node fan-out);
 // Trace asks the service to mint a fresh trace and return the collected
 // span tree in the response (user → mediator, or user → node directly).
+//
+//turbdb:wire-baseline dataset,field,timestep,threshold
 type ThresholdRequest struct {
 	Dataset   string  `json:"dataset"`
 	Field     string  `json:"field"`
@@ -170,9 +182,11 @@ type ThresholdRequest struct {
 	Scan []RangeDTO `json:"scan,omitempty"`
 	// Tenant names the admission resource pool (internal/sched); absent
 	// means the default pool.
-	Tenant  string `json:"tenant,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	//turbdb:wire-local transport-layer trace join; the RPC handler consumes it before the query runs
 	TraceID string `json:"traceId,omitempty"`
-	Trace   bool   `json:"trace,omitempty"`
+	//turbdb:wire-local transport-layer trace minting flag; never part of the internal query
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -203,6 +217,8 @@ func ThresholdRequestFor(q query.Threshold) ThresholdRequest {
 }
 
 // BreakdownDTO mirrors node.Breakdown with millisecond durations.
+//
+//turbdb:wire-baseline cacheLookupMs,ioMs,computeMs,cacheUpdateMs,totalMs,atomsRead,haloAtoms,pointsExamined
 type BreakdownDTO struct {
 	CacheLookupMS  float64 `json:"cacheLookupMs"`
 	IOMS           float64 `json:"ioMs"`
@@ -241,6 +257,8 @@ func breakdownFromDTO(d BreakdownDTO) node.Breakdown {
 // ThresholdResponse is the wire form of a node or mediator threshold result.
 // Coverage annotates partial answers from a degraded mediator (0 or
 // absent means complete, i.e. 1).
+//
+//turbdb:wire-baseline points,fromCache,breakdown
 type ThresholdResponse struct {
 	Points    []PointDTO   `json:"points"`
 	FromCache bool         `json:"fromCache"`
@@ -264,6 +282,8 @@ type ThresholdResponse struct {
 // ThresholdBatchRequest carries a shared-scan batch to a node: members
 // agree on (dataset, field, order, step, scan) and are evaluated in one
 // pass over the union of their boxes.
+//
+//turbdb:wire-baseline queries
 type ThresholdBatchRequest struct {
 	Queries []ThresholdRequest `json:"queries"`
 	TraceID string             `json:"traceId,omitempty"`
@@ -271,6 +291,8 @@ type ThresholdBatchRequest struct {
 
 // BatchItemDTO is one member's slot in a batch response: a result or a
 // typed per-member error, never both.
+//
+//turbdb:wire-baseline breakdown
 type BatchItemDTO struct {
 	Points    []PointDTO   `json:"points,omitempty"`
 	FromCache bool         `json:"fromCache,omitempty"`
@@ -289,6 +311,8 @@ type BatchItemDTO struct {
 
 // ThresholdBatchResponse is the node's answer to a batch, indexed like the
 // request's Queries.
+//
+//turbdb:wire-baseline items
 type ThresholdBatchResponse struct {
 	Items        []BatchItemDTO `json:"items"`
 	AtomsScanned int            `json:"atomsScanned,omitempty"`
@@ -296,6 +320,8 @@ type ThresholdBatchResponse struct {
 }
 
 // PDFRequest is the wire form of query.PDF.
+//
+//turbdb:wire-baseline dataset,field,timestep,bins,min,width
 type PDFRequest struct {
 	Dataset  string  `json:"dataset"`
 	Field    string  `json:"field"`
@@ -308,9 +334,11 @@ type PDFRequest struct {
 	// Scan restricts the node-side scan (replica failover re-routing).
 	Scan []RangeDTO `json:"scan,omitempty"`
 	// Tenant names the admission resource pool; absent = default pool.
-	Tenant  string `json:"tenant,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	//turbdb:wire-local transport-layer trace join; the RPC handler consumes it before the query runs
 	TraceID string `json:"traceId,omitempty"`
-	Trace   bool   `json:"trace,omitempty"`
+	//turbdb:wire-local transport-layer trace minting flag; never part of the internal query
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -341,6 +369,8 @@ func PDFRequestFor(q query.PDF) PDFRequest {
 }
 
 // PDFResponse is the wire form of a PDF result.
+//
+//turbdb:wire-baseline counts,breakdown
 type PDFResponse struct {
 	Counts    []int64      `json:"counts"`
 	Breakdown BreakdownDTO `json:"breakdown"`
@@ -351,6 +381,8 @@ type PDFResponse struct {
 }
 
 // TopKRequest is the wire form of query.TopK.
+//
+//turbdb:wire-baseline dataset,field,timestep,k
 type TopKRequest struct {
 	Dataset  string  `json:"dataset"`
 	Field    string  `json:"field"`
@@ -361,9 +393,11 @@ type TopKRequest struct {
 	// Scan restricts the node-side scan (replica failover re-routing).
 	Scan []RangeDTO `json:"scan,omitempty"`
 	// Tenant names the admission resource pool; absent = default pool.
-	Tenant  string `json:"tenant,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	//turbdb:wire-local transport-layer trace join; the RPC handler consumes it before the query runs
 	TraceID string `json:"traceId,omitempty"`
-	Trace   bool   `json:"trace,omitempty"`
+	//turbdb:wire-local transport-layer trace minting flag; never part of the internal query
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ToQuery converts to the internal type.
@@ -394,6 +428,8 @@ func TopKRequestFor(q query.TopK) TopKRequest {
 }
 
 // TopKResponse is the wire form of a top-k result.
+//
+//turbdb:wire-baseline points,breakdown
 type TopKResponse struct {
 	Points    []PointDTO   `json:"points"`
 	Breakdown BreakdownDTO `json:"breakdown"`
@@ -406,6 +442,8 @@ type TopKResponse struct {
 // AtomsRequest asks a node for raw atom blobs (peer halo exchange).
 // TraceID joins the fetch to the distributed trace of the query that
 // triggered it.
+//
+//turbdb:wire-baseline field,timestep,codes
 type AtomsRequest struct {
 	Field    string   `json:"field"`
 	Timestep int      `json:"timestep"`
@@ -414,12 +452,16 @@ type AtomsRequest struct {
 }
 
 // AtomsResponse returns the blobs, base64-encoded by encoding/json.
+//
+//turbdb:wire-baseline atoms
 type AtomsResponse struct {
 	Atoms map[uint64][]byte `json:"atoms"`
 	Spans []SpanDTO         `json:"spans,omitempty"`
 }
 
 // DropCacheRequest clears cached entries for a (field, order, step).
+//
+//turbdb:wire-baseline field,fdOrder,timestep
 type DropCacheRequest struct {
 	Field    string `json:"field"`
 	FDOrder  int    `json:"fdOrder"`
@@ -427,11 +469,15 @@ type DropCacheRequest struct {
 }
 
 // SetProcessesRequest sets a node's worker count.
+//
+//turbdb:wire-baseline processes
 type SetProcessesRequest struct {
 	Processes int `json:"processes"`
 }
 
 // InfoResponse describes a node or mediator.
+//
+//turbdb:wire-baseline dataset,gridN,atomSide,dx
 type InfoResponse struct {
 	Dataset  string  `json:"dataset"`
 	GridN    int     `json:"gridN"`
@@ -446,6 +492,8 @@ type InfoResponse struct {
 }
 
 // ErrorResponse is the error envelope.
+//
+//turbdb:wire-baseline error
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Kind distinguishes typed errors the client must surface, e.g.

@@ -25,6 +25,7 @@ func FuzzRequestDecode(f *testing.F) {
 	box := &BoxDTO{Lo: [3]int{0, 0, 0}, Hi: [3]int{64, 64, 64}}
 	f.Add(mustJSON(f, ThresholdRequest{Dataset: "mhd", Field: "vorticity", Timestep: 3, Threshold: 25.5, Box: box, FDOrder: 4, Limit: 1000}))
 	f.Add(mustJSON(f, ThresholdRequest{Dataset: "mhd", Field: "vorticity", Threshold: 25.5, Tenant: "viz"}))
+	f.Add(mustJSON(f, ThresholdRequest{Dataset: "mhd", Field: "vorticity", Threshold: 25.5, Scan: []RangeDTO{{Lo: 0, Hi: 1 << 20}}, TraceID: "t0", Trace: true}))
 	f.Add(mustJSON(f, ThresholdBatchRequest{Queries: []ThresholdRequest{
 		{Dataset: "mhd", Field: "vorticity", Threshold: 25.5, Tenant: "viz"},
 		{Dataset: "mhd", Field: "vorticity", Threshold: 30, Box: box},
@@ -71,13 +72,16 @@ func FuzzRequestDecode(f *testing.F) {
 // FuzzResponseDecode does the same for the client-side response decode path,
 // including the DTO→internal conversions a client performs on success.
 func FuzzResponseDecode(f *testing.F) {
-	bd := BreakdownDTO{CacheLookupMS: 0.5, IOMS: 12, ComputeMS: 80, CacheUpdateMS: 1, TotalMS: 93.5, AtomsRead: 16, HaloAtoms: 4, PointsExamined: 1 << 15}
+	bd := BreakdownDTO{CacheLookupMS: 0.5, IOMS: 12, ComputeMS: 80, CacheUpdateMS: 1, TotalMS: 93.5, AtomsRead: 16, HaloAtoms: 4, PointsExamined: 1 << 15, AtomsSkipped: 3}
 	pts := []PointDTO{{Code: 0, Value: 1.5}, {Code: 73, Value: -2.25}}
+	spans := []SpanDTO{{ID: 1, Name: "node.threshold", StartUS: 0, DurUS: 950}, {ID: 2, Parent: 1, Name: "io", StartUS: 10, DurUS: 800}}
 	f.Add(mustJSON(f, ThresholdResponse{Points: pts, FromCache: true, Breakdown: bd}))
+	f.Add(mustJSON(f, ThresholdResponse{Points: pts, Breakdown: bd, Spans: spans, Trace: &TraceDTO{ID: "t1", Spans: spans}}))
 	f.Add(mustJSON(f, PDFResponse{Counts: []int64{1, 0, 42}, Breakdown: bd, Coverage: 0.75, Failed: 1}))
 	f.Add(mustJSON(f, TopKResponse{Points: pts, Breakdown: bd}))
 	f.Add(mustJSON(f, AtomsResponse{Atoms: map[uint64][]byte{5: []byte("blob")}}))
 	f.Add(mustJSON(f, InfoResponse{Dataset: "mhd", GridN: 1024, AtomSide: 8, Dx: 0.006, OwnedLo: 0, OwnedHi: 1 << 30}))
+	f.Add(mustJSON(f, InfoResponse{Dataset: "mhd", GridN: 1024, AtomSide: 8, Dx: 0.006, Held: []RangeDTO{{Lo: 0, Hi: 1 << 20}, {Lo: 1 << 20, Hi: 1 << 21}}}))
 	f.Add(mustJSON(f, ErrorResponse{Error: "threshold too low", Kind: "threshold_too_low", Seen: 5000, Limit: 1000}))
 	f.Add(mustJSON(f, ErrorResponse{Error: "over quota", Kind: "over_quota", Seen: 64, Limit: 64, Tenant: "batch"}))
 	f.Add(mustJSON(f, ThresholdResponse{Points: pts, Breakdown: bd, QueueWaitMS: 1.5, SharedScan: true, ScansSaved: 12}))
@@ -96,6 +100,9 @@ func FuzzResponseDecode(f *testing.F) {
 				t.Fatalf("fromDTO dropped points: %d != %d", len(pts), len(tr.Points))
 			}
 			_ = tr.Breakdown.Breakdown()
+			if rt := SpansToDTO(SpansFromDTO(tr.Spans)); len(rt) != len(tr.Spans) {
+				t.Fatalf("span round-trip dropped spans: %d != %d", len(rt), len(tr.Spans))
+			}
 		}
 		var br ThresholdBatchResponse
 		if json.Unmarshal(data, &br) == nil {

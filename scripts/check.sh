@@ -34,8 +34,11 @@ lane 'go vet ./...'
 go vet ./...
 lane_done
 
+# The analyzer suite carries its own wall-clock budget (override with
+# VET_BUDGET=...): a new analyzer that makes the gate crawl fails here
+# loudly, with the per-analyzer timing table naming the offender.
 lane 'turbdb-vet ./...'
-go run ./cmd/turbdb-vet ./...
+go run ./cmd/turbdb-vet -timings -budget "${VET_BUDGET:-120s}" ./...
 lane_done
 
 lane 'go test ./...'
