@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/turbdb/turbdb/internal/experiments"
+	"github.com/turbdb/turbdb/internal/query"
 )
 
 func main() {
@@ -39,8 +40,18 @@ func main() {
 		trace      = flag.Bool("trace", false, "trace one threshold query (cold + warm cache) and print the span trees instead of running experiments")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		proto      = flag.String("proto", "json", `modeled response encoding for the network model's wire-byte accounting: "json" or "frame"`)
 	)
 	flag.Parse()
+
+	switch *proto {
+	case "", "json":
+		// SerializedPointSize default.
+	case "frame":
+		query.SetPointWireSize(query.FramePointSize)
+	default:
+		log.Fatalf("unknown -proto %q (want json or frame)", *proto)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -136,6 +136,9 @@ func main() {
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		dbgAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (off by default)")
 
+		jsonOnly  = flag.Bool("json-only", false, "answer every response as JSON, ignoring binary-frame negotiation (debug/compat)")
+		nodeProto = flag.String("node-proto", "json", `response encoding negotiated with the node services: "json" or "frame"`)
+
 		schedOn    = flag.Bool("sched", true, "run the concurrent query scheduler (admission control + shared-scan batching)")
 		schedConc  = flag.Int("sched-concurrent", 0, "global concurrent-query cap (0 = 4×GOMAXPROCS)")
 		schedWin   = flag.Duration("sched-window", 2*time.Millisecond, "shared-scan batching window (0 disables batching)")
@@ -148,9 +151,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	nproto, err := wire.ParseProto(*nodeProto)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var clients []mediator.NodeClient
 	for _, url := range strings.Split(*nodes, ",") {
-		clients = append(clients, wire.NewClient(strings.TrimSpace(url)))
+		clients = append(clients, wire.NewClient(strings.TrimSpace(url), wire.WithProto(nproto)))
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *connTO)
@@ -174,7 +181,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	handler := wire.NewMediatorServer(m).Handler()
+	var srvOpts []wire.ServerOption
+	if *jsonOnly {
+		srvOpts = append(srvOpts, wire.WithJSONOnly())
+	}
+	handler := wire.NewMediatorServer(m, srvOpts...).Handler()
 	var s *sched.Scheduler
 	if *schedOn {
 		pools, err := parsePools(*schedPools)
@@ -190,7 +201,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		handler = wire.NewQuerierServer(s).Handler()
+		handler = wire.NewQuerierServer(s, srvOpts...).Handler()
 	}
 	fmt.Printf("mediator for %s (%d nodes, %d³ grid, partial=%v, replicas=%d, sched=%v) on %s\n",
 		m.Dataset(), len(clients), m.Grid().N, *partial, *repl, *schedOn, *addr)

@@ -34,6 +34,10 @@ per-node scan, cache and halo timings) to stderr.
 -tenant bills the query to that resource pool on a mediator running the
 concurrent scheduler; over-quota queries fail with HTTP 429 — back off
 and retry.
+
+-proto frame negotiates the binary streaming response encoding (smaller,
+faster to parse); services without it transparently answer JSON. Traced
+queries always ride JSON.
 `)
 	os.Exit(2)
 }
@@ -43,13 +47,14 @@ func main() {
 	log.SetPrefix("turbdb-query: ")
 
 	mediatorURL := flag.String("mediator", "http://127.0.0.1:7080", "mediator service URL")
+	proto := flag.String("proto", "json", `response encoding: "json" or "frame" (binary; falls back to JSON against older services)`)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
 
-	db, err := turbdb.OpenRemote(*mediatorURL)
+	db, err := turbdb.OpenRemote(*mediatorURL, turbdb.WithProtocol(*proto))
 	if err != nil {
 		log.Fatal(err)
 	}

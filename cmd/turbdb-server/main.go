@@ -99,6 +99,7 @@ func main() {
 		partial   = flag.Bool("allow-partial-halo", false, "skip atoms whose halo band is unreachable instead of failing the query")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (off by default)")
+		jsonOnly  = flag.Bool("json-only", false, "answer every response as JSON, ignoring binary-frame negotiation (debug/compat)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -148,7 +149,11 @@ func main() {
 
 	fmt.Printf("node %d serving %s shard %v on %s (cache=%v, %d processes)\n",
 		*nodeID, manifest.Dataset, st.Owned(), *addr, *withCache, *processes)
-	srv := &http.Server{Addr: *addr, Handler: wire.NewNodeServer(n).Handler()}
+	var srvOpts []wire.ServerOption
+	if *jsonOnly {
+		srvOpts = append(srvOpts, wire.WithJSONOnly())
+	}
+	srv := &http.Server{Addr: *addr, Handler: wire.NewNodeServer(n, srvOpts...).Handler()}
 	err = wire.RunDaemon(context.Background(), wire.DaemonConfig{
 		Server: srv, DebugAddr: *debugAddr, Drain: *drain,
 	})

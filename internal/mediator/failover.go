@@ -411,21 +411,25 @@ func (m *Mediator) thresholdReplicated(ctx context.Context, p *sim.Proc, q query
 	stats.Reroutes = fr.reroutes
 
 	_, msp := obs.StartSpan(ctx, "merge")
-	var pts []query.ResultPoint
+	parts := make([][]query.ResultPoint, 0, len(fr.results))
+	total := 0
 	for _, r := range fr.results {
-		pts = append(pts, r.Points...)
+		parts = append(parts, r.Points)
+		total += len(r.Points)
 		stats.NodeCritical.Max(r.Breakdown)
 		if r.FromCache {
 			stats.CacheHits++
 		}
 		stats.ResponseBytes += query.WireBytes(len(r.Points))
 	}
-	if len(pts) > q.Limit {
+	if total > q.Limit {
 		msp.End()
 		mQueryErrs.Inc()
-		return nil, nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: len(pts)}
+		return nil, nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: total}
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].Code < pts[j].Code })
+	// Re-routed scans make one node's result span several disjoint ranges,
+	// so the k-way merge (merge.go) does real interleaving here.
+	pts := mergeSortedPoints(parts)
 	msp.End()
 
 	stats.MediatorDBComm = fanout - stats.NodeCritical.Total

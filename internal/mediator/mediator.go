@@ -442,24 +442,28 @@ func (m *Mediator) Threshold(ctx context.Context, p *sim.Proc, q query.Threshold
 	}
 
 	_, msp := obs.StartSpan(ctx, "merge")
-	var pts []query.ResultPoint
+	parts := make([][]query.ResultPoint, 0, len(results))
+	total := 0
 	for i, r := range results {
 		if errs[i] != nil {
 			continue
 		}
-		pts = append(pts, r.Points...)
+		parts = append(parts, r.Points)
+		total += len(r.Points)
 		stats.NodeCritical.Max(r.Breakdown)
 		if r.FromCache {
 			stats.CacheHits++
 		}
 		stats.ResponseBytes += query.WireBytes(len(r.Points))
 	}
-	if len(pts) > q.Limit {
+	if total > q.Limit {
 		msp.End()
 		mQueryErrs.Inc()
-		return nil, nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: len(pts)}
+		return nil, nil, &query.ErrTooManyPoints{Limit: q.Limit, Seen: total}
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i].Code < pts[j].Code })
+	// Per-node results arrive code-sorted, so a streaming k-way merge
+	// replaces concatenate-and-resort (see merge.go).
+	pts := mergeSortedPoints(parts)
 	msp.End()
 
 	stats.MediatorDBComm = fanout - stats.NodeCritical.Total

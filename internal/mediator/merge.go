@@ -1,0 +1,85 @@
+package mediator
+
+import (
+	"sort"
+
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+// mergeSortedPoints merges per-node threshold results into one
+// Morton-ordered slice. Node evaluation emits points in code order
+// (node/threshold.go sorts each result before returning), so the mediator
+// can stream a k-way merge of the fan-in instead of concatenating every
+// slice and re-sorting the whole result — O(total·log k) with no
+// comparison ever revisiting a point, versus O(total·log total) for the
+// global sort it replaces. Replica re-routing makes a node's slice span
+// several disjoint scan ranges, so slices genuinely interleave and a
+// real merge (not block concatenation) is required.
+//
+// Defensively, the output is verified non-decreasing as it is built — a
+// node that ever returned unsorted points would otherwise corrupt the
+// merge silently — and falls back to a full sort when the check trips.
+func mergeSortedPoints(parts [][]query.ResultPoint) []query.ResultPoint {
+	total := 0
+	heads := make([][]query.ResultPoint, 0, len(parts))
+	for _, p := range parts {
+		if len(p) > 0 {
+			heads = append(heads, p)
+			total += len(p)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if len(heads) == 1 {
+		return append(make([]query.ResultPoint, 0, total), heads[0]...)
+	}
+
+	// Min-heap of the non-empty slices, keyed by head code.
+	less := func(a, b []query.ResultPoint) bool { return a[0].Code < b[0].Code }
+	for i := len(heads)/2 - 1; i >= 0; i-- {
+		siftDown(heads, i, less)
+	}
+
+	out := make([]query.ResultPoint, 0, total)
+	sorted := true
+	for len(heads) > 0 {
+		top := heads[0]
+		if len(out) > 0 && top[0].Code < out[len(out)-1].Code {
+			sorted = false
+		}
+		out = append(out, top[0])
+		if len(top) > 1 {
+			heads[0] = top[1:]
+		} else {
+			heads[0] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+		if len(heads) > 0 {
+			siftDown(heads, 0, less)
+		}
+	}
+	if !sorted {
+		sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	}
+	return out
+}
+
+// siftDown restores the heap property below index i.
+func siftDown(h [][]query.ResultPoint, i int, less func(a, b []query.ResultPoint) bool) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && less(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < len(h) && less(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

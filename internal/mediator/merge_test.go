@@ -1,0 +1,100 @@
+package mediator
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/turbdb/turbdb/internal/morton"
+	"github.com/turbdb/turbdb/internal/query"
+)
+
+func sortedParts(rng *rand.Rand, k, per int) [][]query.ResultPoint {
+	parts := make([][]query.ResultPoint, k)
+	for i := range parts {
+		n := rng.Intn(per + 1)
+		parts[i] = make([]query.ResultPoint, n)
+		for j := range parts[i] {
+			parts[i][j] = query.ResultPoint{
+				Code:  morton.Code(rng.Uint64() >> 16),
+				Value: rng.Float32(),
+			}
+		}
+		sort.Slice(parts[i], func(a, b int) bool { return parts[i][a].Code < parts[i][b].Code })
+	}
+	return parts
+}
+
+func flattenSorted(parts [][]query.ResultPoint) []query.ResultPoint {
+	var all []query.ResultPoint
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Code < all[j].Code })
+	return all
+}
+
+func TestMergeSortedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		parts := sortedParts(rng, 1+rng.Intn(8), 200)
+		got := mergeSortedPoints(parts)
+		want := flattenSorted(parts)
+		if len(want) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("trial %d: merged %d points from empty parts", trial, len(got))
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d points, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Code != want[i].Code {
+				t.Fatalf("trial %d: point %d has code %v, want %v", trial, i, got[i].Code, want[i].Code)
+			}
+		}
+	}
+}
+
+func TestMergeSortedPointsInterleaved(t *testing.T) {
+	// Replica re-routing shape: each part spans ranges that interleave with
+	// the others, so block concatenation would be wrong.
+	a := []query.ResultPoint{{Code: 1, Value: 1}, {Code: 10, Value: 2}, {Code: 100, Value: 3}}
+	b := []query.ResultPoint{{Code: 5, Value: 4}, {Code: 50, Value: 5}}
+	c := []query.ResultPoint{{Code: 7, Value: 6}}
+	got := mergeSortedPoints([][]query.ResultPoint{a, b, nil, c})
+	want := []query.ResultPoint{
+		{Code: 1, Value: 1}, {Code: 5, Value: 4}, {Code: 7, Value: 6},
+		{Code: 10, Value: 2}, {Code: 50, Value: 5}, {Code: 100, Value: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergeSortedPointsUnsortedFallback(t *testing.T) {
+	// A node violating the sorted contract must still yield an ordered
+	// result via the defensive re-sort.
+	bad := []query.ResultPoint{{Code: 9}, {Code: 2}, {Code: 5}}
+	ok := []query.ResultPoint{{Code: 1}, {Code: 7}}
+	got := mergeSortedPoints([][]query.ResultPoint{bad, ok})
+	if len(got) != 5 {
+		t.Fatalf("merged %d points, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Code < got[i-1].Code {
+			t.Fatalf("output unsorted at %d: %v", i, got)
+		}
+	}
+}
+
+func TestMergeSortedPointsDoesNotAliasInput(t *testing.T) {
+	a := []query.ResultPoint{{Code: 3}}
+	got := mergeSortedPoints([][]query.ResultPoint{a})
+	got[0].Code = 99
+	if a[0].Code != 3 {
+		t.Fatal("merge output aliases input slice")
+	}
+}

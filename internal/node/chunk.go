@@ -1,0 +1,36 @@
+package node
+
+import "github.com/turbdb/turbdb/internal/query"
+
+// ChunkPoints feeds result points to emit in columnar chunks of at most
+// size points: the code plane and the value plane of each chunk as
+// parallel slices. This is the node-side emission primitive of the binary
+// wire protocol — a result streams out chunk by chunk, so the transport
+// never materializes a second full-result copy next to the points
+// themselves. The chunk slices are reused between calls; emit must not
+// retain them.
+func ChunkPoints(pts []query.ResultPoint, size int, emit func(codes []uint64, values []float32) error) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	if size <= 0 || size > len(pts) {
+		size = len(pts)
+	}
+	codes := make([]uint64, 0, size)
+	values := make([]float32, 0, size)
+	for start := 0; start < len(pts); start += size {
+		end := start + size
+		if end > len(pts) {
+			end = len(pts)
+		}
+		codes, values = codes[:0], values[:0]
+		for _, p := range pts[start:end] {
+			codes = append(codes, uint64(p.Code))
+			values = append(values, p.Value)
+		}
+		if err := emit(codes, values); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ package query
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/turbdb/turbdb/internal/grid"
 	"github.com/turbdb/turbdb/internal/morton"
@@ -28,6 +29,12 @@ const DefaultFDOrder = 4
 // responses are "much larger due to the overhead of wrapping the data in an
 // xml format"). Raw payload is 12 bytes (8-byte z-index + 4-byte value).
 const SerializedPointSize = 48
+
+// FramePointSize is the modeled wire size of one result point under the
+// binary frame protocol: a delta-varint z-index plus a packed float32
+// (measured ~5 bytes/point on dense scan output, BENCH_10; 7 is a
+// conservative model covering sparser results with larger deltas).
+const FramePointSize = 7
 
 // ErrThresholdTooLow reports that a threshold query would exceed its result
 // limit. Users are told to raise the threshold, request the field values
@@ -144,8 +151,26 @@ func PointFor(p grid.Point, v float64) ResultPoint {
 	}
 }
 
+// pointWireSize overrides the modeled per-point wire size when positive;
+// zero (the default) means SerializedPointSize.
+var pointWireSize atomic.Int64
+
+// PointWireSize returns the modeled per-point wire size in effect.
+func PointWireSize() int {
+	if n := pointWireSize.Load(); n > 0 {
+		return int(n)
+	}
+	return SerializedPointSize
+}
+
+// SetPointWireSize sets the modeled per-point wire size the network model
+// charges (e.g. FramePointSize when a deployment negotiates the binary
+// frame protocol). Non-positive restores the SerializedPointSize default.
+// Safe for concurrent use.
+func SetPointWireSize(n int) { pointWireSize.Store(int64(n)) }
+
 // WireBytes returns the modeled serialized size of n result points.
-func WireBytes(n int) int { return n * SerializedPointSize }
+func WireBytes(n int) int { return n * PointWireSize() }
 
 // PDF is a probability-density-function query: histogram the norm of Field
 // over Box at Timestep into Bins buckets of Width starting at Min (Fig. 2

@@ -125,3 +125,18 @@ func TestTopKValidate(t *testing.T) {
 		}
 	}
 }
+
+func TestPointWireSizeKnob(t *testing.T) {
+	t.Cleanup(func() { SetPointWireSize(0) })
+	if WireBytes(10) != 10*SerializedPointSize {
+		t.Fatalf("default WireBytes(10) = %d, want %d", WireBytes(10), 10*SerializedPointSize)
+	}
+	SetPointWireSize(FramePointSize)
+	if WireBytes(10) != 10*FramePointSize {
+		t.Fatalf("frame WireBytes(10) = %d, want %d", WireBytes(10), 10*FramePointSize)
+	}
+	SetPointWireSize(0) // non-positive restores the default
+	if PointWireSize() != SerializedPointSize {
+		t.Fatalf("reset PointWireSize = %d, want %d", PointWireSize(), SerializedPointSize)
+	}
+}

@@ -1,0 +1,472 @@
+package wire
+
+// Differential coverage for the binary frame protocol: every cell of the
+// encoding matrix (JSON/frame client × frame-capable/JSON-only server, on
+// both the user→mediator and mediator→node hops) must produce answers
+// bit-for-bit identical to the JSON↔JSON baseline — points compared by
+// Float32bits, plus the coverage/failure annotations and the typed error
+// vocabulary. The matrix runs over the same live HTTP cluster the JSON
+// tests use, so negotiation, fallback, chunking and the error frames are
+// all exercised end to end.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/turbdb/turbdb/internal/derived"
+	"github.com/turbdb/turbdb/internal/faultinject"
+	"github.com/turbdb/turbdb/internal/faulttol"
+	"github.com/turbdb/turbdb/internal/mediator"
+	"github.com/turbdb/turbdb/internal/membership"
+	"github.com/turbdb/turbdb/internal/query"
+	"github.com/turbdb/turbdb/internal/sched"
+	"github.com/turbdb/turbdb/internal/wire/binproto"
+)
+
+// protoClients re-dials each node service with the given response protocol.
+func protoClients(clients []*Client, p Proto) []*Client {
+	out := make([]*Client, len(clients))
+	for i, c := range clients {
+		out[i] = NewClient(baseURL(c), WithProto(p))
+	}
+	return out
+}
+
+// samePoints asserts two result sets are identical: same codes in the same
+// order and bit-identical float32 values.
+func samePoints(t *testing.T, label string, got, want []query.ResultPoint) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d points, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Code != want[i].Code ||
+			math.Float32bits(got[i].Value) != math.Float32bits(want[i].Value) {
+			t.Fatalf("%s: point %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDifferentialEncodingMatrix runs threshold, PDF and top-k through
+// every client/server encoding pairing on both hops and checks each cell
+// against the JSON↔JSON baseline.
+func TestDifferentialEncodingMatrix(t *testing.T) {
+	ctx := context.Background()
+	nodes, _ := startNodes(t, 2)
+	tq := wireChaosQuery()
+	pq := query.PDF{Dataset: "mhd", Field: derived.Magnetic, Bins: 4, Width: 1}
+	kq := query.TopK{Dataset: "mhd", Field: derived.Current, K: 5}
+
+	// One mediator service per node-hop protocol × server policy.
+	serve := func(nodeProto Proto, opts ...ServerOption) string {
+		m := wireMediator(t, protoClients(nodes, nodeProto), false)
+		srv := httptest.NewServer(NewMediatorServer(m, opts...).Handler())
+		t.Cleanup(srv.Close)
+		return srv.URL
+	}
+	jsonNodeURL := serve(ProtoJSON)
+	frameNodeURL := serve(ProtoFrame)
+	jsonOnlyURL := serve(ProtoJSON, WithJSONOnly())
+
+	// Warm the node caches once so FromCache and the breakdown counters are
+	// deterministic across every cell.
+	warm := NewClient(jsonNodeURL)
+	for _, warmup := range []func() error{
+		func() error { _, _, err := warm.ThresholdStats(ctx, tq, false); return err },
+		func() error { _, err := warm.GetPDF(ctx, nil, pq); return err },
+		func() error { _, err := warm.GetTopK(ctx, nil, kq); return err },
+	} {
+		if err := warmup(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	basePts, baseResp, err := warm.ThresholdStats(ctx, tq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(basePts) == 0 {
+		t.Fatal("baseline threshold returned nothing")
+	}
+	basePDF, err := warm.GetPDF(ctx, nil, pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTop, err := warm.GetTopK(ctx, nil, kq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cells := []struct {
+		name string
+		user Proto
+		url  string
+	}{
+		{"frameUser_jsonNodes", ProtoFrame, jsonNodeURL},
+		{"jsonUser_frameNodes", ProtoJSON, frameNodeURL},
+		{"frameUser_frameNodes", ProtoFrame, frameNodeURL},
+		{"frameUser_jsonOnlyServer", ProtoFrame, jsonOnlyURL},
+	}
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) {
+			user := NewClient(cell.url, WithProto(cell.user))
+
+			pts, resp, err := user.ThresholdStats(ctx, tq, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePoints(t, "threshold", pts, basePts)
+			if resp.Coverage != baseResp.Coverage || resp.Failed != baseResp.Failed ||
+				resp.FromCache != baseResp.FromCache {
+				t.Errorf("annotations (cov=%v failed=%d cache=%v) differ from baseline (cov=%v failed=%d cache=%v)",
+					resp.Coverage, resp.Failed, resp.FromCache,
+					baseResp.Coverage, baseResp.Failed, baseResp.FromCache)
+			}
+			// The breakdown's integer counters are deterministic on a warm
+			// cache; the millisecond floats are wall-clock and excluded.
+			if resp.Breakdown.AtomsRead != baseResp.Breakdown.AtomsRead ||
+				resp.Breakdown.PointsExamined != baseResp.Breakdown.PointsExamined ||
+				resp.Breakdown.AtomsSkipped != baseResp.Breakdown.AtomsSkipped ||
+				resp.Breakdown.HaloAtoms != baseResp.Breakdown.HaloAtoms {
+				t.Errorf("breakdown counters differ from baseline: %+v vs %+v",
+					resp.Breakdown, baseResp.Breakdown)
+			}
+
+			pdf, err := user.GetPDF(ctx, nil, pq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pdf.Counts) != len(basePDF.Counts) {
+				t.Fatalf("pdf: %d bins, want %d", len(pdf.Counts), len(basePDF.Counts))
+			}
+			for i := range basePDF.Counts {
+				if pdf.Counts[i] != basePDF.Counts[i] {
+					t.Fatalf("pdf bin %d = %d, want %d", i, pdf.Counts[i], basePDF.Counts[i])
+				}
+			}
+
+			top, err := user.GetTopK(ctx, nil, kq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samePoints(t, "topk", top.Points, baseTop.Points)
+		})
+	}
+}
+
+// TestFrameNegotiationHeaders pins the negotiation contract at the HTTP
+// level: frames only when the client asks AND the server allows AND the
+// request is untraced; everything else answers JSON.
+func TestFrameNegotiationHeaders(t *testing.T) {
+	nodes, _ := startNodes(t, 1)
+	m := wireMediator(t, protoClients(nodes, ProtoJSON), false)
+	srv := httptest.NewServer(NewMediatorServer(m).Handler())
+	t.Cleanup(srv.Close)
+	jsonOnly := httptest.NewServer(NewMediatorServer(m, WithJSONOnly()).Handler())
+	t.Cleanup(jsonOnly.Close)
+
+	plain, err := json.Marshal(ThresholdRequestFor(wireChaosQuery()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracedReq := ThresholdRequestFor(wireChaosQuery())
+	tracedReq.Trace = true
+	traced, err := json.Marshal(tracedReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(url string, body []byte, accept string) string {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, url+PathThreshold, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d", url, resp.StatusCode)
+		}
+		return resp.Header.Get("Content-Type")
+	}
+
+	if ct := post(srv.URL, plain, ""); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("no Accept header → Content-Type %q, want JSON", ct)
+	}
+	if ct := post(srv.URL, plain, binproto.MediaType); !strings.HasPrefix(ct, binproto.MediaType) {
+		t.Errorf("frame Accept → Content-Type %q, want frames", ct)
+	}
+	if ct := post(jsonOnly.URL, plain, binproto.MediaType); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("JSON-only server ignored its policy: Content-Type %q", ct)
+	}
+	if ct := post(srv.URL, traced, binproto.MediaType); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("traced request negotiated frames: Content-Type %q (traces must ride JSON)", ct)
+	}
+}
+
+// TestDifferentialPartialCoverage kills one node's query path and compares
+// the AllowPartial answer across encodings: same surviving points, same
+// sub-unit coverage, same failure count.
+func TestDifferentialPartialCoverage(t *testing.T) {
+	ctx := context.Background()
+	run := func(p Proto) ([]query.ResultPoint, *ThresholdResponse) {
+		plan := faultinject.NewPlan(7, &faultinject.Rule{Match: PathThreshold, Mode: faultinject.ModeError})
+		nodes, _ := startNodes(t, 2)
+		ncs := protoClients(nodes, p)
+		ncs[1] = NewClient(baseURL(nodes[1]), WithProto(p),
+			WithTransport(faultinject.NewTransport(nil, plan)))
+		m := wireMediator(t, ncs, true)
+		srv := httptest.NewServer(NewMediatorServer(m).Handler())
+		t.Cleanup(srv.Close)
+		user := NewClient(srv.URL, WithProto(p))
+		pts, resp, err := user.ThresholdStats(ctx, wireChaosQuery(), false)
+		if err != nil {
+			t.Fatalf("proto %s: partial query failed: %v", p, err)
+		}
+		if plan.Fired() == 0 {
+			t.Fatalf("proto %s: fault plan never fired", p)
+		}
+		return pts, resp
+	}
+
+	jsonPts, jsonResp := run(ProtoJSON)
+	framePts, frameResp := run(ProtoFrame)
+
+	samePoints(t, "partial answer", framePts, jsonPts)
+	if len(framePts) == 0 {
+		t.Error("no points from the surviving node")
+	}
+	if frameResp.Coverage != jsonResp.Coverage || frameResp.Coverage <= 0 || frameResp.Coverage >= 1 {
+		t.Errorf("frame Coverage = %v, json Coverage = %v, want equal and in (0, 1)",
+			frameResp.Coverage, jsonResp.Coverage)
+	}
+	if frameResp.Failed != 1 || jsonResp.Failed != 1 {
+		t.Errorf("Failed = %d (frame) / %d (json), want 1 on both", frameResp.Failed, jsonResp.Failed)
+	}
+}
+
+// TestDifferentialReplicatedFailover runs the k=2 kill-the-primary scenario
+// with frame-proto node clients: the scan-restricted re-route rides the
+// binary encoding and the answer must stay complete and identical to the
+// healthy JSON cluster's.
+func TestDifferentialReplicatedFailover(t *testing.T) {
+	ctx := context.Background()
+	clients, ranges := startReplicatedNodes(t, 3)
+	want, _, err := wireMediator(t, clients, false).Threshold(ctx, nil, wireChaosQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference query returned nothing")
+	}
+
+	// k=2 ring topology: range i is owned by node i and its ring predecessor.
+	topo := mediator.Topology{Version: 1, Ranges: ranges, Owners: make([][]int, len(ranges))}
+	for i := range ranges {
+		topo.Owners[i] = []int{i, (i - 1 + len(ranges)) % len(ranges)}
+	}
+
+	plan := faultinject.NewPlan(7, &faultinject.Rule{Match: PathThreshold, Mode: faultinject.ModeError})
+	ncs := protoClients(clients, ProtoFrame)
+	mcs := make([]mediator.NodeClient, len(ncs))
+	for i, c := range ncs {
+		mcs[i] = c
+	}
+	mcs[1] = NewClient(baseURL(clients[1]), WithProto(ProtoFrame),
+		WithTransport(faultinject.NewTransport(nil, plan)))
+	m, err := mediator.New(mediator.Config{
+		Nodes: mcs, AllowPartial: true, Retry: fastRetryPolicy(),
+		Topology: &topo,
+		Members:  membership.NewTable(0, 1, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pts, stats, err := m.Threshold(ctx, nil, wireChaosQuery())
+	if err != nil {
+		t.Fatalf("replicated frame mediator failed despite a live replica: %v", err)
+	}
+	if stats.Coverage != 1 || stats.Partial() {
+		t.Fatalf("Coverage=%v Failures=%+v, want a complete failover answer", stats.Coverage, stats.Failures)
+	}
+	if stats.Reroutes == 0 {
+		t.Error("primary died but no range was rerouted")
+	}
+	samePoints(t, "failover answer", pts, want)
+}
+
+// TestDifferentialBatchFrames drives the node's shared-scan batch endpoint
+// over both encodings, including a rejected member, and compares the
+// results member by member.
+func TestDifferentialBatchFrames(t *testing.T) {
+	ctx := context.Background()
+	nodes, _ := startNodes(t, 1)
+	qs := []query.Threshold{
+		{Dataset: "mhd", Field: derived.Current, Threshold: 1.0},
+		{Dataset: "mhd", Field: derived.Current, Threshold: 0, Limit: 10}, // rejected member
+		{Dataset: "mhd", Field: derived.Current, Threshold: 2.5},
+	}
+	jc := nodes[0]
+	fc := NewClient(baseURL(nodes[0]), WithProto(ProtoFrame))
+
+	// Warm once so the cache annotations agree between the two runs.
+	if _, err := jc.GetThresholdBatch(ctx, nil, qs); err != nil {
+		t.Fatal(err)
+	}
+	jres, err := jc.GetThresholdBatch(ctx, nil, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := fc.GetThresholdBatch(ctx, nil, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fres.AtomsScanned != jres.AtomsScanned {
+		t.Errorf("AtomsScanned = %d over frames, %d over JSON", fres.AtomsScanned, jres.AtomsScanned)
+	}
+	for i := range qs {
+		if (jres.Errs[i] == nil) != (fres.Errs[i] == nil) {
+			t.Fatalf("member %d: json err=%v, frame err=%v", i, jres.Errs[i], fres.Errs[i])
+		}
+		if jres.Errs[i] != nil {
+			var jm, fm *query.ErrTooManyPoints
+			if !errors.As(jres.Errs[i], &jm) || !errors.As(fres.Errs[i], &fm) {
+				t.Fatalf("member %d: rejection not typed on both paths: %v / %v", i, jres.Errs[i], fres.Errs[i])
+			}
+			if jm.Seen != fm.Seen || jm.Limit != fm.Limit {
+				t.Errorf("member %d: rejection details differ: %+v vs %+v", i, jm, fm)
+			}
+			continue
+		}
+		jr, fr := jres.Results[i], fres.Results[i]
+		samePoints(t, "batch member", fr.Points, jr.Points)
+		if fr.FromCache != jr.FromCache || fr.Shared != jr.Shared || fr.ScansSaved != jr.ScansSaved {
+			t.Errorf("member %d annotations differ: frame {cache=%v shared=%d saved=%d} json {cache=%v shared=%d saved=%d}",
+				i, fr.FromCache, fr.Shared, fr.ScansSaved, jr.FromCache, jr.Shared, jr.ScansSaved)
+		}
+	}
+
+	// A single-member all-rejected batch must stay a member error (End
+	// frame Items=1), not collapse into a whole-request failure.
+	solo, err := fc.GetThresholdBatch(ctx, nil, qs[1:2])
+	if err != nil {
+		t.Fatalf("single rejected member failed the whole batch: %v", err)
+	}
+	var tooMany *query.ErrTooManyPoints
+	if !errors.As(solo.Errs[0], &tooMany) {
+		t.Fatalf("solo member error = %v, want typed ErrTooManyPoints", solo.Errs[0])
+	}
+}
+
+// TestFrameTypedErrors checks failures negotiated onto the frame encoding
+// come back as the same typed domain errors the JSON path produces, with
+// the server's retry class attached.
+func TestFrameTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	nodes, _ := startNodes(t, 1)
+	fc := NewClient(baseURL(nodes[0]), WithProto(ProtoFrame))
+
+	// threshold_too_low over frames: typed, sentinel-matching, detailed.
+	_, err := fc.GetThreshold(ctx, nil, query.Threshold{
+		Dataset: "mhd", Field: derived.Magnetic, Threshold: 0, Limit: 10,
+	})
+	var tooMany *query.ErrTooManyPoints
+	if !errors.As(err, &tooMany) {
+		t.Fatalf("err = %v, want typed ErrTooManyPoints", err)
+	}
+	if !errors.Is(err, query.ErrThresholdTooLow) {
+		t.Error("typed error lost over the frame encoding")
+	}
+	if tooMany.Limit != 10 || tooMany.Seen <= 10 {
+		t.Errorf("rejection details = %+v, want Limit 10 and Seen > 10", tooMany)
+	}
+
+	// over_quota over frames: typed, transient, detail-preserving.
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeNegotiatedError(w, acceptsFrames(r), &sched.ErrOverQuota{Tenant: "batch", Queued: 64, Limit: 64})
+	}))
+	t.Cleanup(shed.Close)
+	sc := NewClient(shed.URL, WithProto(ProtoFrame))
+	err = sc.exchange(ctx, PathThreshold, ThresholdRequest{}, nil, true)
+	var oq *sched.ErrOverQuota
+	if !errors.As(err, &oq) {
+		t.Fatalf("err = %v, want typed ErrOverQuota", err)
+	}
+	if oq.Tenant != "batch" || oq.Queued != 64 || oq.Limit != 64 {
+		t.Errorf("shed details lost over frames: %+v", oq)
+	}
+	if !faulttol.Transient(err) {
+		t.Error("over-quota shed must classify transient over frames")
+	}
+
+	// Errors without a dedicated kind carry their class explicitly: the
+	// client-side classification equals the server's, no status heuristic.
+	for _, tc := range []struct {
+		name      string
+		err       error
+		transient bool
+	}{
+		{"transient", faulttol.Transientf("node melting"), true},
+		{"permanent", errors.New("bad geometry"), false},
+	} {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			writeFrameError(w, tc.err)
+		}))
+		c := NewClient(srv.URL, WithProto(ProtoFrame))
+		err := c.exchange(ctx, PathThreshold, ThresholdRequest{}, nil, true)
+		srv.Close()
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: err = %v, want RemoteError", tc.name, err)
+		}
+		if faulttol.Transient(err) != tc.transient {
+			t.Errorf("%s: Transient() = %v, want %v (class must survive the wire)",
+				tc.name, faulttol.Transient(err), tc.transient)
+		}
+	}
+}
+
+// TestFrameStreamErrorClassification pins the decoder's retry taxonomy: a
+// stream cut at a frame boundary (connection died) is transient, while a
+// malformed stream (corruption, version skew) is permanent.
+func TestFrameStreamErrorClassification(t *testing.T) {
+	var cut bytes.Buffer
+	bw := binproto.NewWriter(&cut)
+	if err := bw.Points([]uint64{1, 2, 3}, []float32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// No stats or end frame: the stream just stops.
+	err := decodeFrames(PathThreshold, &cut, &ThresholdResponse{})
+	if err == nil || !faulttol.Transient(err) {
+		t.Errorf("truncated-at-boundary err = %v, want transient (retry reaches a healthy stream)", err)
+	}
+
+	err = decodeFrames(PathThreshold, strings.NewReader("not a frame stream"), &ThresholdResponse{})
+	var ferr *binproto.FormatError
+	if !errors.As(err, &ferr) {
+		t.Fatalf("malformed stream err = %v, want FormatError", err)
+	}
+	if faulttol.Transient(err) {
+		t.Error("malformed stream classified transient; retrying corruption is useless")
+	}
+}

@@ -1,0 +1,604 @@
+// Package binproto implements v1 of the turbdb binary streaming wire
+// format: the length-prefixed frame encoding that carries query results
+// between mediator, nodes and users when both ends negotiate
+// Content-Type: application/x-turbdb-frame (the JSON v1 shapes remain the
+// debug/compat encoding).
+//
+// A stream is a 4-byte magic ("TBF" + version byte) followed by frames:
+//
+//	frame   := length(uint32 LE) type(1 byte) payload
+//	length  counts the type byte plus the payload, and is capped by
+//	MaxFrameBytes so a corrupt prefix can never force an unbounded
+//	allocation.
+//
+// Result points travel columnar: a points frame holds up to MaxChunk
+// codes as zigzag-varint deltas (per-node results are Morton-sorted, so
+// deltas are small and positive) followed by the packed little-endian
+// float32 value plane. Large results are chunked across many points
+// frames, so neither encoder nor decoder ever holds the full encoded
+// body; a stats (or error) frame closes each logical result and an end
+// frame closes the stream. Shared-scan batch responses reuse the same
+// vocabulary — one points*+stats (or error) group per batch member, in
+// request order, then the end frame carrying the member count.
+//
+// The layout is pinned byte-for-byte by the golden fixtures in testdata/
+// (the binary analogue of the //turbdb:wire-baseline directives freezing
+// the JSON shapes): any change to this file that alters encoded bytes
+// fails TestGoldenFrames loudly. Decoding is strict — unknown frame
+// types, unknown flag bits, trailing payload bytes and truncated streams
+// are all errors, never panics (FuzzFrameDecode enforces this).
+package binproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MediaType is the content type of a v1 frame stream, used for request
+// negotiation (Accept) and response labeling (Content-Type).
+const MediaType = "application/x-turbdb-frame"
+
+// Version is the frame-format version carried in the stream magic.
+const Version = 1
+
+// magic opens every stream: "TBF" plus the version byte.
+var magic = [4]byte{'T', 'B', 'F', Version}
+
+const (
+	// MaxFrameBytes caps the declared length of a single frame. A decoder
+	// never allocates more than this for one frame, no matter what the
+	// length prefix claims.
+	MaxFrameBytes = 1 << 24
+	// MaxChunk caps the points (and PDF counts) per frame. Encoders split
+	// larger results across frames; decoders reject bigger declared counts
+	// before allocating.
+	MaxChunk = 8192
+)
+
+// Frame type bytes. New frame types append to this list and require a
+// golden fixture plus fuzz seeds (see CONTRIBUTING.md).
+const (
+	TypePoints byte = 0x01
+	TypeStats  byte = 0x02
+	TypeCounts byte = 0x03
+	TypeError  byte = 0x04
+	TypeEnd    byte = 0x05
+)
+
+// Class is the retry class an error frame carries end-to-end, so a
+// binary client classifies failures exactly as the server did instead of
+// inferring a class from an HTTP status.
+type Class byte
+
+// Error classes (the faulttol vocabulary plus the scheduler's typed
+// admission rejection).
+const (
+	ClassPermanent Class = 0
+	ClassTransient Class = 1
+	ClassOverQuota Class = 2
+)
+
+// Points is one columnar chunk of result points: parallel code and value
+// planes of equal length.
+type Points struct {
+	Codes  []uint64
+	Values []float32
+}
+
+// Stats closes one logical result: the flags and accounting of a
+// threshold/PDF/top-k response (the binary form of the JSON response
+// envelope minus the points, which travel in their own frames).
+type Stats struct {
+	FromCache  bool
+	SharedScan bool
+
+	// Breakdown phases in milliseconds, mirroring BreakdownDTO.
+	CacheLookupMS  float64
+	IOMS           float64
+	ComputeMS      float64
+	CacheUpdateMS  float64
+	TotalMS        float64
+	AtomsRead      int
+	HaloAtoms      int
+	PointsExamined int
+	AtomsSkipped   int
+
+	Coverage    float64
+	Failed      int
+	QueueWaitMS float64
+	ScansSaved  int
+	// Shared is the batch-member share count (shared-scan batches only).
+	Shared int
+}
+
+// Counts is one chunk of PDF histogram bins.
+type Counts struct {
+	Counts []int64
+}
+
+// ErrorFrame is a typed failure: either the whole request's (solo
+// responses) or one batch member's. Kind carries the domain-error
+// vocabulary of the JSON ErrorResponse ("threshold_too_low",
+// "over_quota", "unavailable"); Class carries the retry class.
+type ErrorFrame struct {
+	Class  Class
+	Kind   string
+	Msg    string
+	Tenant string
+	Seen   int
+	Limit  int
+}
+
+// End closes a stream: the number of logical results (stats or error
+// frames) that preceded it — a cheap integrity check — and the batch-wide
+// physical scan count (shared-scan batches only).
+type End struct {
+	Items        int
+	AtomsScanned int
+}
+
+// FormatError is a frame-format violation (bad magic, corrupt length,
+// unknown type, truncated payload). It is permanent: re-sending the same
+// bytes cannot help.
+type FormatError struct {
+	msg string
+}
+
+// Error implements error.
+func (e *FormatError) Error() string { return "binproto: " + e.msg }
+
+// Transient classifies format violations as non-retryable.
+func (e *FormatError) Transient() bool { return false }
+
+func errf(format string, args ...any) error {
+	return &FormatError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Writer encodes a frame stream. The magic is emitted before the first
+// frame; the caller is responsible for ending the stream with End. Not
+// safe for concurrent use.
+type Writer struct {
+	w       io.Writer
+	started bool
+	buf     []byte
+	frames  int
+	chunks  int
+	bytes   int
+}
+
+// NewWriter returns a Writer encoding to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// BytesWritten returns the stream bytes emitted so far (magic + frames).
+func (w *Writer) BytesWritten() int { return w.bytes }
+
+// Frames returns the number of frames emitted so far.
+func (w *Writer) Frames() int { return w.frames }
+
+// Chunks returns the number of points/counts chunk frames emitted so far.
+func (w *Writer) Chunks() int { return w.chunks }
+
+// grow returns a zero-length scratch slice with at least n capacity,
+// reusing the writer's buffer across frames.
+func (w *Writer) grow(n int) []byte {
+	if cap(w.buf) < n {
+		w.buf = make([]byte, 0, n)
+	}
+	return w.buf[:0]
+}
+
+// writeFrame emits one frame (length prefix, type byte, payload).
+func (w *Writer) writeFrame(typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrameBytes {
+		return errf("frame payload %d bytes exceeds MaxFrameBytes", len(payload))
+	}
+	if !w.started {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("binproto: writing magic: %w", err)
+		}
+		w.bytes += len(magic)
+		w.started = true
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("binproto: writing frame header: %w", err)
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return fmt.Errorf("binproto: writing frame payload: %w", err)
+	}
+	w.frames++
+	w.bytes += len(hdr) + len(payload)
+	return nil
+}
+
+// Points emits the result points as one or more columnar chunk frames of
+// at most MaxChunk points each. Zero points emit no frame at all: the
+// closing stats frame alone means an empty result.
+func (w *Writer) Points(codes []uint64, values []float32) error {
+	if len(codes) != len(values) {
+		return errf("points planes disagree: %d codes, %d values", len(codes), len(values))
+	}
+	for len(codes) > 0 {
+		n := len(codes)
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		if err := w.pointsChunk(codes[:n], values[:n]); err != nil {
+			return err
+		}
+		codes, values = codes[n:], values[n:]
+	}
+	return nil
+}
+
+// pointsChunk encodes one chunk: uvarint count, count zigzag-varint code
+// deltas (the first delta is from zero), then the packed float32 plane.
+// Deltas use wraparound uint64 arithmetic, so unsorted codes (top-k
+// results are value-ordered) still round-trip exactly.
+func (w *Writer) pointsChunk(codes []uint64, values []float32) error {
+	buf := w.grow(binary.MaxVarintLen64*(len(codes)+1) + 4*len(codes))
+	buf = binary.AppendUvarint(buf, uint64(len(codes)))
+	prev := uint64(0)
+	for _, c := range codes {
+		buf = binary.AppendVarint(buf, int64(c-prev))
+		prev = c
+	}
+	for _, v := range values {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	w.buf = buf
+	w.chunks++
+	return w.writeFrame(TypePoints, buf)
+}
+
+// Stats emits the stats frame closing one logical result.
+func (w *Writer) Stats(s Stats) error {
+	buf := w.grow(128)
+	var flags byte
+	if s.FromCache {
+		flags |= 1
+	}
+	if s.SharedScan {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	for _, f := range [...]float64{s.CacheLookupMS, s.IOMS, s.ComputeMS, s.CacheUpdateMS, s.TotalMS} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	for _, n := range [...]int{s.AtomsRead, s.HaloAtoms, s.PointsExamined, s.AtomsSkipped} {
+		buf = binary.AppendVarint(buf, int64(n))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Coverage))
+	buf = binary.AppendVarint(buf, int64(s.Failed))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.QueueWaitMS))
+	buf = binary.AppendVarint(buf, int64(s.ScansSaved))
+	buf = binary.AppendVarint(buf, int64(s.Shared))
+	w.buf = buf
+	return w.writeFrame(TypeStats, buf)
+}
+
+// Counts emits PDF histogram bins as one or more chunk frames of at most
+// MaxChunk bins each.
+func (w *Writer) Counts(counts []int64) error {
+	for len(counts) > 0 {
+		n := len(counts)
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		buf := w.grow(binary.MaxVarintLen64 * (n + 1))
+		buf = binary.AppendUvarint(buf, uint64(n))
+		for _, c := range counts[:n] {
+			buf = binary.AppendVarint(buf, c)
+		}
+		w.buf = buf
+		w.chunks++
+		if err := w.writeFrame(TypeCounts, buf); err != nil {
+			return err
+		}
+		counts = counts[n:]
+	}
+	return nil
+}
+
+// Error emits a typed error frame.
+func (w *Writer) Error(e ErrorFrame) error {
+	if e.Class > ClassOverQuota {
+		return errf("unknown error class %d", e.Class)
+	}
+	buf := w.grow(32 + len(e.Kind) + len(e.Msg) + len(e.Tenant))
+	buf = append(buf, byte(e.Class))
+	for _, s := range [...]string{e.Kind, e.Msg, e.Tenant} {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.AppendVarint(buf, int64(e.Seen))
+	buf = binary.AppendVarint(buf, int64(e.Limit))
+	w.buf = buf
+	return w.writeFrame(TypeError, buf)
+}
+
+// End emits the stream-closing end frame.
+func (w *Writer) End(e End) error {
+	buf := w.grow(2 * binary.MaxVarintLen64)
+	buf = binary.AppendVarint(buf, int64(e.Items))
+	buf = binary.AppendVarint(buf, int64(e.AtomsScanned))
+	w.buf = buf
+	return w.writeFrame(TypeEnd, buf)
+}
+
+// Reader decodes a frame stream. Next returns io.EOF at a clean
+// stream end (after a complete frame); callers enforce that the last
+// decoded frame was an End. Not safe for concurrent use.
+type Reader struct {
+	r       io.Reader
+	started bool
+	payload bytes.Buffer
+	bytes   int
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// BytesRead returns the stream bytes consumed so far.
+func (r *Reader) BytesRead() int { return r.bytes }
+
+// Next decodes the next frame, returning *Points, *Stats, *Counts,
+// *ErrorFrame or *End. At a clean end of input it returns io.EOF; a
+// stream truncated mid-frame returns a FormatError. Decoded slices and
+// strings are freshly allocated and remain valid after further calls.
+func (r *Reader) Next() (any, error) {
+	if !r.started {
+		var m [4]byte
+		if _, err := io.ReadFull(r.r, m[:]); err != nil {
+			return nil, errf("reading magic: %v", err)
+		}
+		if m != magic {
+			return nil, errf("bad magic %x (want %x)", m, magic)
+		}
+		r.started = true
+		r.bytes += len(m)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errf("reading frame length: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameBytes {
+		return nil, errf("frame length %d out of range (1..%d)", n, MaxFrameBytes)
+	}
+	// CopyN grows the buffer only as bytes actually arrive, so a corrupt
+	// length prefix on a truncated stream never allocates the claimed size.
+	r.payload.Reset()
+	if _, err := io.CopyN(&r.payload, r.r, int64(n)); err != nil {
+		return nil, errf("frame truncated: declared %d bytes: %v", n, err)
+	}
+	r.bytes += len(hdr) + int(n)
+	p := payload{b: r.payload.Bytes()}
+	typ, err := p.byte()
+	if err != nil {
+		return nil, err
+	}
+	var frame any
+	switch typ {
+	case TypePoints:
+		frame, err = decodePoints(&p)
+	case TypeStats:
+		frame, err = decodeStats(&p)
+	case TypeCounts:
+		frame, err = decodeCounts(&p)
+	case TypeError:
+		frame, err = decodeError(&p)
+	case TypeEnd:
+		frame, err = decodeEnd(&p)
+	default:
+		return nil, errf("unknown frame type 0x%02x", typ)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.off != len(p.b) {
+		return nil, errf("frame type 0x%02x has %d trailing payload bytes", typ, len(p.b)-p.off)
+	}
+	return frame, nil
+}
+
+// payload is a strict cursor over one frame's payload bytes.
+type payload struct {
+	b   []byte
+	off int
+}
+
+func (p *payload) byte() (byte, error) {
+	if p.off >= len(p.b) {
+		return 0, errf("payload truncated reading byte")
+	}
+	b := p.b[p.off]
+	p.off++
+	return b, nil
+}
+
+func (p *payload) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		return 0, errf("payload truncated or overlong uvarint")
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payload) varint() (int64, error) {
+	v, n := binary.Varint(p.b[p.off:])
+	if n <= 0 {
+		return 0, errf("payload truncated or overlong varint")
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payload) f64() (float64, error) {
+	if p.off+8 > len(p.b) {
+		return 0, errf("payload truncated reading float64")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p.b[p.off:]))
+	p.off += 8
+	return v, nil
+}
+
+func (p *payload) str() (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(p.b)-p.off) {
+		return "", errf("string length %d exceeds remaining payload %d", n, len(p.b)-p.off)
+	}
+	s := string(p.b[p.off : p.off+int(n)])
+	p.off += int(n)
+	return s, nil
+}
+
+// intField decodes a varint-encoded int field, rejecting values outside
+// the int range on 32-bit builds.
+func (p *payload) intField() (int, error) {
+	v, err := p.varint()
+	if err != nil {
+		return 0, err
+	}
+	if int64(int(v)) != v {
+		return 0, errf("integer field %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+func decodePoints(p *payload) (*Points, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxChunk {
+		return nil, errf("points chunk declares %d points (max %d)", n, MaxChunk)
+	}
+	// The value plane needs 4 bytes per point and each delta at least one:
+	// reject impossible counts before allocating.
+	if uint64(len(p.b)-p.off) < 5*n {
+		return nil, errf("points chunk declares %d points but has %d payload bytes", n, len(p.b)-p.off)
+	}
+	f := &Points{Codes: make([]uint64, n), Values: make([]float32, n)}
+	prev := uint64(0)
+	for i := range f.Codes {
+		d, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += uint64(d)
+		f.Codes[i] = prev
+	}
+	for i := range f.Values {
+		if p.off+4 > len(p.b) {
+			return nil, errf("points value plane truncated at %d of %d", i, n)
+		}
+		f.Values[i] = math.Float32frombits(binary.LittleEndian.Uint32(p.b[p.off:]))
+		p.off += 4
+	}
+	return f, nil
+}
+
+func decodeStats(p *payload) (*Stats, error) {
+	flags, err := p.byte()
+	if err != nil {
+		return nil, err
+	}
+	if flags > 3 {
+		return nil, errf("stats frame has unknown flag bits 0x%02x", flags)
+	}
+	s := &Stats{FromCache: flags&1 != 0, SharedScan: flags&2 != 0}
+	for _, dst := range [...]*float64{&s.CacheLookupMS, &s.IOMS, &s.ComputeMS, &s.CacheUpdateMS, &s.TotalMS} {
+		if *dst, err = p.f64(); err != nil {
+			return nil, err
+		}
+	}
+	for _, dst := range [...]*int{&s.AtomsRead, &s.HaloAtoms, &s.PointsExamined, &s.AtomsSkipped} {
+		if *dst, err = p.intField(); err != nil {
+			return nil, err
+		}
+	}
+	if s.Coverage, err = p.f64(); err != nil {
+		return nil, err
+	}
+	if s.Failed, err = p.intField(); err != nil {
+		return nil, err
+	}
+	if s.QueueWaitMS, err = p.f64(); err != nil {
+		return nil, err
+	}
+	if s.ScansSaved, err = p.intField(); err != nil {
+		return nil, err
+	}
+	if s.Shared, err = p.intField(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func decodeCounts(p *payload) (*Counts, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxChunk {
+		return nil, errf("counts chunk declares %d bins (max %d)", n, MaxChunk)
+	}
+	if uint64(len(p.b)-p.off) < n {
+		return nil, errf("counts chunk declares %d bins but has %d payload bytes", n, len(p.b)-p.off)
+	}
+	f := &Counts{Counts: make([]int64, n)}
+	for i := range f.Counts {
+		if f.Counts[i], err = p.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func decodeError(p *payload) (*ErrorFrame, error) {
+	cls, err := p.byte()
+	if err != nil {
+		return nil, err
+	}
+	if Class(cls) > ClassOverQuota {
+		return nil, errf("unknown error class %d", cls)
+	}
+	e := &ErrorFrame{Class: Class(cls)}
+	for _, dst := range [...]*string{&e.Kind, &e.Msg, &e.Tenant} {
+		if *dst, err = p.str(); err != nil {
+			return nil, err
+		}
+	}
+	if e.Seen, err = p.intField(); err != nil {
+		return nil, err
+	}
+	if e.Limit, err = p.intField(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func decodeEnd(p *payload) (*End, error) {
+	e := &End{}
+	var err error
+	if e.Items, err = p.intField(); err != nil {
+		return nil, err
+	}
+	if e.AtomsScanned, err = p.intField(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"github.com/turbdb/turbdb/internal/query"
 	"github.com/turbdb/turbdb/internal/sched"
 	"github.com/turbdb/turbdb/internal/sim"
+	"github.com/turbdb/turbdb/internal/wire/binproto"
 )
 
 // startRPC opens a client-side span for one RPC and stamps the outgoing
@@ -66,6 +68,18 @@ func (e *StatusError) Transient() bool {
 	return e.Status >= 500 || e.Status == http.StatusTooManyRequests || e.Status == http.StatusRequestTimeout
 }
 
+// sharedTransport is the default round tripper of every Client: one
+// process-wide pool, sized so a mediator fanning out to dozens of nodes
+// reuses connections instead of redialing per query (the stdlib default
+// keeps only 2 idle conns per host). Frame responses are drained through
+// their End frame, so the conns actually go back to the pool.
+var sharedTransport http.RoundTripper = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 32,
+	IdleConnTimeout:     90 * time.Second,
+}
+
 // Client talks to a node or mediator service. A client pointed at a node
 // service satisfies mediator.NodeClient and node.PeerFetcher, so a mediator
 // can be assembled over remote nodes and remote nodes can exchange halos.
@@ -74,6 +88,7 @@ type Client struct {
 	base       string
 	http       *http.Client
 	reqTimeout time.Duration
+	proto      Proto
 
 	//turbdb:lockrank wire.client 50
 	mu   sync.Mutex
@@ -101,8 +116,9 @@ func WithTransport(rt http.RoundTripper) ClientOption {
 func NewClient(base string, opts ...ClientOption) *Client {
 	c := &Client{
 		base:       base,
-		http:       &http.Client{},
+		http:       &http.Client{Transport: sharedTransport},
 		reqTimeout: DefaultRequestTimeout,
+		proto:      ProtoJSON,
 	}
 	for _, o := range opts {
 		o(c)
@@ -129,9 +145,24 @@ func drainClose(body io.ReadCloser) {
 	_ = body.Close()                                               //lint:allow droppederr close error on a read body is unactionable
 }
 
-// call POSTs req and decodes the response into resp, honoring ctx for
-// cancellation and deadline.
+// call POSTs req and decodes the JSON response into resp, honoring ctx
+// for cancellation and deadline.
 func (c *Client) call(ctx context.Context, path string, req, resp interface{}) error {
+	return c.exchange(ctx, path, req, resp, false)
+}
+
+// frameEligible reports whether a query RPC may negotiate the frame
+// encoding: the client is in frame mode and the request is untraced
+// (frames carry no span trees; traced requests ride JSON).
+func (c *Client) frameEligible(traceID string, mint bool) bool {
+	return c.proto == ProtoFrame && traceID == "" && !mint
+}
+
+// exchange POSTs req and decodes the response into resp. With frames set
+// it offers the binary frame encoding (Accept header) and dispatches on
+// the response Content-Type, so a JSON-only server transparently falls
+// back to the JSON path.
+func (c *Client) exchange(ctx context.Context, path string, req, resp interface{}, frames bool) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("wire: marshal: %w", err)
@@ -143,11 +174,18 @@ func (c *Client) call(ctx context.Context, path string, req, resp interface{}) e
 		return fmt.Errorf("wire: %s: %w", path, err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if frames {
+		httpReq.Header.Set("Accept", binproto.MediaType)
+	}
 	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("wire: %s: %w", path, err)
 	}
 	defer drainClose(httpResp.Body)
+	if frames && httpResp.StatusCode == http.StatusOK &&
+		strings.HasPrefix(httpResp.Header.Get("Content-Type"), binproto.MediaType) {
+		return decodeFrames(path, httpResp.Body, resp)
+	}
 	if httpResp.StatusCode != http.StatusOK {
 		data, err := io.ReadAll(io.LimitReader(httpResp.Body, maxErrorBody))
 		if err != nil {
@@ -166,8 +204,15 @@ func (c *Client) call(ctx context.Context, path string, req, resp interface{}) e
 		return &StatusError{Path: path, Status: httpResp.StatusCode}
 	}
 	if resp != nil {
-		if err := json.NewDecoder(httpResp.Body).Decode(resp); err != nil {
+		start := time.Now()
+		cr := &countingReader{r: httpResp.Body}
+		if err := json.NewDecoder(cr).Decode(resp); err != nil {
 			return fmt.Errorf("wire: %s: decode: %w", path, err)
+		}
+		if n := pointCount(resp); n >= 0 {
+			mDecNSJSON.Add(time.Since(start).Nanoseconds())
+			mDecPointsJSON.Add(int64(n))
+			mDecBytesJSON.Add(int64(cr.n))
 		}
 	}
 	return nil
@@ -240,7 +285,7 @@ func (c *Client) GetThreshold(ctx context.Context, _ *sim.Proc, q query.Threshol
 	ctx, sp := startRPC(ctx, &req.TraceID, PathThreshold)
 	defer sp.End()
 	var resp ThresholdResponse
-	if err := c.call(ctx, PathThreshold, req, &resp); err != nil {
+	if err := c.exchange(ctx, PathThreshold, req, &resp, c.frameEligible(req.TraceID, req.Trace)); err != nil {
 		return nil, err
 	}
 	sp.Graft(SpansFromDTO(resp.Spans))
@@ -263,7 +308,7 @@ func (c *Client) GetThresholdBatch(ctx context.Context, _ *sim.Proc, qs []query.
 	ctx, sp := startRPC(ctx, &req.TraceID, PathThresholdBatch)
 	defer sp.End()
 	var resp ThresholdBatchResponse
-	if err := c.call(ctx, PathThresholdBatch, req, &resp); err != nil {
+	if err := c.exchange(ctx, PathThresholdBatch, req, &resp, c.frameEligible(req.TraceID, false)); err != nil {
 		return nil, err
 	}
 	if len(resp.Items) != len(qs) {
@@ -301,7 +346,7 @@ func (c *Client) GetPDF(ctx context.Context, _ *sim.Proc, q query.PDF) (*node.PD
 	ctx, sp := startRPC(ctx, &req.TraceID, PathPDF)
 	defer sp.End()
 	var resp PDFResponse
-	if err := c.call(ctx, PathPDF, req, &resp); err != nil {
+	if err := c.exchange(ctx, PathPDF, req, &resp, c.frameEligible(req.TraceID, req.Trace)); err != nil {
 		return nil, err
 	}
 	sp.Graft(SpansFromDTO(resp.Spans))
@@ -314,7 +359,7 @@ func (c *Client) GetTopK(ctx context.Context, _ *sim.Proc, q query.TopK) (*node.
 	ctx, sp := startRPC(ctx, &req.TraceID, PathTopK)
 	defer sp.End()
 	var resp TopKResponse
-	if err := c.call(ctx, PathTopK, req, &resp); err != nil {
+	if err := c.exchange(ctx, PathTopK, req, &resp, c.frameEligible(req.TraceID, req.Trace)); err != nil {
 		return nil, err
 	}
 	sp.Graft(SpansFromDTO(resp.Spans))
@@ -329,7 +374,7 @@ func (c *Client) ThresholdStats(ctx context.Context, q query.Threshold, trace bo
 	req := ThresholdRequestFor(q)
 	req.Trace = trace
 	var resp ThresholdResponse
-	if err := c.call(ctx, PathThreshold, req, &resp); err != nil {
+	if err := c.exchange(ctx, PathThreshold, req, &resp, c.frameEligible("", trace)); err != nil {
 		return nil, nil, err
 	}
 	return fromDTO(resp.Points), &resp, nil

@@ -113,11 +113,18 @@ func post(h http.HandlerFunc) http.HandlerFunc {
 // the evaluation server-side instead of burning the node's workers on an
 // answer nobody will read.
 type NodeServer struct {
-	n *node.Node
+	n   *node.Node
+	cfg serverConfig
 }
 
 // NewNodeServer wraps a node.
-func NewNodeServer(n *node.Node) *NodeServer { return &NodeServer{n: n} }
+func NewNodeServer(n *node.Node, opts ...ServerOption) *NodeServer {
+	s := &NodeServer{n: n}
+	for _, o := range opts {
+		o(&s.cfg)
+	}
+	return s
+}
 
 // Handler returns the node's HTTP mux.
 func (s *NodeServer) Handler() http.Handler {
@@ -136,24 +143,31 @@ func (s *NodeServer) Handler() http.Handler {
 func (s *NodeServer) handleThreshold(w http.ResponseWriter, r *http.Request) {
 	var req ThresholdRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.cfg.fail(w, r, err)
 		return
 	}
+	frames := s.cfg.wantFrames(r, req.TraceID, req.Trace)
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
 	ctx, sp := obs.StartSpan(ctx, "threshold")
 	res, err := s.n.GetThreshold(ctx, nil, req.ToQuery())
 	sp.End()
 	if err != nil {
-		writeError(w, err)
+		writeNegotiatedError(w, frames, err)
 		return
 	}
 	obs.Traces().Record(tr)
-	writeJSON(w, ThresholdResponse{
+	if frames {
+		st := statsForBreakdown(res.Breakdown)
+		st.FromCache = res.FromCache
+		writeSoloFrames(w, res.Points, nil, st)
+		return
+	}
+	writeQueryJSON(w, ThresholdResponse{
 		Points: toDTO(res.Points), FromCache: res.FromCache,
 		Breakdown: breakdownToDTO(res.Breakdown),
 		Spans:     SpansToDTO(tr.Spans()),
 		Trace:     traceDTOFor(tr, req.Trace),
-	})
+	}, len(res.Points))
 }
 
 // handleThresholdBatch serves a shared-scan batch: one evaluation pass over
@@ -164,22 +178,27 @@ func (s *NodeServer) handleThreshold(w http.ResponseWriter, r *http.Request) {
 func (s *NodeServer) handleThresholdBatch(w http.ResponseWriter, r *http.Request) {
 	var req ThresholdBatchRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.cfg.fail(w, r, err)
 		return
 	}
 	qs := make([]query.Threshold, len(req.Queries))
 	for i, qr := range req.Queries {
 		qs[i] = qr.ToQuery()
 	}
+	frames := s.cfg.wantFrames(r, req.TraceID, false)
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, false)
 	ctx, sp := obs.StartSpan(ctx, "threshold_batch")
 	res, err := s.n.GetThresholdBatch(ctx, nil, qs)
 	sp.End()
 	if err != nil {
-		writeError(w, err)
+		writeNegotiatedError(w, frames, err)
 		return
 	}
 	obs.Traces().Record(tr)
+	if frames {
+		writeBatchFrames(w, res)
+		return
+	}
 	resp := ThresholdBatchResponse{
 		Items:        make([]BatchItemDTO, len(res.Results)),
 		AtomsScanned: res.AtomsScanned,
@@ -204,49 +223,63 @@ func (s *NodeServer) handleThresholdBatch(w http.ResponseWriter, r *http.Request
 			ScansSaved: rr.ScansSaved,
 		}
 	}
-	writeJSON(w, resp)
+	points := 0
+	for _, item := range resp.Items {
+		points += len(item.Points)
+	}
+	writeQueryJSON(w, resp, points)
 }
 
 func (s *NodeServer) handlePDF(w http.ResponseWriter, r *http.Request) {
 	var req PDFRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.cfg.fail(w, r, err)
 		return
 	}
+	frames := s.cfg.wantFrames(r, req.TraceID, req.Trace)
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
 	ctx, sp := obs.StartSpan(ctx, "pdf")
 	res, err := s.n.GetPDF(ctx, nil, req.ToQuery())
 	sp.End()
 	if err != nil {
-		writeError(w, err)
+		writeNegotiatedError(w, frames, err)
 		return
 	}
 	obs.Traces().Record(tr)
-	writeJSON(w, PDFResponse{
+	if frames {
+		writeSoloFrames(w, nil, res.Counts, statsForBreakdown(res.Breakdown))
+		return
+	}
+	writeQueryJSON(w, PDFResponse{
 		Counts: res.Counts, Breakdown: breakdownToDTO(res.Breakdown),
 		Spans: SpansToDTO(tr.Spans()), Trace: traceDTOFor(tr, req.Trace),
-	})
+	}, len(res.Counts))
 }
 
 func (s *NodeServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req TopKRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.cfg.fail(w, r, err)
 		return
 	}
+	frames := s.cfg.wantFrames(r, req.TraceID, req.Trace)
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
 	ctx, sp := obs.StartSpan(ctx, "topk")
 	res, err := s.n.GetTopK(ctx, nil, req.ToQuery())
 	sp.End()
 	if err != nil {
-		writeError(w, err)
+		writeNegotiatedError(w, frames, err)
 		return
 	}
 	obs.Traces().Record(tr)
-	writeJSON(w, TopKResponse{
+	if frames {
+		writeSoloFrames(w, res.Points, nil, statsForBreakdown(res.Breakdown))
+		return
+	}
+	writeQueryJSON(w, TopKResponse{
 		Points: toDTO(res.Points), Breakdown: breakdownToDTO(res.Breakdown),
 		Spans: SpansToDTO(tr.Spans()), Trace: traceDTOFor(tr, req.Trace),
-	})
+	}, len(res.Points))
 }
 
 func (s *NodeServer) handleAtoms(w http.ResponseWriter, r *http.Request) {
@@ -331,16 +364,25 @@ type Querier interface {
 // HTTP. Fan-outs inherit the request context, so user disconnects
 // propagate to every node.
 type MediatorServer struct {
-	q Querier
+	q   Querier
+	cfg serverConfig
 }
 
 // NewMediatorServer wraps a bare mediator.
-func NewMediatorServer(m *mediator.Mediator) *MediatorServer { return &MediatorServer{q: m} }
+func NewMediatorServer(m *mediator.Mediator, opts ...ServerOption) *MediatorServer {
+	return NewQuerierServer(m, opts...)
+}
 
 // NewQuerierServer wraps any Querier — in particular a *sched.Scheduler, so
 // a daemon can put admission control and shared-scan batching in front of
 // the same HTTP surface.
-func NewQuerierServer(q Querier) *MediatorServer { return &MediatorServer{q: q} }
+func NewQuerierServer(q Querier, opts ...ServerOption) *MediatorServer {
+	s := &MediatorServer{q: q}
+	for _, o := range opts {
+		o(&s.cfg)
+	}
+	return s
+}
 
 // Handler returns the mediator's HTTP mux.
 func (s *MediatorServer) Handler() http.Handler {
@@ -355,16 +397,21 @@ func (s *MediatorServer) Handler() http.Handler {
 func (s *MediatorServer) handleThreshold(w http.ResponseWriter, r *http.Request) {
 	var req ThresholdRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.cfg.fail(w, r, err)
 		return
 	}
+	frames := s.cfg.wantFrames(r, req.TraceID, req.Trace)
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
 	pts, stats, err := s.q.Threshold(ctx, nil, req.ToQuery())
 	if err != nil {
-		writeError(w, err)
+		writeNegotiatedError(w, frames, err)
 		return
 	}
 	obs.Traces().Record(tr)
+	if frames {
+		writeSoloFrames(w, pts, nil, statsForQuery(stats, s.q.NodeCount()))
+		return
+	}
 	resp := ThresholdResponse{
 		Points:     toDTO(pts),
 		FromCache:  stats.CacheHits == s.q.NodeCount(),
@@ -378,47 +425,57 @@ func (s *MediatorServer) handleThreshold(w http.ResponseWriter, r *http.Request)
 	if stats.QueueWait > 0 {
 		resp.QueueWaitMS = float64(stats.QueueWait) / float64(time.Millisecond)
 	}
-	writeJSON(w, resp)
+	writeQueryJSON(w, resp, len(pts))
 }
 
 func (s *MediatorServer) handlePDF(w http.ResponseWriter, r *http.Request) {
 	var req PDFRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.cfg.fail(w, r, err)
 		return
 	}
+	frames := s.cfg.wantFrames(r, req.TraceID, req.Trace)
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
 	counts, stats, err := s.q.PDF(ctx, nil, req.ToQuery())
 	if err != nil {
-		writeError(w, err)
+		writeNegotiatedError(w, frames, err)
 		return
 	}
 	obs.Traces().Record(tr)
-	writeJSON(w, PDFResponse{
+	if frames {
+		writeSoloFrames(w, nil, counts, statsForQuery(stats, s.q.NodeCount()))
+		return
+	}
+	writeQueryJSON(w, PDFResponse{
 		Counts: counts, Breakdown: breakdownToDTO(stats.NodeCritical),
 		Coverage: stats.Coverage, Failed: len(stats.Failures),
 		Trace: traceDTOFor(tr, req.Trace),
-	})
+	}, len(counts))
 }
 
 func (s *MediatorServer) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req TopKRequest
 	if err := decode(r, &req); err != nil {
-		writeError(w, err)
+		s.cfg.fail(w, r, err)
 		return
 	}
+	frames := s.cfg.wantFrames(r, req.TraceID, req.Trace)
 	ctx, tr := traceForRequest(r.Context(), req.TraceID, req.Trace)
 	pts, stats, err := s.q.TopK(ctx, nil, req.ToQuery())
 	if err != nil {
-		writeError(w, err)
+		writeNegotiatedError(w, frames, err)
 		return
 	}
 	obs.Traces().Record(tr)
-	writeJSON(w, TopKResponse{
+	if frames {
+		writeSoloFrames(w, pts, nil, statsForQuery(stats, s.q.NodeCount()))
+		return
+	}
+	writeQueryJSON(w, TopKResponse{
 		Points: toDTO(pts), Breakdown: breakdownToDTO(stats.NodeCritical),
 		Coverage: stats.Coverage, Failed: len(stats.Failures),
 		Trace: traceDTOFor(tr, req.Trace),
-	})
+	}, len(pts))
 }
 
 func (s *MediatorServer) handleInfo(w http.ResponseWriter, r *http.Request) {

@@ -16,10 +16,33 @@ type RemoteDB struct {
 	info   wire.InfoResponse
 }
 
+// RemoteOption customizes OpenRemote.
+type RemoteOption func(*remoteConfig)
+
+type remoteConfig struct {
+	proto string
+}
+
+// WithProtocol selects the response encoding the client negotiates:
+// "json" (the default, also the debug surface) or "frame" (the binary
+// streaming frame protocol — smaller and faster to parse; a service that
+// does not speak it transparently answers JSON).
+func WithProtocol(name string) RemoteOption {
+	return func(c *remoteConfig) { c.proto = name }
+}
+
 // OpenRemote connects to a mediator service at url (e.g.
 // "http://localhost:7080") and fetches its dataset description.
-func OpenRemote(url string) (*RemoteDB, error) {
-	c := wire.NewClient(url)
+func OpenRemote(url string, opts ...RemoteOption) (*RemoteDB, error) {
+	var cfg remoteConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	proto, err := wire.ParseProto(cfg.proto)
+	if err != nil {
+		return nil, fmt.Errorf("turbdb: %w", err)
+	}
+	c := wire.NewClient(url, wire.WithProto(proto))
 	info, err := c.Info(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("turbdb: connect %s: %w", url, err)

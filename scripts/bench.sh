@@ -7,6 +7,7 @@
 #
 #	scripts/bench.sh                 # kernel lane, writes BENCH_3.json
 #	scripts/bench.sh sched           # scheduler lane, writes BENCH_8.json
+#	scripts/bench.sh wire            # wire-protocol lane, writes BENCH_10.json
 #	scripts/bench.sh kernels out.json
 #	BENCHTIME=1s scripts/bench.sh    # slower, steadier numbers
 #
@@ -20,8 +21,13 @@
 # on (admission control + shared-scan batching): "runs" is the raw tail
 # latency and physical node-side scan work per lane, and "improvements"
 # pairs the lanes per client count — p99 speedup and the percentage of
-# node scan work the shared scans eliminated. Only sh, go and awk are
-# required.
+# node scan work the shared scans eliminated.
+#
+# The wire lane serializes and parses an identical 64k-point threshold
+# result through both response encodings (JSON and the binary frame
+# protocol): "runs" is ns/point and bytes/point per operation per
+# protocol, and "improvements" pairs them — decode/encode speedup and the
+# bytes-per-point compression ratio. Only sh, go and awk are required.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,11 +37,77 @@ sched)
 	lane=sched
 	shift
 	;;
+wire)
+	lane=wire
+	shift
+	;;
 kernels) shift ;;
 esac
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
+
+if [ "$lane" = wire ]; then
+	out=${1:-BENCH_10.json}
+	benchtime=${BENCHTIME:-200ms}
+	# Both encodings serialize/parse the identical 64k-point threshold
+	# result, so ns/point and bytes/point are directly comparable; the
+	# improvements section pairs the protocols per operation.
+	echo ">> go test -bench BenchmarkWire (benchtime $benchtime)" >&2
+	go test -run=NONE -bench='BenchmarkWireEncode|BenchmarkWireDecode' \
+		-benchtime "$benchtime" ./internal/wire | tee "$tmp" >&2
+
+	awk -v generated="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		-v goversion="$(go version | sed 's/^go version //')" \
+		-v benchtime="$benchtime" '
+	/^BenchmarkWire/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		split(name, part, "/")               # [1]=BenchmarkWireEncode|Decode [2]=proto=json|frame
+		op = part[1] == "BenchmarkWireEncode" ? "encode" : "decode"
+		proto = part[2]
+		sub(/^proto=/, "", proto)
+		ns = bpp = "0"
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/point") ns = $i
+			if ($(i + 1) == "bytes/point") bpp = $i
+		}
+		rn[++nr] = op SUBSEP proto
+		rns[nr] = ns; rbpp[nr] = bpp
+		v[op, proto, "ns"] = ns
+		v[op, proto, "bpp"] = bpp
+	}
+	END {
+		printf "{\n"
+		printf "  \"issue\": 10,\n"
+		printf "  \"generated\": \"%s\",\n", generated
+		printf "  \"go\": \"%s\",\n", goversion
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"points\": 65536,\n"
+		printf "  \"runs\": [\n"
+		for (i = 1; i <= nr; i++) {
+			split(rn[i], part, SUBSEP)
+			printf "    {\"op\": \"%s\", \"proto\": \"%s\", \"ns_per_point\": %s, \"bytes_per_point\": %s}%s\n", \
+				part[1], part[2], rns[i], rbpp[i], i < nr ? "," : ""
+		}
+		printf "  ],\n"
+		printf "  \"improvements\": [\n"
+		n = split("encode decode", ops, " ")
+		for (i = 1; i <= n; i++) {
+			op = ops[i]
+			printf "    {\"op\": \"%s\", \"json_ns_per_point\": %s, \"frame_ns_per_point\": %s, \"speedup\": %.2f, \"json_bytes_per_point\": %s, \"frame_bytes_per_point\": %s, \"bytes_ratio\": %.2f}%s\n", \
+				op, v[op, "json", "ns"], v[op, "frame", "ns"], v[op, "json", "ns"] / v[op, "frame", "ns"], \
+				v[op, "json", "bpp"], v[op, "frame", "bpp"], v[op, "json", "bpp"] / v[op, "frame", "bpp"], \
+				i < n ? "," : ""
+		}
+		printf "  ]\n"
+		printf "}\n"
+	}' "$tmp" > "$out"
+
+	echo ">> wrote $out" >&2
+	awk '/"op"/ && /speedup/' "$out" >&2
+	exit 0
+fi
 
 if [ "$lane" = sched ]; then
 	out=${1:-BENCH_8.json}

@@ -94,6 +94,18 @@ lane 'benchmark smoke (kernel + scheduler packages, 1 iteration)'
 go test -run=NONE -bench=. -benchtime=1x ./internal/stencil ./internal/field ./internal/derived ./internal/node ./internal/sched
 lane_done
 
+# Binary wire-protocol lane: the golden-frame fixtures (committed bytes must
+# decode to the pinned structs and re-encode byte-identically) and the
+# differential cross-encoding matrix (every JSON/frame client–server pairing
+# must answer Float32bits-identically to the JSON baseline, including the
+# dead-node partial-coverage and replica-failover cases) by name, under the
+# race detector. The suites also run in the package lanes above; naming them
+# keeps a future filter from silently dropping the protocol's conformance
+# evidence.
+lane 'binary wire protocol: golden frames + differential matrix (-race)'
+go test -race -run 'TestGoldenFrames|TestDifferential|TestFrame' ./internal/wire/...
+lane_done
+
 # Fuzz smoke lane: a short coverage-guided run of each fuzz target beyond its
 # seed corpus (the seeds already ran as plain tests above). `go test -fuzz`
 # accepts exactly one matching target per invocation, hence one anchored
@@ -106,6 +118,8 @@ else
 	go test -run=NONE -fuzz='^FuzzCodeRoundTrip$' -fuzztime=10s ./internal/morton
 	go test -run=NONE -fuzz='^FuzzRequestDecode$' -fuzztime=10s ./internal/wire
 	go test -run=NONE -fuzz='^FuzzResponseDecode$' -fuzztime=10s ./internal/wire
+	go test -run=NONE -fuzz='^FuzzFrameDecode$' -fuzztime=10s ./internal/wire/binproto
+	go test -run=NONE -fuzz='^FuzzPointsRoundTrip$' -fuzztime=10s ./internal/wire/binproto
 	lane_done
 fi
 
